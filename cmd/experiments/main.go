@@ -1,0 +1,54 @@
+// Command experiments regenerates the paper's figures: tables are printed
+// to stdout and topology-view SVGs are written to the output directory.
+//
+// Usage:
+//
+//	experiments [-fig id] [-out dir] [-quick]
+//
+// With no -fig, every experiment runs in paper order. Identifiers are
+// fig1..fig9 and scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"viva/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "experiment id to run (default: all); one of "+strings.Join(experiments.IDs(), ", "))
+	out := flag.String("out", "out", "directory for figure SVGs (empty: skip SVGs)")
+	quick := flag.Bool("quick", false, "shrink workloads for a fast run")
+	flag.Parse()
+
+	opts := experiments.Options{Quick: *quick, OutDir: *out}
+	var toRun []experiments.Experiment
+	if *fig == "" {
+		toRun = experiments.All()
+	} else {
+		e, ok := experiments.ByID(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s\n", *fig, strings.Join(experiments.IDs(), ", "))
+			os.Exit(2)
+		}
+		toRun = []experiments.Experiment{e}
+	}
+
+	failed := 0
+	for _, e := range toRun {
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		res.Print(os.Stdout)
+		failed += len(res.Failed())
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d shape check(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,178 @@
+// Command tracegen runs one of the built-in simulation scenarios and
+// writes the resulting trace (resources, hierarchy, topology edges, metric
+// timelines) in the viva text format, ready for cmd/viva or cmd/vivaserve.
+//
+// Usage:
+//
+//	tracegen -scenario nasdt-seq|nasdt-loc|gridmw|gridmw-fifo|demo -o trace.viva [-states]
+//
+// -states additionally records per-process behavioural states (compute,
+// send, recv, …) so the trace also feeds the Gantt timeline baseline
+// (viva -gantt).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"viva/internal/masterworker"
+	"viva/internal/nasdt"
+	"viva/internal/platform"
+	"viva/internal/sim"
+	"viva/internal/trace"
+)
+
+func main() {
+	scenario := flag.String("scenario", "demo", "one of: demo, nasdt-seq, nasdt-loc, gridmw, gridmw-fifo, mw")
+	out := flag.String("o", "trace.viva", "output trace file")
+	states := flag.Bool("states", false, "also record per-process behavioural states")
+	platformXML := flag.String("platform", "", "SimGrid platform XML (required by -scenario mw)")
+	flag.Parse()
+
+	tr, err := generate(*scenario, *states, *platformXML)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := trace.Write(f, tr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	start, end := tr.Window()
+	fmt.Printf("%s: %d resources, %d variables, window [%g, %g] -> %s\n",
+		*scenario, len(tr.Resources()), tr.NumVariables(), start, end, *out)
+}
+
+func generate(scenario string, states bool, platformXML string) (*trace.Trace, error) {
+	switch scenario {
+	case "demo":
+		return demo(states)
+	case "mw":
+		// A generic master-worker run over a user-supplied SimGrid
+		// platform: the first host is the master, every host a worker.
+		if platformXML == "" {
+			return nil, fmt.Errorf("-scenario mw needs -platform <file.xml>")
+		}
+		f, err := os.Open(platformXML)
+		if err != nil {
+			return nil, err
+		}
+		p, err := platform.FromSimGridXML(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		tr := trace.New()
+		e := sim.New(p, tr)
+		e.TraceCategories(true)
+		e.TraceStates(states)
+		var hosts []string
+		for _, h := range p.Hosts() {
+			hosts = append(hosts, h.Name)
+		}
+		app := &masterworker.App{
+			Name: "app", MasterHost: hosts[0], Workers: hosts,
+			TaskCount: 20 * len(hosts),
+			TaskFlops: 10 * platform.GFlops, TaskBytes: 1 * platform.MB,
+			ResultBytes: 10 * platform.KB, Strategy: masterworker.BandwidthCentric,
+		}
+		if _, err := masterworker.Deploy(e, app); err != nil {
+			return nil, err
+		}
+		if err := e.Run(); err != nil {
+			return nil, err
+		}
+		return tr, nil
+	case "nasdt-seq", "nasdt-loc":
+		p := platform.TwoClusters()
+		tr := trace.New()
+		e := sim.New(p, tr)
+		e.TraceStates(states)
+		g := nasdt.MustBuild(nasdt.WH, 'A')
+		var hf []string
+		if scenario == "nasdt-seq" {
+			hf = nasdt.SequentialHostfile(nasdt.ClusterHosts(p, "adonis", "griffon"), g.NumNodes())
+		} else {
+			hf = nasdt.LocalityHostfile(g, p.HostsOfCluster("adonis"), p.HostsOfCluster("griffon"))
+		}
+		nasdt.Run(e, g, hf, nasdt.DefaultConfig())
+		if err := e.Run(); err != nil {
+			return nil, err
+		}
+		return tr, nil
+	case "gridmw", "gridmw-fifo":
+		strategy := masterworker.BandwidthCentric
+		if scenario == "gridmw-fifo" {
+			strategy = masterworker.FIFO
+		}
+		p := platform.Grid5000()
+		tr := trace.New()
+		e := sim.New(p, tr)
+		e.TraceCategories(true)
+		e.TraceStates(states)
+		var hosts []string
+		for _, h := range p.Hosts() {
+			hosts = append(hosts, h.Name)
+		}
+		apps := []*masterworker.App{
+			{
+				Name: "cpu", MasterHost: "adonis-1", Workers: hosts, TaskCount: 20000,
+				TaskFlops: 40 * platform.GFlops, TaskBytes: 0.25 * platform.MB,
+				ResultBytes: 10 * platform.KB, Strategy: strategy,
+			},
+			{
+				Name: "net", MasterHost: "graphene-1", Workers: hosts, TaskCount: 8000,
+				TaskFlops: 64 * platform.GFlops, TaskBytes: 2 * platform.MB,
+				ResultBytes: 10 * platform.KB, Strategy: strategy,
+			},
+		}
+		for _, app := range apps {
+			if _, err := masterworker.Deploy(e, app); err != nil {
+				return nil, err
+			}
+		}
+		if err := e.Run(); err != nil {
+			return nil, err
+		}
+		return tr, nil
+	default:
+		return nil, fmt.Errorf("unknown scenario %q", scenario)
+	}
+}
+
+// demo is a tiny hand-made workload on a two-cluster platform, handy for
+// poking at the interactive UI.
+func demo(states bool) (*trace.Trace, error) {
+	p := platform.TwoClusters()
+	tr := trace.New()
+	e := sim.New(p, tr)
+	e.TraceStates(states)
+	for i := 1; i <= 11; i++ {
+		host := fmt.Sprintf("adonis-%d", i)
+		peer := fmt.Sprintf("griffon-%d", i)
+		mb := fmt.Sprintf("demo-%d", i)
+		e.Spawn("src-"+host, host, func(c *sim.Ctx) {
+			for k := 0; k < 5; k++ {
+				c.Execute(4e9)
+				c.Send(mb, nil, 100*platform.MB)
+			}
+		})
+		e.Spawn("dst-"+peer, peer, func(c *sim.Ctx) {
+			for k := 0; k < 5; k++ {
+				c.Recv(mb)
+				c.Execute(8e9)
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

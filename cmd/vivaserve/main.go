@@ -1,0 +1,57 @@
+// Command vivaserve opens a trace in the interactive browser UI: the
+// topology-based view with live force-directed layout, time-slice
+// selection, aggregation/disaggregation and parameter sliders.
+//
+// Usage:
+//
+//	vivaserve -trace trace.viva [-addr :8844]
+//
+// Then open http://localhost:8844 in a browser.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"viva/internal/core"
+	"viva/internal/server"
+	"viva/internal/traceio"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "input trace file (required)")
+	addr := flag.String("addr", ":8844", "listen address")
+	level := flag.Int("level", -1, "initial aggregation depth (-1: leaves)")
+	edges := flag.String("edges", "", "connection configuration file for traces without topology edges")
+	flag.Parse()
+
+	if *tracePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	tr := traceio.MustLoad(*tracePath)
+	if *edges != "" {
+		if _, err := traceio.LoadEdges(*edges, tr); err != nil {
+			fatal(err)
+		}
+	}
+	v, err := core.NewView(tr)
+	if err != nil {
+		fatal(err)
+	}
+	if *level >= 0 {
+		if err := v.SetLevel(*level); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("serving %s on http://localhost%s\n", *tracePath, *addr)
+	if err := server.New(v).ListenAndServe(*addr); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vivaserve:", err)
+	os.Exit(1)
+}

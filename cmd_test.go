@@ -1,0 +1,100 @@
+package viva_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// End-to-end command-line pipeline: simulate → trace file → inspect →
+// render every view. These guard the flag plumbing the unit tests can't
+// see.
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "demo.viva")
+
+	// 1. Simulate a scenario into a trace file (with process states).
+	out := runCLI(t, "./cmd/tracegen", "-scenario", "demo", "-states", "-o", tracePath)
+	if !strings.Contains(out, "resources") {
+		t.Errorf("tracegen output: %q", out)
+	}
+
+	// 2. Inspect it.
+	out = runCLI(t, "./cmd/viva", "-trace", tracePath, "-info")
+	for _, want := range []string{"window:", "busiest links:", "processes:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-info output missing %q:\n%s", want, out)
+		}
+	}
+
+	// 3. Render the topology view, the Gantt baseline and the treemap.
+	svgPath := filepath.Join(dir, "view.svg")
+	ganttPath := filepath.Join(dir, "gantt.svg")
+	treemapPath := filepath.Join(dir, "treemap.svg")
+	out = runCLI(t, "./cmd/viva", "-trace", tracePath, "-level", "2", "-steps", "500",
+		"-o", svgPath, "-gantt", ganttPath, "-treemap", treemapPath)
+	if !strings.Contains(out, "layout settled") {
+		t.Errorf("render output: %q", out)
+	}
+	for _, p := range []string{svgPath, ganttPath, treemapPath} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("%s not written: %v", p, err)
+		}
+		if !strings.HasPrefix(string(data), "<svg") {
+			t.Errorf("%s is not an SVG", p)
+		}
+	}
+
+	// 4. Animated sweep.
+	animPath := filepath.Join(dir, "anim.svg")
+	runCLI(t, "./cmd/viva", "-trace", tracePath, "-level", "2", "-steps", "200",
+		"-animate", "3", "-o", animPath)
+	data, err := os.ReadFile(animPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(data), "<animate "); got != 3 {
+		t.Errorf("animation frames = %d, want 3", got)
+	}
+
+	// 5. A trace with explicit edges loaded from a connection file.
+	edgesPath := filepath.Join(dir, "edges.txt")
+	if err := os.WriteFile(edgesPath, []byte("adonis-1 adonis-2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = runCLI(t, "./cmd/viva", "-trace", tracePath, "-edges", edgesPath, "-info")
+	if !strings.Contains(out, "loaded 1 edges") {
+		t.Errorf("edges output: %q", out)
+	}
+}
+
+func TestCLIExperimentsSingleFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	dir := t.TempDir()
+	out := runCLI(t, "./cmd/experiments", "-quick", "-fig", "fig4", "-out", dir)
+	if strings.Contains(out, "[FAIL]") || !strings.Contains(out, "[PASS]") {
+		t.Errorf("experiments output:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig4_a.svg")); err != nil {
+		t.Errorf("fig4 SVG not written: %v", err)
+	}
+}

@@ -1,0 +1,113 @@
+// Baselines: render the same NAS-DT execution through the classical
+// visualizations the paper argues against — a Gantt-chart timeline, a
+// communication matrix, a treemap — next to the topology-based view, and
+// print why only the last one exposes the real problem (the saturated
+// inter-cluster links).
+//
+//	go run ./examples/baselines
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"viva/internal/commmatrix"
+	"viva/internal/core"
+	"viva/internal/gantt"
+	"viva/internal/nasdt"
+	"viva/internal/platform"
+	"viva/internal/render"
+	"viva/internal/sim"
+	"viva/internal/trace"
+	"viva/internal/treemap"
+
+	"viva/internal/aggregation"
+)
+
+func main() {
+	// One sequential-deployment NAS-DT run, with behavioural states on.
+	p := platform.TwoClusters()
+	tr := trace.New()
+	e := sim.New(p, tr)
+	e.TraceStates(true)
+	g := nasdt.MustBuild(nasdt.WH, 'A')
+	hf := nasdt.SequentialHostfile(nasdt.ClusterHosts(p, "adonis", "griffon"), g.NumNodes())
+	nasdt.Run(e, g, hf, nasdt.DefaultConfig())
+	if err := e.Run(); err != nil {
+		log.Fatal(err)
+	}
+	makespan := e.Now()
+	fmt.Printf("NAS-DT WH/A sequential, makespan %.2fs — rendering four views\n\n", makespan)
+
+	// 1. Gantt chart: perfect for *when*, silent about *where*.
+	procs := tr.StatefulResources()
+	gOpts := gantt.DefaultOptions()
+	gOpts.Title = "Gantt timeline: processes spend most time in send/recv — but through which links?"
+	write("baseline_gantt.svg", gantt.SVG(tr, procs, 0, makespan, gOpts))
+
+	// 2. Communication matrix: who talks to whom, not through what.
+	hosts := nasdt.ClusterHosts(p, "adonis", "griffon")
+	m := commmatrix.New(hosts)
+	for pair, bytes := range e.CommBytes() {
+		m.Add(pair.Src, pair.Dst, bytes)
+	}
+	write("baseline_matrix.svg", m.SVG(commmatrix.SVGOptions{
+		Title: "Communication matrix (bytes, log scale)", LogScale: true,
+	}))
+	grouped := m.GroupBy(func(h string) string { return p.Host(h).Cluster })
+	write("baseline_matrix_clusters.svg", grouped.SVG(commmatrix.SVGOptions{
+		Title: "Aggregated by cluster", CellSize: 48, LogScale: true,
+	}))
+	top := grouped.TopPairs(3)
+	fmt.Println("matrix, cluster scale — heaviest flows:")
+	for _, pr := range top {
+		fmt.Printf("  %-8s -> %-8s %.3g bytes\n", pr.Src, pr.Dst, pr.Bytes)
+	}
+
+	// 3. Treemap: aggregated utilization without topology.
+	ag, err := aggregation.NewAggregator(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	slice := aggregation.TimeSlice{Start: 0, End: makespan}
+	root, err := treemap.Build(ag, "grid", trace.TypeHost, trace.MetricPower, trace.MetricUsage, slice)
+	if err != nil {
+		log.Fatal(err)
+	}
+	write("baseline_treemap.svg", treemap.SVG(root, treemap.SVGOptions{
+		Title: "Treemap: host utilization, hierarchically aggregated — no links at all",
+	}))
+
+	// 4. The topology-based view: the inter-cluster diamonds are full.
+	v, err := core.NewView(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v.Stabilize(2500, 0.1)
+	rOpts := render.DefaultOptions()
+	rOpts.Title = "Topology view: the interconnection diamonds are saturated"
+	write("baseline_topology.svg", render.SVG(v.MustGraph(), v.Layout(), rOpts))
+
+	// The punchline, in numbers.
+	inter := tr.Timeline("up:adonis", trace.MetricTraffic).Mean(0, makespan) /
+		tr.Timeline("up:adonis", trace.MetricBandwidth).At(0)
+	busiest := 0.0
+	for _, h := range p.Hosts() {
+		u := tr.Timeline("lnk:"+h.Name, trace.MetricTraffic).Mean(0, makespan) /
+			tr.Timeline("lnk:"+h.Name, trace.MetricBandwidth).At(0)
+		if u > busiest {
+			busiest = u
+		}
+	}
+	fmt.Printf("\ninter-cluster link utilization: %.0f%% — busiest host link: %.0f%%\n", 100*inter, 100*busiest)
+	fmt.Println("the Gantt rows show waiting, the matrix shows pairs, the treemap shows hosts;")
+	fmt.Println("only the topology view places the 80%+ saturation on the cluster interconnection.")
+}
+
+func write(name string, data []byte) {
+	if err := os.WriteFile(name, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote", name)
+}

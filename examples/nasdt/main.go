@@ -1,0 +1,70 @@
+// NAS-DT deployment study (the paper's Section 5.1): simulate the class A
+// White Hole benchmark on two interconnected clusters under the ordinary
+// sequential deployment and under the locality-aware deployment, compare
+// makespans and inter-cluster link saturation, and render the topology
+// views that make the bottleneck obvious.
+//
+//	go run ./examples/nasdt
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"viva/internal/core"
+	"viva/internal/nasdt"
+	"viva/internal/platform"
+	"viva/internal/render"
+	"viva/internal/sim"
+	"viva/internal/trace"
+)
+
+func main() {
+	p := platform.TwoClusters()
+	g := nasdt.MustBuild(nasdt.WH, 'A')
+	fmt.Printf("NAS-DT %s class %c: %d tasks on %d hosts\n\n",
+		g.Kind, g.Class, g.NumNodes(), p.NumHosts())
+
+	seqHF := nasdt.SequentialHostfile(nasdt.ClusterHosts(p, "adonis", "griffon"), g.NumNodes())
+	locHF := nasdt.LocalityHostfile(g, p.HostsOfCluster("adonis"), p.HostsOfCluster("griffon"))
+
+	seqTrace, seqTime := run(g, seqHF)
+	locTrace, locTime := run(g, locHF)
+
+	fmt.Printf("%-12s %-12s %-12s %s\n", "deployment", "cross-edges", "makespan", "inter-cluster utilization")
+	report := func(name string, hf []string, tr *trace.Trace, makespan float64) {
+		traffic := tr.Timeline("up:adonis", trace.MetricTraffic).Mean(0, makespan)
+		bw := tr.Timeline("up:adonis", trace.MetricBandwidth).At(0)
+		fmt.Printf("%-12s %-12d %-12.2f %.0f%%\n",
+			name, nasdt.CrossEdges(g, hf, p), makespan, 100*traffic/bw)
+	}
+	report("sequential", seqHF, seqTrace, seqTime)
+	report("locality", locHF, locTrace, locTime)
+	fmt.Printf("\nimprovement: %.1f%% (the paper reports 20%%)\n", 100*(1-locTime/seqTime))
+
+	for name, tr := range map[string]*trace.Trace{"sequential": seqTrace, "locality": locTrace} {
+		v, err := core.NewView(tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v.Stabilize(2000, 0.1)
+		opts := render.DefaultOptions()
+		opts.Title = "NAS-DT WH/A — " + name + " deployment"
+		file := "nasdt_" + name + ".svg"
+		if err := os.WriteFile(file, render.SVG(v.MustGraph(), v.Layout(), opts), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", file)
+	}
+}
+
+func run(g *nasdt.Graph, hostfile []string) (*trace.Trace, float64) {
+	tr := trace.New()
+	e := sim.New(platform.TwoClusters(), tr)
+	nasdt.Run(e, g, hostfile, nasdt.DefaultConfig())
+	if err := e.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return tr, e.Now()
+}

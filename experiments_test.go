@@ -1,0 +1,110 @@
+// Package-level reproduction tests: every figure of the paper is
+// regenerated and its shape checks (who wins, by roughly what factor,
+// where the crossovers fall) are asserted. EXPERIMENTS.md records the
+// paper-vs-measured comparison these tests keep honest.
+package viva_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"viva/internal/experiments"
+)
+
+func runExperiment(t *testing.T, id string) *experiments.Result {
+	t.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	res, err := e.Run(experiments.Options{Quick: true})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	for _, fail := range res.Failed() {
+		t.Errorf("%s shape check failed: %s", id, fail)
+	}
+	// The printed report must render without issue and mention the id.
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), res.ID) {
+		t.Errorf("%s: report does not mention its id", id)
+	}
+	return res
+}
+
+func TestFig1Mapping(t *testing.T)             { runExperiment(t, "fig1") }
+func TestFig2TemporalAggregation(t *testing.T) { runExperiment(t, "fig2") }
+func TestFig3SpatialAggregation(t *testing.T)  { runExperiment(t, "fig3") }
+func TestFig4PerTypeScaling(t *testing.T)      { runExperiment(t, "fig4") }
+func TestFig5LayoutParameters(t *testing.T)    { runExperiment(t, "fig5") }
+
+func TestFig6NASDTSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	runExperiment(t, "fig6")
+}
+
+func TestFig7LocalitySpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res := runExperiment(t, "fig7")
+	// The headline number: the locality deployment must improve the
+	// makespan by at least 10% (the paper reports 20%).
+	found := false
+	for _, c := range res.Checks {
+		if strings.Contains(c.Name, "~20%") {
+			found = true
+			if !c.Pass {
+				t.Errorf("20%% improvement check failed: %s", c.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Error("improvement check missing from fig7")
+	}
+}
+
+func TestFig8AggregationLevels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid-scale simulation")
+	}
+	runExperiment(t, "fig8")
+}
+
+func TestFig9WorkloadDiffusion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid-scale simulation")
+	}
+	runExperiment(t, "fig9")
+}
+
+func TestScaleLayoutGrowth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive experiment")
+	}
+	runExperiment(t, "scale")
+}
+
+func TestAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive experiment")
+	}
+	runExperiment(t, "ablation")
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	all := experiments.All()
+	if len(all) != 11 {
+		t.Fatalf("expected 11 experiments, got %d", len(all))
+	}
+	if len(experiments.IDs()) != len(all) {
+		t.Error("IDs() inconsistent with All()")
+	}
+	if _, ok := experiments.ByID("nope"); ok {
+		t.Error("ByID accepted an unknown id")
+	}
+}

@@ -1,0 +1,3 @@
+module viva
+
+go 1.22

@@ -1,0 +1,257 @@
+package aggregation
+
+import (
+	"fmt"
+	"sort"
+
+	"viva/internal/trace"
+)
+
+// Cut is the current spatial scale: a set of active hierarchy nodes that
+// partitions the leaves (every leaf has exactly one active ancestor-or-
+// self). The analyst refines a cut with Disaggregate and coarsens it with
+// Aggregate; both are the interactive grouping operations of the paper's
+// Figures 3 and 8.
+type Cut struct {
+	tree   *Tree
+	active map[string]bool
+	// leafOwner caches each leaf's active ancestor, rebuilt lazily.
+	leafOwner map[string]string
+}
+
+// NewLeafCut returns the finest cut: every atomic entity is its own
+// group. Behavioural children of entities (processes under a host) never
+// appear in cuts.
+func NewLeafCut(t *Tree) *Cut {
+	c := &Cut{tree: t, active: make(map[string]bool)}
+	var walk func(name string)
+	walk = func(name string) {
+		n := t.Node(name)
+		if n.IsEntity() {
+			c.active[name] = true
+			return
+		}
+		for _, ch := range n.Children {
+			walk(ch)
+		}
+	}
+	for _, r := range t.Roots() {
+		walk(r)
+	}
+	return c
+}
+
+// NewLevelCut returns the cut at a hierarchy depth: groups at the given
+// depth are active, and entities shallower than it stay active as
+// themselves. Depth 0 aggregates everything into the roots; passing
+// MaxDepth (or more) yields the leaf cut.
+func NewLevelCut(t *Tree, depth int) *Cut {
+	c := &Cut{tree: t, active: make(map[string]bool)}
+	var walk func(name string)
+	walk = func(name string) {
+		n := t.Node(name)
+		if n.IsEntity() || n.Depth == depth {
+			c.active[name] = true
+			return
+		}
+		for _, ch := range n.Children {
+			walk(ch)
+		}
+	}
+	for _, r := range t.Roots() {
+		walk(r)
+	}
+	return c
+}
+
+// Active returns the active node names in declaration order.
+func (c *Cut) Active() []string {
+	var out []string
+	for _, name := range c.tree.order {
+		if c.active[name] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// IsActive reports whether a node is part of the cut.
+func (c *Cut) IsActive(name string) bool { return c.active[name] }
+
+// Size returns the number of active groups.
+func (c *Cut) Size() int { return len(c.active) }
+
+// Aggregate coarsens the cut: every active node strictly below name is
+// deactivated and name becomes active. It fails when name is unknown,
+// already active, or when some of its leaves belong to a group that is not
+// strictly below name (the groups would overlap).
+func (c *Cut) Aggregate(name string) error {
+	n := c.tree.Node(name)
+	if n == nil {
+		return fmt.Errorf("aggregation: unknown node %q", name)
+	}
+	if c.active[name] {
+		return fmt.Errorf("aggregation: %q is already aggregated", name)
+	}
+	// Every leaf under name must currently be owned by a group strictly
+	// below name; otherwise aggregating name would swallow a sibling group.
+	c.ensureOwners()
+	leaves, err := c.tree.LeavesUnder(name)
+	if err != nil {
+		return err
+	}
+	var below []string
+	seen := make(map[string]bool)
+	for _, l := range leaves {
+		owner := c.leafOwner[l]
+		if owner == "" {
+			return fmt.Errorf("aggregation: leaf %q has no active group", l)
+		}
+		if !c.tree.IsAncestorOrSelf(name, owner) {
+			return fmt.Errorf("aggregation: cannot aggregate %q: leaf %q belongs to group %q outside it", name, l, owner)
+		}
+		if !seen[owner] {
+			seen[owner] = true
+			below = append(below, owner)
+		}
+	}
+	for _, g := range below {
+		delete(c.active, g)
+	}
+	c.active[name] = true
+	c.leafOwner = nil
+	return nil
+}
+
+// Disaggregate refines the cut: name must be active and have children; it
+// is replaced by them.
+func (c *Cut) Disaggregate(name string) error {
+	n := c.tree.Node(name)
+	if n == nil {
+		return fmt.Errorf("aggregation: unknown node %q", name)
+	}
+	if !c.active[name] {
+		return fmt.Errorf("aggregation: %q is not an active group", name)
+	}
+	if n.IsEntity() {
+		return fmt.Errorf("aggregation: %q is an atomic entity, cannot disaggregate", name)
+	}
+	delete(c.active, name)
+	for _, child := range n.Children {
+		c.active[child] = true
+	}
+	c.leafOwner = nil
+	return nil
+}
+
+// Owner returns the active group a leaf (or interior node) belongs to:
+// its closest active ancestor-or-self. It returns "" when none exists
+// (which cannot happen on a valid cut).
+func (c *Cut) Owner(name string) string {
+	for cur := name; cur != ""; {
+		if c.active[cur] {
+			return cur
+		}
+		n := c.tree.Node(cur)
+		if n == nil {
+			return ""
+		}
+		cur = n.Parent
+	}
+	return ""
+}
+
+// entityLeaves lists the atomic entities of the whole tree, in
+// declaration order.
+func (c *Cut) entityLeaves() []string {
+	var out []string
+	for _, root := range c.tree.Roots() {
+		leaves, err := c.tree.LeavesUnder(root)
+		if err == nil {
+			out = append(out, leaves...)
+		}
+	}
+	return out
+}
+
+func (c *Cut) ensureOwners() {
+	if c.leafOwner != nil {
+		return
+	}
+	c.leafOwner = make(map[string]string)
+	for _, name := range c.entityLeaves() {
+		c.leafOwner[name] = c.Owner(name)
+	}
+}
+
+// Members returns the entities owned by an active group, in declaration
+// order.
+func (c *Cut) Members(group string) []string {
+	c.ensureOwners()
+	var out []string
+	for _, name := range c.entityLeaves() {
+		if c.leafOwner[name] == group {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Validate checks the cut invariant: every atomic entity has exactly one
+// active ancestor-or-self.
+func (c *Cut) Validate() error {
+	for _, name := range c.entityLeaves() {
+		count := 0
+		for cur := name; cur != ""; cur = c.tree.nodes[cur].Parent {
+			if c.active[cur] {
+				count++
+			}
+		}
+		if count != 1 {
+			return fmt.Errorf("aggregation: entity %q has %d active ancestors, want 1", name, count)
+		}
+	}
+	return nil
+}
+
+// ProjectEdges maps base topology edges onto the cut: each endpoint is
+// replaced by its active group and duplicate group pairs are merged, with
+// their multiplicity counted. Edges internal to one group disappear
+// (they become the group's own structure). The result is deterministic.
+func (c *Cut) ProjectEdges(edges []trace.Edge) []ProjectedEdge {
+	type key struct{ a, b string }
+	counts := make(map[key]int)
+	var order []key
+	for _, e := range edges {
+		ga, gb := c.Owner(e.A), c.Owner(e.B)
+		if ga == "" || gb == "" || ga == gb {
+			continue
+		}
+		if ga > gb {
+			ga, gb = gb, ga
+		}
+		k := key{ga, gb}
+		if counts[k] == 0 {
+			order = append(order, k)
+		}
+		counts[k]++
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].a != order[j].a {
+			return order[i].a < order[j].a
+		}
+		return order[i].b < order[j].b
+	})
+	out := make([]ProjectedEdge, 0, len(order))
+	for _, k := range order {
+		out = append(out, ProjectedEdge{A: k.a, B: k.b, Multiplicity: counts[k]})
+	}
+	return out
+}
+
+// ProjectedEdge is a merged bundle of base edges between two active
+// groups.
+type ProjectedEdge struct {
+	A, B         string
+	Multiplicity int
+}

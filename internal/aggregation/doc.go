@@ -1,0 +1,20 @@
+// Package aggregation implements the paper's multi-scale data aggregation
+// (Section 3.2): the approximation
+//
+//	F_{Γ,Δ}(r, t) = ∫∫_{N_{Γ,Δ}(r,t)} ρ(r′, t′) dr′ dt′        (Equation 1)
+//
+// of a traced quantity ρ at a spatial scale Γ and a temporal scale Δ.
+//
+// The temporal neighbourhood is a time slice [a, b] chosen by the analyst;
+// timelines are integrated exactly over it. The spatial neighbourhood is a
+// group of monitored entities taken from the containment hierarchy the
+// trace carries (grid → site → cluster → host); the current spatial scale
+// is a Cut of that hierarchy — an antichain whose groups partition the
+// leaves — which the analyst refines or coarsens interactively with
+// Aggregate and Disaggregate.
+//
+// Beyond the paper's sum/mean aggregation the package computes the
+// statistical companions its conclusion calls for (variance, median,
+// min/max), so that an aggregated view can flag groups whose inner
+// variability deserves a closer look.
+package aggregation

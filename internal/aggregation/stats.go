@@ -1,0 +1,167 @@
+package aggregation
+
+import (
+	"math"
+	"sort"
+
+	"viva/internal/trace"
+)
+
+// TimeSlice is the temporal neighbourhood Δ of Equation 1: the window
+// [Start, End] the analyst selects with the time-slice cursors.
+type TimeSlice struct {
+	Start, End float64
+}
+
+// Width returns End − Start.
+func (s TimeSlice) Width() float64 { return s.End - s.Start }
+
+// Valid reports whether the slice has positive width.
+func (s TimeSlice) Valid() bool { return s.End > s.Start }
+
+// TimeAggregate is the per-resource temporal half of Equation 1: the
+// integral and the time average of ρ(r, ·) over the slice.
+func TimeAggregate(tl *trace.Timeline, s TimeSlice) (integral, mean float64) {
+	integral = tl.Integrate(s.Start, s.End)
+	if s.Valid() {
+		mean = integral / s.Width()
+	}
+	return integral, mean
+}
+
+// Stats summarises the time-averaged values of one metric over the
+// members of a spatial group: Sum is the paper's aggregation (the group's
+// value); the other fields are the statistical indicators the paper's
+// conclusion proposes so the analyst can spot heterogeneous groups hiding
+// behind a flat aggregate.
+type Stats struct {
+	Count    int     // members carrying the metric
+	Sum      float64 // Σ member means — the aggregated value (Eq. 1)
+	Mean     float64 // Sum / Count
+	Min, Max float64
+	Variance float64 // population variance of member means
+	Median   float64
+}
+
+// Aggregator evaluates F_{Γ,Δ} over a trace: spatial groups from the
+// trace hierarchy × a time slice.
+type Aggregator struct {
+	tr   *trace.Trace
+	tree *Tree
+}
+
+// NewAggregator builds an aggregator for a trace.
+func NewAggregator(tr *trace.Trace) (*Aggregator, error) {
+	tree, err := BuildTree(tr)
+	if err != nil {
+		return nil, err
+	}
+	return &Aggregator{tr: tr, tree: tree}, nil
+}
+
+// Tree returns the hierarchy the aggregator works on.
+func (ag *Aggregator) Tree() *Tree { return ag.tree }
+
+// Trace returns the underlying trace.
+func (ag *Aggregator) Trace() *trace.Trace { return ag.tr }
+
+// LeafMeans returns, for every atomic entity of the given resource type
+// under group that carries the metric, the entity name and its time-mean
+// over the slice. typ == "" accepts every type. Order follows declaration
+// order.
+func (ag *Aggregator) LeafMeans(group, typ, metric string, s TimeSlice) ([]string, []float64, error) {
+	leaves, err := ag.tree.LeavesUnder(group)
+	if err != nil {
+		return nil, nil, err
+	}
+	var names []string
+	var means []float64
+	for _, l := range leaves {
+		if typ != "" && ag.tree.Node(l).Type != typ {
+			continue
+		}
+		if !ag.tr.HasMetric(l, metric) {
+			continue
+		}
+		_, mean := TimeAggregate(ag.tr.Timeline(l, metric), s)
+		names = append(names, l)
+		means = append(means, mean)
+	}
+	return names, means, nil
+}
+
+// Stats computes the spatial aggregation of a metric over a group for the
+// slice. Only leaves of the given type carrying the metric participate
+// (typ == "" accepts all).
+func (ag *Aggregator) Stats(group, typ, metric string, s TimeSlice) (Stats, error) {
+	_, means, err := ag.LeafMeans(group, typ, metric, s)
+	if err != nil {
+		return Stats{}, err
+	}
+	return Summarise(means), nil
+}
+
+// Sum is shorthand for Stats(...).Sum: the group's aggregated value.
+func (ag *Aggregator) Sum(group, typ, metric string, s TimeSlice) (float64, error) {
+	st, err := ag.Stats(group, typ, metric, s)
+	return st.Sum, err
+}
+
+// Utilization returns the ratio of a group's aggregated usage metric to
+// its aggregated capacity metric over the slice (0 when the capacity sums
+// to 0). For hosts this is usage/power; for links traffic/bandwidth —
+// the fill proportion of the paper's node shapes.
+func (ag *Aggregator) Utilization(group, typ, usageMetric, capacityMetric string, s TimeSlice) (float64, error) {
+	use, err := ag.Stats(group, typ, usageMetric, s)
+	if err != nil {
+		return 0, err
+	}
+	cap, err := ag.Stats(group, typ, capacityMetric, s)
+	if err != nil {
+		return 0, err
+	}
+	if cap.Sum <= 0 {
+		return 0, nil
+	}
+	u := use.Sum / cap.Sum
+	if u < 0 {
+		u = 0
+	}
+	return u, nil
+}
+
+// Summarise computes the Stats of a sample of member values.
+func Summarise(values []float64) Stats {
+	st := Stats{Count: len(values)}
+	if st.Count == 0 {
+		return st
+	}
+	st.Min = math.Inf(1)
+	st.Max = math.Inf(-1)
+	for _, v := range values {
+		st.Sum += v
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+	}
+	st.Mean = st.Sum / float64(st.Count)
+	var ss float64
+	for _, v := range values {
+		d := v - st.Mean
+		ss += d * d
+	}
+	st.Variance = ss / float64(st.Count)
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		st.Median = sorted[mid]
+	} else {
+		st.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return st
+}

@@ -1,0 +1,220 @@
+package aggregation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"viva/internal/trace"
+)
+
+func near(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+		t.Errorf("%s = %g, want %g", what, got, want)
+	}
+}
+
+func TestTimeSlice(t *testing.T) {
+	s := TimeSlice{2, 5}
+	if s.Width() != 3 || !s.Valid() {
+		t.Error("slice arithmetic wrong")
+	}
+	if (TimeSlice{5, 5}).Valid() || (TimeSlice{6, 5}).Valid() {
+		t.Error("degenerate slice reported valid")
+	}
+}
+
+func TestTimeAggregate(t *testing.T) {
+	tl := trace.NewTimeline(trace.Point{T: 0, V: 10}, trace.Point{T: 5, V: 20})
+	integral, mean := TimeAggregate(tl, TimeSlice{0, 10})
+	near(t, "integral", integral, 150)
+	near(t, "mean", mean, 15)
+	integral, mean = TimeAggregate(tl, TimeSlice{3, 3})
+	near(t, "degenerate integral", integral, 0)
+	near(t, "degenerate mean", mean, 0)
+}
+
+func TestSummarise(t *testing.T) {
+	st := Summarise([]float64{1, 3, 5, 7})
+	if st.Count != 4 {
+		t.Errorf("Count = %d", st.Count)
+	}
+	near(t, "Sum", st.Sum, 16)
+	near(t, "Mean", st.Mean, 4)
+	near(t, "Min", st.Min, 1)
+	near(t, "Max", st.Max, 7)
+	near(t, "Median", st.Median, 4)
+	near(t, "Variance", st.Variance, 5)
+
+	odd := Summarise([]float64{9, 1, 5})
+	near(t, "odd Median", odd.Median, 5)
+
+	empty := Summarise(nil)
+	if empty.Count != 0 || empty.Sum != 0 {
+		t.Errorf("empty Summarise = %+v", empty)
+	}
+}
+
+func TestAggregatorStats(t *testing.T) {
+	tr := sampleTrace(t) // h1=100, h2=200, h3=300 flop/s constant power
+	ag, err := NewAggregator(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slice := TimeSlice{0, 10}
+
+	st, err := ag.Stats("grid", trace.TypeHost, trace.MetricPower, slice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != 3 {
+		t.Fatalf("Count = %d, want 3", st.Count)
+	}
+	near(t, "grid power sum", st.Sum, 600)
+	near(t, "grid power mean", st.Mean, 200)
+	near(t, "grid power median", st.Median, 200)
+
+	// Type filter: links carry no power metric.
+	st, err = ag.Stats("grid", trace.TypeLink, trace.MetricPower, slice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != 0 {
+		t.Errorf("link power Count = %d, want 0", st.Count)
+	}
+
+	// Subgroup.
+	sum, err := ag.Sum("c1", trace.TypeHost, trace.MetricPower, slice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "c1 power sum", sum, 300)
+
+	if _, err := ag.Stats("nope", "", trace.MetricPower, slice); err == nil {
+		t.Error("unknown group accepted")
+	}
+}
+
+func TestAggregatorLeafMeans(t *testing.T) {
+	tr := sampleTrace(t)
+	ag, _ := NewAggregator(tr)
+	names, means, err := ag.LeafMeans("site1", trace.TypeHost, trace.MetricPower, TimeSlice{0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || names[0] != "h1" || means[2] != 300 {
+		t.Errorf("LeafMeans = %v %v", names, means)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	tr := sampleTrace(t)
+	// h1 busy half the slice at full power.
+	if err := tr.Set(0, "h1", trace.MetricUsage, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Set(5, "h1", trace.MetricUsage, 0); err != nil {
+		t.Fatal(err)
+	}
+	ag, _ := NewAggregator(tr)
+	u, err := ag.Utilization("h1", trace.TypeHost, trace.MetricUsage, trace.MetricPower, TimeSlice{0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "h1 utilization", u, 0.5)
+	// Group utilization: 500 flops of work over 6000 capacity-seconds/10.
+	u, err = ag.Utilization("grid", trace.TypeHost, trace.MetricUsage, trace.MetricPower, TimeSlice{0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "grid utilization", u, 50.0/600.0)
+	// Zero capacity yields zero.
+	u, err = ag.Utilization("grid", trace.TypeLink, trace.MetricTraffic, trace.MetricBandwidth, TimeSlice{0, 10})
+	if err != nil || u != 0 {
+		t.Errorf("zero-capacity utilization = %g, %v", u, err)
+	}
+}
+
+// Conservation property (the heart of spatial aggregation): for an
+// additive metric, the sum over any valid cut equals the sum over the
+// leaves, whatever the cut and the slice.
+func TestCutConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		tr := trace.New()
+		tr.MustDeclareResource("g", trace.TypeGroup, "")
+		// Random 3-level hierarchy with random power timelines.
+		nSites := 1 + rr.Intn(3)
+		for s := 0; s < nSites; s++ {
+			site := string(rune('A' + s))
+			tr.MustDeclareResource(site, trace.TypeGroup, "g")
+			nHosts := 1 + rr.Intn(4)
+			for h := 0; h < nHosts; h++ {
+				host := site + string(rune('a'+h))
+				tr.MustDeclareResource(host, trace.TypeHost, site)
+				tt := 0.0
+				for k := 0; k < 1+rr.Intn(5); k++ {
+					tt += rr.Float64() * 3
+					if err := tr.Set(tt, host, trace.MetricPower, math.Floor(rr.Float64()*100)); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		tr.SetEnd(20)
+		ag, err := NewAggregator(tr)
+		if err != nil {
+			return false
+		}
+		slice := TimeSlice{rr.Float64() * 5, 5 + rr.Float64()*10}
+		leafSum, err := ag.Sum("g", trace.TypeHost, trace.MetricPower, slice)
+		if err != nil {
+			return false
+		}
+		// Random valid cut via random aggregations.
+		cut := NewLeafCut(ag.Tree())
+		names := ag.Tree().Names()
+		for i := 0; i < 5; i++ {
+			_ = cut.Aggregate(names[rr.Intn(len(names))])
+		}
+		if err := cut.Validate(); err != nil {
+			return false
+		}
+		cutSum := 0.0
+		for _, g := range cut.Active() {
+			s, err := ag.Sum(g, trace.TypeHost, trace.MetricPower, slice)
+			if err != nil {
+				return false
+			}
+			cutSum += s
+		}
+		return math.Abs(cutSum-leafSum) <= 1e-9*(1+math.Abs(leafSum))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Summarise bounds — Min <= Median <= Max and Min <= Mean <= Max.
+func TestSummariseBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		var values []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				values = append(values, v)
+			}
+		}
+		if len(values) == 0 {
+			return true
+		}
+		st := Summarise(values)
+		return st.Min <= st.Median && st.Median <= st.Max &&
+			st.Min <= st.Mean+1e-9 && st.Mean <= st.Max+1e-9 &&
+			st.Variance >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

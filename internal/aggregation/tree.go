@@ -1,0 +1,171 @@
+package aggregation
+
+import (
+	"fmt"
+	"sort"
+
+	"viva/internal/trace"
+)
+
+// Tree is the containment hierarchy of a trace's resources, indexed for
+// aggregation queries.
+type Tree struct {
+	nodes    map[string]*TreeNode
+	order    []string // declaration order
+	roots    []string
+	maxDepth int
+}
+
+// TreeNode is one resource in the hierarchy.
+type TreeNode struct {
+	Name     string
+	Type     string
+	Parent   string
+	Children []string
+	Depth    int // root = 0
+}
+
+// IsLeaf reports whether the node has no children (hosts, links, and any
+// group that happens to be empty).
+func (n *TreeNode) IsLeaf() bool { return len(n.Children) == 0 }
+
+// IsEntity reports whether the node is an atomic monitored entity for
+// aggregation purposes: any non-group node (host, link, router, …) or a
+// childless group. Entities may still have children in the raw hierarchy —
+// behavioural "process" resources live under their host — but spatial
+// aggregation never descends into an entity: the host is the finest
+// platform grain the paper's views partition.
+func (n *TreeNode) IsEntity() bool {
+	return n.Type != trace.TypeGroup || n.IsLeaf()
+}
+
+// BuildTree derives the hierarchy from the trace's resource declarations.
+func BuildTree(tr *trace.Trace) (*Tree, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Tree{nodes: make(map[string]*TreeNode)}
+	for _, r := range tr.Resources() {
+		t.nodes[r.Name] = &TreeNode{Name: r.Name, Type: r.Type, Parent: r.Parent}
+		t.order = append(t.order, r.Name)
+	}
+	for _, name := range t.order {
+		n := t.nodes[name]
+		if n.Parent == "" {
+			t.roots = append(t.roots, name)
+			continue
+		}
+		p := t.nodes[n.Parent]
+		p.Children = append(p.Children, name)
+	}
+	// Depths, top-down. Declaration order guarantees parents come first.
+	for _, name := range t.order {
+		n := t.nodes[name]
+		if n.Parent != "" {
+			n.Depth = t.nodes[n.Parent].Depth + 1
+		}
+		if n.Depth > t.maxDepth {
+			t.maxDepth = n.Depth
+		}
+	}
+	return t, nil
+}
+
+// MustBuildTree is BuildTree panicking on error.
+func MustBuildTree(tr *trace.Trace) *Tree {
+	t, err := BuildTree(tr)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Node returns the named node, or nil.
+func (t *Tree) Node(name string) *TreeNode { return t.nodes[name] }
+
+// Roots returns the root names in declaration order.
+func (t *Tree) Roots() []string {
+	out := make([]string, len(t.roots))
+	copy(out, t.roots)
+	return out
+}
+
+// MaxDepth returns the depth of the deepest node.
+func (t *Tree) MaxDepth() int { return t.maxDepth }
+
+// Len returns the number of nodes.
+func (t *Tree) Len() int { return len(t.order) }
+
+// Names returns every node name in declaration order.
+func (t *Tree) Names() []string {
+	out := make([]string, len(t.order))
+	copy(out, t.order)
+	return out
+}
+
+// LeavesUnder returns the atomic entities contained in (or equal to) the
+// named node, in declaration order. Descent stops at entities: a host's
+// behavioural children (processes) are not returned.
+func (t *Tree) LeavesUnder(name string) ([]string, error) {
+	n, ok := t.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("aggregation: unknown node %q", name)
+	}
+	var out []string
+	var walk func(*TreeNode)
+	walk = func(n *TreeNode) {
+		if n.IsEntity() {
+			out = append(out, n.Name)
+			return
+		}
+		for _, c := range n.Children {
+			walk(t.nodes[c])
+		}
+	}
+	walk(n)
+	return out, nil
+}
+
+// IsAncestorOrSelf reports whether a is b or one of b's ancestors.
+func (t *Tree) IsAncestorOrSelf(a, b string) bool {
+	for cur := b; cur != ""; cur = t.nodes[cur].Parent {
+		if cur == a {
+			return true
+		}
+		if _, ok := t.nodes[cur]; !ok {
+			return false
+		}
+	}
+	return false
+}
+
+// AncestorAtDepth returns the ancestor of name at the given depth (or name
+// itself if its depth is <= depth).
+func (t *Tree) AncestorAtDepth(name string, depth int) (string, error) {
+	n, ok := t.nodes[name]
+	if !ok {
+		return "", fmt.Errorf("aggregation: unknown node %q", name)
+	}
+	for n.Depth > depth && n.Parent != "" {
+		n = t.nodes[n.Parent]
+	}
+	return n.Name, nil
+}
+
+// TypesUnder returns the sorted set of leaf resource types under a node.
+func (t *Tree) TypesUnder(name string) ([]string, error) {
+	leaves, err := t.LeavesUnder(name)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	for _, l := range leaves {
+		seen[t.nodes[l].Type] = true
+	}
+	out := make([]string, 0, len(seen))
+	for typ := range seen {
+		out = append(out, typ)
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,201 @@
+package aggregation
+
+import (
+	"testing"
+
+	"viva/internal/platform"
+	"viva/internal/trace"
+)
+
+// sampleTrace: grid > {site1 > {c1 > {h1 h2, l1}, c2 > {h3, l2}}, l0}
+func sampleTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr := trace.New()
+	tr.MustDeclareResource("grid", trace.TypeGroup, "")
+	tr.MustDeclareResource("site1", trace.TypeGroup, "grid")
+	tr.MustDeclareResource("c1", trace.TypeGroup, "site1")
+	tr.MustDeclareResource("c2", trace.TypeGroup, "site1")
+	tr.MustDeclareResource("h1", trace.TypeHost, "c1")
+	tr.MustDeclareResource("h2", trace.TypeHost, "c1")
+	tr.MustDeclareResource("l1", trace.TypeLink, "c1")
+	tr.MustDeclareResource("h3", trace.TypeHost, "c2")
+	tr.MustDeclareResource("l2", trace.TypeLink, "c2")
+	tr.MustDeclareResource("l0", trace.TypeLink, "grid")
+	for i, h := range []string{"h1", "h2", "h3"} {
+		if err := tr.Set(0, h, trace.MetricPower, float64(100*(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.MustDeclareEdge("h1", "l1")
+	tr.MustDeclareEdge("h2", "l1")
+	tr.MustDeclareEdge("l1", "l0")
+	tr.MustDeclareEdge("h3", "l2")
+	tr.MustDeclareEdge("l2", "l0")
+	tr.SetEnd(10)
+	return tr
+}
+
+func TestBuildTree(t *testing.T) {
+	tree := MustBuildTree(sampleTrace(t))
+	if tree.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", tree.Len())
+	}
+	if got := tree.Roots(); len(got) != 1 || got[0] != "grid" {
+		t.Fatalf("Roots = %v", got)
+	}
+	if tree.MaxDepth() != 3 {
+		t.Errorf("MaxDepth = %d, want 3", tree.MaxDepth())
+	}
+	n := tree.Node("c1")
+	if n == nil || n.Depth != 2 || len(n.Children) != 3 {
+		t.Errorf("c1 node = %+v", n)
+	}
+	if !tree.Node("h1").IsLeaf() || tree.Node("c1").IsLeaf() {
+		t.Error("IsLeaf wrong")
+	}
+}
+
+func TestLeavesUnder(t *testing.T) {
+	tree := MustBuildTree(sampleTrace(t))
+	leaves, err := tree.LeavesUnder("site1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"h1", "h2", "l1", "h3", "l2"}
+	if len(leaves) != len(want) {
+		t.Fatalf("LeavesUnder = %v, want %v", leaves, want)
+	}
+	for i := range want {
+		if leaves[i] != want[i] {
+			t.Fatalf("LeavesUnder = %v, want %v", leaves, want)
+		}
+	}
+	// A leaf is its own leaf set.
+	self, err := tree.LeavesUnder("h1")
+	if err != nil || len(self) != 1 || self[0] != "h1" {
+		t.Errorf("LeavesUnder(h1) = %v, %v", self, err)
+	}
+	if _, err := tree.LeavesUnder("nope"); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+func TestAncestry(t *testing.T) {
+	tree := MustBuildTree(sampleTrace(t))
+	if !tree.IsAncestorOrSelf("grid", "h1") {
+		t.Error("grid should be ancestor of h1")
+	}
+	if !tree.IsAncestorOrSelf("h1", "h1") {
+		t.Error("self should count")
+	}
+	if tree.IsAncestorOrSelf("c2", "h1") {
+		t.Error("c2 is not an ancestor of h1")
+	}
+	got, err := tree.AncestorAtDepth("h1", 1)
+	if err != nil || got != "site1" {
+		t.Errorf("AncestorAtDepth(h1,1) = %q, %v", got, err)
+	}
+	got, _ = tree.AncestorAtDepth("h1", 9)
+	if got != "h1" {
+		t.Errorf("AncestorAtDepth(h1,9) = %q, want h1", got)
+	}
+	if _, err := tree.AncestorAtDepth("nope", 0); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+func TestTypesUnder(t *testing.T) {
+	tree := MustBuildTree(sampleTrace(t))
+	types, err := tree.TypesUnder("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(types) != 2 || types[0] != trace.TypeHost || types[1] != trace.TypeLink {
+		t.Errorf("TypesUnder = %v", types)
+	}
+}
+
+func TestBuildTreeFromPlatform(t *testing.T) {
+	tr := trace.New()
+	platform.Grid5000().DeclareInto(tr)
+	tree := MustBuildTree(tr)
+	// grid(0) site(1) cluster(2) host(3)
+	if tree.MaxDepth() != 3 {
+		t.Errorf("Grid5000 MaxDepth = %d, want 3", tree.MaxDepth())
+	}
+	leaves, err := tree.LeavesUnder("grid5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := 0
+	for _, l := range leaves {
+		if tree.Node(l).Type == trace.TypeHost {
+			hosts++
+		}
+	}
+	if hosts != platform.Grid5000Hosts {
+		t.Errorf("leaf hosts = %d, want %d", hosts, platform.Grid5000Hosts)
+	}
+}
+
+// Hosts stay atomic entities even when behavioural "process" resources
+// live underneath them (as the simulator's state tracing declares them):
+// cuts and stats must not descend into a host.
+func TestEntitiesWithProcessChildren(t *testing.T) {
+	tr := sampleTrace(t)
+	tr.MustDeclareResource("proc0", "process", "h1")
+	tr.MustDeclareResource("proc1", "process", "h1")
+	tree := MustBuildTree(tr)
+
+	if !tree.Node("h1").IsEntity() || tree.Node("h1").IsLeaf() {
+		t.Error("host with processes must be a non-leaf entity")
+	}
+	leaves, err := tree.LeavesUnder("grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range leaves {
+		if l == "proc0" || l == "proc1" {
+			t.Error("LeavesUnder descended into a host")
+		}
+	}
+	// Cuts still partition the same six entities.
+	cut := NewLeafCut(tree)
+	if err := cut.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cut.Size() != 6 {
+		t.Errorf("cut size = %d, want 6", cut.Size())
+	}
+	if cut.IsActive("proc0") {
+		t.Error("process active in cut")
+	}
+	if !cut.IsActive("h1") {
+		t.Error("host with processes not active in cut")
+	}
+	// Disaggregating a host into its processes is refused.
+	if err := cut.Disaggregate("h1"); err == nil {
+		t.Error("host disaggregated into processes")
+	}
+	// Stats still find the host metric.
+	ag, err := NewAggregator(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ag.Stats("grid", trace.TypeHost, trace.MetricPower, TimeSlice{Start: 0, End: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != 3 || st.Sum != 600 {
+		t.Errorf("stats with processes = %+v", st)
+	}
+}
+
+func TestBuildTreeRejectsInvalid(t *testing.T) {
+	tr := sampleTrace(t)
+	// Poke a cycle in via Validate's failure path.
+	tr.Resource("grid").Parent = "h1"
+	if _, err := BuildTree(tr); err == nil {
+		t.Error("invalid hierarchy accepted")
+	}
+}

@@ -1,0 +1,186 @@
+// Package anomaly implements multi-scale anomaly detection on aggregated
+// traces, after Schnorr, Legrand and Vincent's companion paper ("Detection
+// and Analysis of Resource Usage Anomalies in Large Distributed Systems
+// through Multi-scale Visualization", CCPE 2012) that the visualization
+// paper cites as the payoff of free time-slice navigation: aggregated
+// views attenuate anomalies, so the detector descends the hierarchy only
+// where a group's internal dispersion says something is hiding, and
+// reports the outlying entities it finds at the bottom.
+package anomaly
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"viva/internal/aggregation"
+)
+
+// Options tune the search.
+type Options struct {
+	// DispersionThreshold is the relative member range ((max−min)/|mean|)
+	// above which a group is considered suspicious and descended into.
+	// The range is the right descent signal because, unlike the standard
+	// deviation, it does not dilute as groups grow — a single straggler
+	// among thousands still stretches it (aggregation "attenuates the
+	// behavior", as the paper warns, but not the extremes).
+	DispersionThreshold float64
+	// ZThreshold is the |z-score| above which a member is reported as an
+	// outlier.
+	ZThreshold float64
+	// MinMembers skips dispersion checks on groups smaller than this
+	// (dispersion of two members is not meaningful).
+	MinMembers int
+}
+
+// DefaultOptions: descend above a 50% relative range, flag beyond 2 sigma.
+func DefaultOptions() Options {
+	return Options{
+		DispersionThreshold: 0.5,
+		ZThreshold:          2,
+		MinMembers:          3,
+	}
+}
+
+// Finding is one outlying entity.
+type Finding struct {
+	Entity string
+	Group  string  // the group whose statistics flagged it
+	Value  float64 // the entity's time-mean over the slice
+	Mean   float64 // its group's member mean
+	Stddev float64
+	Z      float64 // (Value-Mean)/Stddev, the outlier score
+}
+
+// Report is the outcome of a multi-scale search.
+type Report struct {
+	Findings []Finding
+	// Visited lists the groups whose statistics were computed, in visit
+	// order — the "cost" of the search, compared to scanning every entity.
+	Visited []string
+	// EntitiesScanned counts the individual entities whose values were
+	// examined (only inside suspicious groups).
+	EntitiesScanned int
+}
+
+// Detect runs the multi-scale search from a hierarchy root: group
+// statistics guide the descent (cheap), individual entities are only
+// examined inside groups whose dispersion crosses the threshold.
+func Detect(ag *aggregation.Aggregator, root, typ, metric string, slice aggregation.TimeSlice, opts Options) (*Report, error) {
+	tree := ag.Tree()
+	if tree.Node(root) == nil {
+		return nil, fmt.Errorf("anomaly: unknown root %q", root)
+	}
+	if opts.DispersionThreshold <= 0 {
+		opts.DispersionThreshold = DefaultOptions().DispersionThreshold
+	}
+	if opts.ZThreshold <= 0 {
+		opts.ZThreshold = DefaultOptions().ZThreshold
+	}
+	if opts.MinMembers <= 0 {
+		opts.MinMembers = DefaultOptions().MinMembers
+	}
+	rep := &Report{}
+	if err := detect(ag, root, typ, metric, slice, opts, rep); err != nil {
+		return nil, err
+	}
+	sort.Slice(rep.Findings, func(i, j int) bool {
+		a, b := rep.Findings[i], rep.Findings[j]
+		if math.Abs(a.Z) != math.Abs(b.Z) {
+			return math.Abs(a.Z) > math.Abs(b.Z)
+		}
+		return a.Entity < b.Entity
+	})
+	return rep, nil
+}
+
+func detect(ag *aggregation.Aggregator, group, typ, metric string, slice aggregation.TimeSlice, opts Options, rep *Report) error {
+	st, err := ag.Stats(group, typ, metric, slice)
+	if err != nil {
+		return err
+	}
+	rep.Visited = append(rep.Visited, group)
+	if st.Count < opts.MinMembers {
+		return nil
+	}
+	stddev := math.Sqrt(st.Variance)
+	spread := st.Max - st.Min
+	if st.Mean == 0 {
+		if spread == 0 {
+			return nil // all identical (all zero)
+		}
+	} else if spread/math.Abs(st.Mean) < opts.DispersionThreshold {
+		return nil // homogeneous group: the aggregate is trustworthy
+	}
+
+	tree := ag.Tree()
+	node := tree.Node(group)
+	// Descend into sub-groups when they exist; examine entities directly
+	// otherwise.
+	descended := false
+	for _, child := range node.Children {
+		cn := tree.Node(child)
+		if cn.IsEntity() {
+			continue
+		}
+		// Only descend into children that contain the metric at all.
+		cst, err := ag.Stats(child, typ, metric, slice)
+		if err != nil {
+			return err
+		}
+		if cst.Count == 0 {
+			continue
+		}
+		descended = true
+		if err := detect(ag, child, typ, metric, slice, opts, rep); err != nil {
+			return err
+		}
+	}
+	if descended {
+		return nil
+	}
+	// Leaf-level group: score its members.
+	names, means, err := ag.LeafMeans(group, typ, metric, slice)
+	if err != nil {
+		return err
+	}
+	rep.EntitiesScanned += len(names)
+	if stddev == 0 {
+		return nil
+	}
+	for i, name := range names {
+		z := (means[i] - st.Mean) / stddev
+		if math.Abs(z) >= opts.ZThreshold {
+			rep.Findings = append(rep.Findings, Finding{
+				Entity: name, Group: group,
+				Value: means[i], Mean: st.Mean, Stddev: stddev, Z: z,
+			})
+		}
+	}
+	return nil
+}
+
+// ScanAll is the brute-force baseline: score every entity under root
+// against the global statistics, ignoring the hierarchy. It finds the
+// same gross outliers but touches every entity — the comparison that
+// motivates the multi-scale search.
+func ScanAll(ag *aggregation.Aggregator, root, typ, metric string, slice aggregation.TimeSlice, zThreshold float64) ([]Finding, int, error) {
+	names, means, err := ag.LeafMeans(root, typ, metric, slice)
+	if err != nil {
+		return nil, 0, err
+	}
+	st := aggregation.Summarise(means)
+	stddev := math.Sqrt(st.Variance)
+	var out []Finding
+	if stddev == 0 {
+		return nil, len(names), nil
+	}
+	for i, name := range names {
+		z := (means[i] - st.Mean) / stddev
+		if math.Abs(z) >= zThreshold {
+			out = append(out, Finding{Entity: name, Group: root, Value: means[i], Mean: st.Mean, Stddev: stddev, Z: z})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return math.Abs(out[i].Z) > math.Abs(out[j].Z) })
+	return out, len(names), nil
+}

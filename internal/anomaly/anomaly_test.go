@@ -1,0 +1,177 @@
+package anomaly
+
+import (
+	"testing"
+
+	"viva/internal/aggregation"
+	"viva/internal/trace"
+)
+
+// platformTrace builds a 4-cluster hierarchy where every host works at 90
+// except one straggler in c3 at 10.
+func platformTrace(t *testing.T, stragglers map[string]float64) *trace.Trace {
+	t.Helper()
+	tr := trace.New()
+	tr.MustDeclareResource("grid", trace.TypeGroup, "")
+	for _, c := range []string{"c1", "c2", "c3", "c4"} {
+		tr.MustDeclareResource(c, trace.TypeGroup, "grid")
+		for i := 1; i <= 8; i++ {
+			h := c + "-" + string(rune('0'+i))
+			tr.MustDeclareResource(h, trace.TypeHost, c)
+			usage := 90.0
+			if v, ok := stragglers[h]; ok {
+				usage = v
+			}
+			if err := tr.Set(0, h, trace.MetricPower, 100); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Set(0, h, trace.MetricUsage, usage); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tr.SetEnd(10)
+	return tr
+}
+
+func slice() aggregation.TimeSlice { return aggregation.TimeSlice{Start: 0, End: 10} }
+
+func agOf(t *testing.T, tr *trace.Trace) *aggregation.Aggregator {
+	t.Helper()
+	ag, err := aggregation.NewAggregator(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ag
+}
+
+func TestDetectFindsStraggler(t *testing.T) {
+	tr := platformTrace(t, map[string]float64{"c3-5": 10})
+	rep, err := Detect(agOf(t, tr), "grid", trace.TypeHost, trace.MetricUsage, slice(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 1 {
+		t.Fatalf("findings = %+v", rep.Findings)
+	}
+	f := rep.Findings[0]
+	if f.Entity != "c3-5" || f.Group != "c3" {
+		t.Errorf("finding = %+v", f)
+	}
+	if f.Z > -1 {
+		t.Errorf("straggler z-score = %g, want strongly negative", f.Z)
+	}
+	// Multi-scale efficiency: only c3's 8 entities were scanned.
+	if rep.EntitiesScanned != 8 {
+		t.Errorf("entities scanned = %d, want 8", rep.EntitiesScanned)
+	}
+	// Visited: grid + the four clusters at most.
+	if len(rep.Visited) > 5 {
+		t.Errorf("visited = %v", rep.Visited)
+	}
+}
+
+func TestDetectCleanPlatform(t *testing.T) {
+	tr := platformTrace(t, nil)
+	rep, err := Detect(agOf(t, tr), "grid", trace.TypeHost, trace.MetricUsage, slice(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 0 {
+		t.Errorf("false positives: %+v", rep.Findings)
+	}
+	// A homogeneous platform is dismissed at the root: nothing scanned.
+	if rep.EntitiesScanned != 0 {
+		t.Errorf("entities scanned = %d, want 0", rep.EntitiesScanned)
+	}
+	if len(rep.Visited) != 1 {
+		t.Errorf("visited = %v, want just the root", rep.Visited)
+	}
+}
+
+func TestDetectMultipleAnomalies(t *testing.T) {
+	tr := platformTrace(t, map[string]float64{"c1-2": 5, "c4-7": 3})
+	rep, err := Detect(agOf(t, tr), "grid", trace.TypeHost, trace.MetricUsage, slice(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, f := range rep.Findings {
+		found[f.Entity] = true
+	}
+	if !found["c1-2"] || !found["c4-7"] {
+		t.Errorf("findings = %+v", rep.Findings)
+	}
+	// c2 and c3 are clean: their entities were never scanned.
+	if rep.EntitiesScanned != 16 {
+		t.Errorf("entities scanned = %d, want 16", rep.EntitiesScanned)
+	}
+	// Findings sorted by |z| descending.
+	for i := 1; i < len(rep.Findings); i++ {
+		a, b := rep.Findings[i-1].Z, rep.Findings[i].Z
+		if abs(a) < abs(b) {
+			t.Error("findings not sorted by severity")
+		}
+	}
+}
+
+func TestDetectErrorsAndDefaults(t *testing.T) {
+	tr := platformTrace(t, nil)
+	if _, err := Detect(agOf(t, tr), "ghost", trace.TypeHost, trace.MetricUsage, slice(), Options{}); err == nil {
+		t.Error("unknown root accepted")
+	}
+	// Zero-valued options take defaults and still work.
+	if _, err := Detect(agOf(t, tr), "grid", trace.TypeHost, trace.MetricUsage, slice(), Options{}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScanAllBaseline(t *testing.T) {
+	tr := platformTrace(t, map[string]float64{"c3-5": 10})
+	findings, scanned, err := ScanAll(agOf(t, tr), "grid", trace.TypeHost, trace.MetricUsage, slice(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scanned != 32 {
+		t.Errorf("baseline scanned = %d, want all 32", scanned)
+	}
+	if len(findings) != 1 || findings[0].Entity != "c3-5" {
+		t.Errorf("baseline findings = %+v", findings)
+	}
+	// The multi-scale search finds the same anomaly with a quarter of the
+	// entity work — the companion paper's selling point.
+	rep, err := Detect(agOf(t, tr), "grid", trace.TypeHost, trace.MetricUsage, slice(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EntitiesScanned >= scanned {
+		t.Errorf("multi-scale scanned %d, not fewer than baseline %d", rep.EntitiesScanned, scanned)
+	}
+}
+
+func TestAllZeroGroupIgnored(t *testing.T) {
+	tr := trace.New()
+	tr.MustDeclareResource("g", trace.TypeGroup, "")
+	for i := 0; i < 4; i++ {
+		h := "h" + string(rune('0'+i))
+		tr.MustDeclareResource(h, trace.TypeHost, "g")
+		if err := tr.Set(0, h, trace.MetricUsage, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.SetEnd(1)
+	rep, err := Detect(agOf(t, tr), "g", trace.TypeHost, trace.MetricUsage, aggregation.TimeSlice{Start: 0, End: 1}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 0 {
+		t.Errorf("all-zero group produced findings: %+v", rep.Findings)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

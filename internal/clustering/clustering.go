@@ -1,0 +1,203 @@
+// Package clustering groups monitored entities by behavioural similarity,
+// the technique the paper's related work attributes to Vampir ("grouping
+// processes behavior by similarity is used … to decrease the number of
+// processes listed in the time-space view") and discusses as one way the
+// analyst may choose aggregation neighbourhoods ("depending if the analyst
+// wants to group similar entities to focus on outliers").
+//
+// Entities become fixed-length profiles (their metric time series sampled
+// over equal bins), profiles are clustered with deterministic k-means, and
+// the result can be materialised as a new trace whose hierarchy follows
+// behaviour instead of topology — every multi-scale tool of the library
+// (cuts, stats, treemaps, the topology view itself) then works on
+// behavioural groups unchanged.
+package clustering
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"viva/internal/trace"
+)
+
+// Profiles samples, for every resource of the given type carrying the
+// metric, its time-mean over `bins` equal sub-windows of [a, b]. Rows are
+// returned in resource declaration order.
+func Profiles(tr *trace.Trace, typ, metric string, a, b float64, bins int) ([]string, [][]float64, error) {
+	if bins <= 0 {
+		return nil, nil, fmt.Errorf("clustering: bins must be positive")
+	}
+	if b <= a {
+		return nil, nil, fmt.Errorf("clustering: empty window [%g, %g]", a, b)
+	}
+	var names []string
+	var vectors [][]float64
+	width := (b - a) / float64(bins)
+	for _, r := range tr.ResourcesOfType(typ) {
+		if !tr.HasMetric(r.Name, metric) {
+			continue
+		}
+		tl := tr.Timeline(r.Name, metric)
+		vec := make([]float64, bins)
+		for i := 0; i < bins; i++ {
+			lo := a + float64(i)*width
+			vec[i] = tl.Mean(lo, lo+width)
+		}
+		names = append(names, r.Name)
+		vectors = append(vectors, vec)
+	}
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("clustering: no %q resources carry metric %q", typ, metric)
+	}
+	return names, vectors, nil
+}
+
+// KMeans clusters the vectors into k groups and returns each vector's
+// cluster index. Initialisation is deterministic (farthest-point seeding
+// from the first vector), so identical inputs give identical clusterings.
+func KMeans(vectors [][]float64, k, maxIters int) ([]int, error) {
+	n := len(vectors)
+	if n == 0 {
+		return nil, fmt.Errorf("clustering: no vectors")
+	}
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("clustering: k=%d out of range (n=%d)", k, n)
+	}
+	dim := len(vectors[0])
+	for _, v := range vectors {
+		if len(v) != dim {
+			return nil, fmt.Errorf("clustering: inconsistent vector lengths")
+		}
+	}
+
+	// Farthest-point initial centroids.
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, append([]float64(nil), vectors[0]...))
+	for len(centroids) < k {
+		best, bestD := 0, -1.0
+		for i, v := range vectors {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if dd := dist2(v, c); dd < d {
+					d = dd
+				}
+			}
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), vectors[best]...))
+	}
+
+	assign := make([]int, n)
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i, v := range vectors {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := dist2(v, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids; empty clusters keep their previous centre.
+		counts := make([]int, len(centroids))
+		sums := make([][]float64, len(centroids))
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, v := range vectors {
+			counts[assign[i]]++
+			for d, x := range v {
+				sums[assign[i]][d] += x
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue
+			}
+			for d := range centroids[c] {
+				centroids[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+	}
+	return assign, nil
+}
+
+func dist2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Groups turns an assignment into name lists, ordered by cluster index
+// (clusters renumbered by first appearance for stability).
+func Groups(names []string, assign []int) [][]string {
+	renumber := map[int]int{}
+	var order []int
+	for _, a := range assign {
+		if _, ok := renumber[a]; !ok {
+			renumber[a] = len(order)
+			order = append(order, a)
+		}
+	}
+	out := make([][]string, len(order))
+	for i, name := range names {
+		g := renumber[assign[i]]
+		out[g] = append(out[g], name)
+	}
+	return out
+}
+
+// Regroup builds a new trace whose hierarchy follows behaviour: a root,
+// one group per cluster, and the clustered resources (with all their
+// metric timelines copied) underneath. The result plugs into the same
+// aggregation/visualization pipeline as topological traces, giving the
+// analyst the similarity-grouped view.
+func Regroup(tr *trace.Trace, typ, metric string, a, b float64, bins, k int) (*trace.Trace, [][]string, error) {
+	names, vectors, err := Profiles(tr, typ, metric, a, b, bins)
+	if err != nil {
+		return nil, nil, err
+	}
+	if k > len(names) {
+		k = len(names)
+	}
+	assign, err := KMeans(vectors, k, 100)
+	if err != nil {
+		return nil, nil, err
+	}
+	groups := Groups(names, assign)
+
+	out := trace.New()
+	out.MustDeclareResource("behavior", trace.TypeGroup, "")
+	for g, members := range groups {
+		gname := fmt.Sprintf("behavior-%d", g)
+		out.MustDeclareResource(gname, trace.TypeGroup, "behavior")
+		sorted := append([]string(nil), members...)
+		sort.Strings(sorted)
+		for _, m := range sorted {
+			out.MustDeclareResource(m, typ, gname)
+			for _, met := range tr.MetricsOf(m) {
+				for _, p := range tr.Timeline(m, met).Points() {
+					if err := out.Set(p.T, m, met, p.V); err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+		}
+	}
+	_, end := tr.Window()
+	out.SetEnd(end)
+	return out, groups, nil
+}

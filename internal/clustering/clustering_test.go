@@ -1,0 +1,190 @@
+package clustering
+
+import (
+	"testing"
+
+	"viva/internal/aggregation"
+	"viva/internal/trace"
+)
+
+// twoBehaviours builds a trace where hosts a* are busy early and hosts b*
+// are busy late — two clearly separable behaviours — plus one straggler
+// that never works.
+func twoBehaviours(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr := trace.New()
+	tr.MustDeclareResource("g", trace.TypeGroup, "")
+	set := func(tt float64, r, m string, v float64) {
+		t.Helper()
+		if err := tr.Set(tt, r, m, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, h := range []string{"a1", "a2", "a3"} {
+		tr.MustDeclareResource(h, trace.TypeHost, "g")
+		set(0, h, trace.MetricPower, 100)
+		set(0, h, trace.MetricUsage, 90)
+		set(5, h, trace.MetricUsage, 0)
+	}
+	for _, h := range []string{"b1", "b2", "b3"} {
+		tr.MustDeclareResource(h, trace.TypeHost, "g")
+		set(0, h, trace.MetricPower, 100)
+		set(0, h, trace.MetricUsage, 0)
+		set(5, h, trace.MetricUsage, 90)
+	}
+	tr.MustDeclareResource("idle", trace.TypeHost, "g")
+	set(0, "idle", trace.MetricPower, 100)
+	set(0, "idle", trace.MetricUsage, 0)
+	tr.SetEnd(10)
+	return tr
+}
+
+func TestProfiles(t *testing.T) {
+	tr := twoBehaviours(t)
+	names, vectors, err := Profiles(tr, trace.TypeHost, trace.MetricUsage, 0, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 7 {
+		t.Fatalf("names = %v", names)
+	}
+	// a1: busy then idle.
+	if vectors[0][0] != 90 || vectors[0][1] != 0 {
+		t.Errorf("a1 profile = %v", vectors[0])
+	}
+	// b1: idle then busy (b1 is the 4th declared).
+	if vectors[3][0] != 0 || vectors[3][1] != 90 {
+		t.Errorf("b1 profile = %v", vectors[3])
+	}
+}
+
+func TestProfilesErrors(t *testing.T) {
+	tr := twoBehaviours(t)
+	if _, _, err := Profiles(tr, trace.TypeHost, trace.MetricUsage, 0, 10, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, _, err := Profiles(tr, trace.TypeHost, trace.MetricUsage, 5, 5, 2); err == nil {
+		t.Error("empty window accepted")
+	}
+	if _, _, err := Profiles(tr, trace.TypeHost, "nope", 0, 10, 2); err == nil {
+		t.Error("missing metric accepted")
+	}
+}
+
+func TestKMeansSeparatesBehaviours(t *testing.T) {
+	tr := twoBehaviours(t)
+	names, vectors, err := Profiles(tr, trace.TypeHost, trace.MetricUsage, 0, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := KMeans(vectors, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := map[string]int{}
+	for i, n := range names {
+		cluster[n] = assign[i]
+	}
+	if cluster["a1"] != cluster["a2"] || cluster["a2"] != cluster["a3"] {
+		t.Errorf("early workers split: %v", cluster)
+	}
+	if cluster["b1"] != cluster["b2"] || cluster["b2"] != cluster["b3"] {
+		t.Errorf("late workers split: %v", cluster)
+	}
+	if cluster["a1"] == cluster["b1"] {
+		t.Error("distinct behaviours merged")
+	}
+	if cluster["idle"] == cluster["a1"] || cluster["idle"] == cluster["b1"] {
+		t.Error("idle host not isolated")
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, 1, 10); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := KMeans([][]float64{{1}}, 2, 10); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := KMeans([][]float64{{1}, {1, 2}}, 1, 10); err == nil {
+		t.Error("ragged vectors accepted")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	tr := twoBehaviours(t)
+	_, vectors, err := Profiles(tr, trace.TypeHost, trace.MetricUsage, 0, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := KMeans(vectors, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(vectors, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("k-means not deterministic")
+		}
+	}
+}
+
+func TestGroups(t *testing.T) {
+	groups := Groups([]string{"x", "y", "z"}, []int{2, 0, 2})
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if groups[0][0] != "x" || groups[0][1] != "z" || groups[1][0] != "y" {
+		t.Errorf("groups = %v", groups)
+	}
+}
+
+func TestRegroupFeedsAggregation(t *testing.T) {
+	tr := twoBehaviours(t)
+	re, groups, err := Regroup(tr, trace.TypeHost, trace.MetricUsage, 0, 10, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if err := re.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The behavioural trace aggregates like any other: total power is
+	// conserved across the new hierarchy.
+	ag, err := aggregation.NewAggregator(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slice := aggregation.TimeSlice{Start: 0, End: 10}
+	total, err := ag.Sum("behavior", trace.TypeHost, trace.MetricPower, slice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 700 {
+		t.Errorf("total power = %g, want 700", total)
+	}
+	// Per-group usage means reflect the behaviours: the idle host's group
+	// aggregates to 0 usage.
+	foundIdleGroup := false
+	for _, name := range ag.Tree().Node("behavior").Children {
+		st, err := ag.Stats(name, trace.TypeHost, trace.MetricUsage, slice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Count == 1 && st.Sum == 0 {
+			foundIdleGroup = true
+		}
+	}
+	if !foundIdleGroup {
+		t.Error("idle host not isolated in its own zero-usage group")
+	}
+	// k larger than the population clamps.
+	if _, groups, err := Regroup(tr, trace.TypeHost, trace.MetricUsage, 0, 10, 2, 99); err != nil || len(groups) == 0 {
+		t.Errorf("clamped regroup failed: %v %v", groups, err)
+	}
+}

@@ -1,0 +1,340 @@
+// Package core is the public face of the library: the interactive
+// topology-based view of the paper. A View ties together a trace, the
+// multi-scale aggregation state (spatial cut × time slice), the visual
+// mapping and the dynamic force-directed layout, and exposes exactly the
+// operations the paper gives the analyst:
+//
+//   - choose and shift the time slice (temporal aggregation, Figure 2,
+//     and the animation of Figure 9);
+//   - aggregate and disaggregate groups of nodes, or jump to a whole
+//     hierarchy level (spatial aggregation, Figures 3 and 8);
+//   - tune the per-type size scales (Figure 4) and the charge / spring /
+//     damping parameters of the layout (Figure 5);
+//   - drag nodes, with the neighbourhood following through the springs.
+//
+// Aggregation transitions are smooth by construction: an aggregate node
+// appears at the charge-weighted centroid of the nodes it replaces, and
+// disaggregated children scatter deterministically around their parent's
+// last position, so the analyst never loses the picture.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"viva/internal/aggregation"
+	"viva/internal/layout"
+	"viva/internal/trace"
+	"viva/internal/vizgraph"
+)
+
+// View is an interactive topology-based visualization session over one
+// trace. It is not safe for concurrent use; wrap it (as internal/server
+// does) when sharing.
+type View struct {
+	tr      *trace.Trace
+	ag      *aggregation.Aggregator
+	cut     *aggregation.Cut
+	mapping vizgraph.Mapping
+	slice   aggregation.TimeSlice
+	lay     *layout.Layout
+	algo    layout.Algorithm
+
+	graph *vizgraph.Graph
+	dirty bool
+}
+
+// NewView opens a view on a trace: leaf-level cut, default mapping, the
+// whole observation window as time slice, Barnes-Hut layout.
+func NewView(tr *trace.Trace) (*View, error) {
+	ag, err := aggregation.NewAggregator(tr)
+	if err != nil {
+		return nil, err
+	}
+	start, end := tr.Window()
+	if end <= start {
+		end = start + 1
+	}
+	v := &View{
+		tr:      tr,
+		ag:      ag,
+		cut:     aggregation.NewLeafCut(ag.Tree()),
+		mapping: vizgraph.DefaultMapping(),
+		slice:   aggregation.TimeSlice{Start: start, End: end},
+		lay:     layout.New(layout.DefaultParams()),
+		algo:    layout.BarnesHut,
+		dirty:   true,
+	}
+	if _, err := v.Graph(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Trace returns the underlying trace.
+func (v *View) Trace() *trace.Trace { return v.tr }
+
+// Aggregator exposes the aggregation engine for custom queries.
+func (v *View) Aggregator() *aggregation.Aggregator { return v.ag }
+
+// Cut returns the current spatial cut (read it, don't mutate it directly —
+// use Aggregate/Disaggregate/SetLevel so the layout tracks the change).
+func (v *View) Cut() *aggregation.Cut { return v.cut }
+
+// Layout returns the live layout.
+func (v *View) Layout() *layout.Layout { return v.lay }
+
+// Mapping returns a pointer to the visual mapping; adjust scales through
+// SetScale so the graph refreshes.
+func (v *View) Mapping() *vizgraph.Mapping { return &v.mapping }
+
+// TimeSlice returns the current temporal aggregation window.
+func (v *View) TimeSlice() aggregation.TimeSlice { return v.slice }
+
+// SetTimeSlice selects the temporal neighbourhood Δ. Node identities are
+// unaffected, so the layout keeps every position: only sizes and fills
+// change.
+func (v *View) SetTimeSlice(start, end float64) error {
+	if end <= start {
+		return fmt.Errorf("core: empty time slice [%g, %g]", start, end)
+	}
+	v.slice = aggregation.TimeSlice{Start: start, End: end}
+	v.dirty = true
+	return nil
+}
+
+// ShiftTimeSlice translates the slice by dt — the animation primitive of
+// Figure 9 ("the ability to animate through time a given view").
+func (v *View) ShiftTimeSlice(dt float64) {
+	v.slice.Start += dt
+	v.slice.End += dt
+	v.dirty = true
+}
+
+// SetAlgorithm selects the repulsion engine (Naive for small graphs,
+// BarnesHut — the default — for large ones).
+func (v *View) SetAlgorithm(a layout.Algorithm) { v.algo = a }
+
+// Graph returns the visual graph for the current cut, slice and mapping,
+// rebuilding it if anything changed and synchronising the layout bodies.
+func (v *View) Graph() (*vizgraph.Graph, error) {
+	if !v.dirty {
+		return v.graph, nil
+	}
+	g, err := vizgraph.Build(v.ag, v.cut, v.mapping, v.slice)
+	if err != nil {
+		return nil, err
+	}
+	v.syncLayout(g)
+	v.graph = g
+	v.dirty = false
+	return g, nil
+}
+
+// MustGraph is Graph for contexts where the view is known valid.
+func (v *View) MustGraph() *vizgraph.Graph {
+	g, err := v.Graph()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// syncLayout reconciles layout bodies with the nodes of a freshly built
+// graph, implementing the smooth transitions.
+func (v *View) syncLayout(g *vizgraph.Graph) {
+	tree := v.ag.Tree()
+	present := make(map[string]bool, len(g.Nodes))
+	for _, n := range g.Nodes {
+		present[n.ID] = true
+	}
+
+	// Old bodies that disappear, indexed by their node's group, for
+	// centroid computations.
+	var vanishing []*layout.Body
+	for _, b := range v.lay.Bodies() {
+		if !present[b.ID] {
+			vanishing = append(vanishing, b)
+		}
+	}
+
+	for _, n := range g.Nodes {
+		if b := v.lay.Body(n.ID); b != nil {
+			b.Charge = float64(n.Count) // keep aggregate charge current
+			continue
+		}
+		// New node. Aggregation transition: centroid of the vanishing
+		// bodies it swallows (same type, group below the new group).
+		var swallowed []*layout.Body
+		for _, b := range vanishing {
+			grp, typ := splitNodeID(b.ID)
+			if typ == n.Type && tree.Node(grp) != nil && tree.IsAncestorOrSelf(n.Group, grp) {
+				swallowed = append(swallowed, b)
+			}
+		}
+		switch {
+		case len(swallowed) > 0:
+			mustBody(v.lay.AddBody(n.ID, layout.Centroid(swallowed), float64(n.Count)))
+		default:
+			// Disaggregation transition: appear near the vanishing
+			// ancestor body of the same type, if any.
+			var anchor *layout.Body
+			for _, b := range vanishing {
+				grp, typ := splitNodeID(b.ID)
+				if typ == n.Type && tree.Node(grp) != nil && tree.IsAncestorOrSelf(grp, n.Group) {
+					anchor = b
+					break
+				}
+			}
+			if anchor != nil {
+				pos := layout.ScatterAround(anchor.Pos, []string{n.ID}, v.lay.Params().SpringLength)[0]
+				mustBody(v.lay.AddBody(n.ID, pos, float64(n.Count)))
+			} else {
+				mustBody(v.lay.AddBodyAuto(n.ID, float64(n.Count)))
+			}
+		}
+	}
+	for _, b := range vanishing {
+		v.lay.RemoveBody(b.ID)
+	}
+
+	springs := make([]layout.Spring, 0, len(g.Edges))
+	for _, e := range g.Edges {
+		springs = append(springs, layout.Spring{
+			A: e.From, B: e.To,
+			Strength: 1 + math.Log10(float64(e.Multiplicity)),
+		})
+	}
+	if err := v.lay.SetSprings(springs); err != nil {
+		panic(err) // nodes and edges come from the same graph
+	}
+}
+
+func mustBody(b *layout.Body, err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func splitNodeID(id string) (group, typ string) {
+	for i := len(id) - 1; i >= 0; i-- {
+		if id[i] == '/' {
+			return id[:i], id[i+1:]
+		}
+	}
+	return id, ""
+}
+
+// Aggregate collapses an interior hierarchy node's active descendants into
+// one group, repositioning the layout smoothly.
+func (v *View) Aggregate(group string) error {
+	if err := v.cut.Aggregate(group); err != nil {
+		return err
+	}
+	v.dirty = true
+	_, err := v.Graph()
+	return err
+}
+
+// Disaggregate expands an active group into its children.
+func (v *View) Disaggregate(group string) error {
+	if err := v.cut.Disaggregate(group); err != nil {
+		return err
+	}
+	v.dirty = true
+	_, err := v.Graph()
+	return err
+}
+
+// SetLevel jumps to a whole hierarchy depth (Figure 8's four views are
+// levels 3, 2, 1, 0 of the Grid'5000 hierarchy).
+func (v *View) SetLevel(depth int) error {
+	if depth < 0 {
+		return fmt.Errorf("core: negative level %d", depth)
+	}
+	v.cut = aggregation.NewLevelCut(v.ag.Tree(), depth)
+	v.dirty = true
+	_, err := v.Graph()
+	return err
+}
+
+// SetScale adjusts one resource type's interactive size-scale slider.
+func (v *View) SetScale(typ string, factor float64) error {
+	if !v.mapping.SetScale(typ, factor) {
+		return fmt.Errorf("core: no mapped type %q or invalid factor %g", typ, factor)
+	}
+	v.dirty = true
+	_, err := v.Graph()
+	return err
+}
+
+// SetSegments asks one resource type's nodes to split their fill into
+// per-category segments ("<fill metric>:<category>" trace variants, as
+// recorded by the simulator's per-application tracing). Pass nil to go
+// back to a single fill.
+func (v *View) SetSegments(typ string, categories []string) error {
+	tm := v.mapping.TypeMapping(typ)
+	if tm == nil {
+		return fmt.Errorf("core: no mapped type %q", typ)
+	}
+	tm.SegmentCategories = append([]string(nil), categories...)
+	v.dirty = true
+	_, err := v.Graph()
+	return err
+}
+
+// SetFillAggregation switches how one type's aggregated fill combines
+// its members: the paper's capacity-weighted ratio, or the max-member
+// mode that keeps saturation visible in aggregated link views (the
+// paper's conclusion calls the summed semantics questionable for links).
+func (v *View) SetFillAggregation(typ string, mode vizgraph.FillAggregation) error {
+	tm := v.mapping.TypeMapping(typ)
+	if tm == nil {
+		return fmt.Errorf("core: no mapped type %q", typ)
+	}
+	tm.FillAggregation = mode
+	v.dirty = true
+	_, err := v.Graph()
+	return err
+}
+
+// SetLayoutParams replaces the charge/spring/damping sliders.
+func (v *View) SetLayoutParams(p layout.Params) { v.lay.SetParams(p) }
+
+// StepLayout advances the force simulation n steps and returns the last
+// step's maximum displacement.
+func (v *View) StepLayout(n int) float64 {
+	var d float64
+	for i := 0; i < n; i++ {
+		d = v.lay.Step(v.algo)
+	}
+	return d
+}
+
+// Stabilize iterates the layout until convergence (or maxSteps) and
+// returns the steps taken.
+func (v *View) Stabilize(maxSteps int, eps float64) int {
+	return v.lay.Run(v.algo, maxSteps, eps)
+}
+
+// MoveNode drags a node to a position; its neighbourhood follows through
+// the springs on subsequent steps. pin keeps it there.
+func (v *View) MoveNode(id string, x, y float64, pin bool) error {
+	if v.lay.Body(id) == nil {
+		return fmt.Errorf("core: unknown node %q", id)
+	}
+	if pin {
+		v.lay.Pin(id, layout.Point{X: x, Y: y})
+	} else {
+		v.lay.Move(id, layout.Point{X: x, Y: y})
+	}
+	return nil
+}
+
+// UnpinNode releases a pinned node.
+func (v *View) UnpinNode(id string) error {
+	if !v.lay.Unpin(id) {
+		return fmt.Errorf("core: unknown node %q", id)
+	}
+	return nil
+}

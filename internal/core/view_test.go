@@ -1,0 +1,362 @@
+package core
+
+import (
+	"testing"
+
+	"viva/internal/layout"
+	"viva/internal/platform"
+	"viva/internal/sim"
+	"viva/internal/trace"
+	"viva/internal/vizgraph"
+)
+
+// smallGridTrace simulates a little work on a 2-site platform so the view
+// has real usage data.
+func smallGridTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	p := platform.New("g")
+	p.AddSite("s1", platform.SiteConfig{BackboneBandwidth: 1e9, UplinkBandwidth: 1e9})
+	p.AddSite("s2", platform.SiteConfig{BackboneBandwidth: 1e9, UplinkBandwidth: 1e9})
+	cc := platform.ClusterConfig{
+		Hosts: 3, HostPower: 1e9,
+		HostLinkBandwidth: 1e8, BackboneBandwidth: 1e9, UplinkBandwidth: 1e9,
+	}
+	p.AddCluster("s1", "c1", cc)
+	p.AddCluster("s2", "c2", cc)
+	tr := trace.New()
+	e := sim.New(p, tr)
+	e.Spawn("worker", "c1-1", func(c *sim.Ctx) {
+		c.Execute(5e8)
+		c.Send("mb", nil, 1e8)
+	})
+	e.Spawn("sink", "c2-1", func(c *sim.Ctx) {
+		c.Recv("mb")
+		c.Execute(1e9)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func newView(t *testing.T) *View {
+	t.Helper()
+	v, err := NewView(smallGridTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestNewViewDefaults(t *testing.T) {
+	v := newView(t)
+	g := v.MustGraph()
+	// Leaf cut: 6 hosts + 6 host links + 2 cluster bb + 2 cluster up +
+	// 2 site bb + 2 site up + core = 21 nodes.
+	if len(g.Nodes) != 21 {
+		t.Errorf("nodes = %d, want 21", len(g.Nodes))
+	}
+	// Every node has a layout body with matching charge.
+	for _, n := range g.Nodes {
+		b := v.Layout().Body(n.ID)
+		if b == nil {
+			t.Fatalf("node %s has no body", n.ID)
+		}
+		if b.Charge != float64(n.Count) {
+			t.Errorf("node %s charge = %g, want %d", n.ID, b.Charge, n.Count)
+		}
+	}
+	// Springs mirror edges.
+	if len(v.Layout().Springs()) != len(g.Edges) {
+		t.Errorf("springs = %d, edges = %d", len(v.Layout().Springs()), len(g.Edges))
+	}
+	slice := v.TimeSlice()
+	if !slice.Valid() {
+		t.Error("default slice invalid")
+	}
+}
+
+func TestSetTimeSliceKeepsPositions(t *testing.T) {
+	v := newView(t)
+	v.Stabilize(200, 1e-3)
+	before := v.Layout().Snapshot()
+	if err := v.SetTimeSlice(0, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	v.MustGraph()
+	after := v.Layout().Snapshot()
+	if d := layout.MeanDisplacement(before, after); d != 0 {
+		t.Errorf("slice change moved nodes by %g", d)
+	}
+	if err := v.SetTimeSlice(5, 5); err == nil {
+		t.Error("empty slice accepted")
+	}
+}
+
+func TestShiftTimeSlice(t *testing.T) {
+	v := newView(t)
+	s0 := v.TimeSlice()
+	v.ShiftTimeSlice(1.5)
+	s1 := v.TimeSlice()
+	if s1.Start != s0.Start+1.5 || s1.End != s0.End+1.5 {
+		t.Errorf("shift wrong: %+v -> %+v", s0, s1)
+	}
+	v.MustGraph() // must rebuild without error
+}
+
+func TestAggregateTransition(t *testing.T) {
+	v := newView(t)
+	v.Stabilize(300, 1e-3)
+	// Centroid of the c1 host bodies before aggregation.
+	var hosts []*layout.Body
+	for _, n := range v.MustGraph().Nodes {
+		if n.Type == trace.TypeHost && (n.Group == "c1-1" || n.Group == "c1-2" || n.Group == "c1-3") {
+			hosts = append(hosts, v.Layout().Body(n.ID))
+		}
+	}
+	if len(hosts) != 3 {
+		t.Fatalf("found %d c1 host bodies", len(hosts))
+	}
+	want := layout.Centroid(hosts)
+
+	if err := v.Aggregate("c1"); err != nil {
+		t.Fatal(err)
+	}
+	g := v.MustGraph()
+	agg := g.Node(vizgraph.NodeID("c1", trace.TypeHost))
+	if agg == nil {
+		t.Fatal("aggregated node missing")
+	}
+	if agg.Count != 3 {
+		t.Errorf("aggregate count = %d, want 3", agg.Count)
+	}
+	b := v.Layout().Body(agg.ID)
+	if b == nil {
+		t.Fatal("aggregate body missing")
+	}
+	if d := b.Pos.Sub(want).Norm(); d > 1e-9 {
+		t.Errorf("aggregate body at %v, want centroid %v", b.Pos, want)
+	}
+	// Old bodies are gone.
+	for _, h := range hosts {
+		if v.Layout().Body(h.ID) != nil {
+			t.Errorf("body %s survived aggregation", h.ID)
+		}
+	}
+}
+
+func TestDisaggregateScattersAroundParent(t *testing.T) {
+	v := newView(t)
+	if err := v.SetLevel(2); err != nil { // cluster level
+		t.Fatal(err)
+	}
+	v.Stabilize(300, 1e-3)
+	parent := v.Layout().Body(vizgraph.NodeID("c1", trace.TypeHost))
+	if parent == nil {
+		t.Fatal("cluster body missing")
+	}
+	pos := parent.Pos
+	if err := v.Disaggregate("c1"); err != nil {
+		t.Fatal(err)
+	}
+	// Children bodies must exist near the old parent position.
+	springLen := v.Layout().Params().SpringLength
+	for _, id := range []string{"c1-1", "c1-2", "c1-3"} {
+		b := v.Layout().Body(vizgraph.NodeID(id, trace.TypeHost))
+		if b == nil {
+			t.Fatalf("child body %s missing", id)
+		}
+		if d := b.Pos.Sub(pos).Norm(); d > 2*springLen {
+			t.Errorf("child %s appeared %g away from parent", id, d)
+		}
+	}
+}
+
+func TestSetLevel(t *testing.T) {
+	v := newView(t)
+	if err := v.SetLevel(0); err != nil {
+		t.Fatal(err)
+	}
+	g := v.MustGraph()
+	// Whole grid: one square + one diamond + one router circle.
+	if len(g.Nodes) != 3 {
+		t.Errorf("level-0 nodes = %d, want 3", len(g.Nodes))
+	}
+	if err := v.SetLevel(-1); err == nil {
+		t.Error("negative level accepted")
+	}
+}
+
+func TestSetScale(t *testing.T) {
+	v := newView(t)
+	g := v.MustGraph()
+	var before float64
+	for _, n := range g.Nodes {
+		if n.Type == trace.TypeHost {
+			before = n.Size
+			break
+		}
+	}
+	if err := v.SetScale(trace.TypeHost, 2); err != nil {
+		t.Fatal(err)
+	}
+	g = v.MustGraph()
+	for _, n := range g.Nodes {
+		if n.Type == trace.TypeHost {
+			if n.Size != before*2 {
+				t.Errorf("size = %g, want %g", n.Size, before*2)
+			}
+			break
+		}
+	}
+	if err := v.SetScale("nope", 2); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestMovePinUnpin(t *testing.T) {
+	v := newView(t)
+	id := v.MustGraph().Nodes[0].ID
+	if err := v.MoveNode(id, 42, 43, true); err != nil {
+		t.Fatal(err)
+	}
+	b := v.Layout().Body(id)
+	if b.Pos.X != 42 || !b.Pinned {
+		t.Error("pin move failed")
+	}
+	if err := v.UnpinNode(id); err != nil {
+		t.Fatal(err)
+	}
+	if b.Pinned {
+		t.Error("unpin failed")
+	}
+	if err := v.MoveNode(id, 1, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if b.Pos.X != 1 || b.Pinned {
+		t.Error("move failed")
+	}
+	if err := v.MoveNode("ghost", 0, 0, false); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if err := v.UnpinNode("ghost"); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+func TestStepAndStabilize(t *testing.T) {
+	v := newView(t)
+	d1 := v.StepLayout(1)
+	if d1 <= 0 {
+		t.Error("first step produced no motion")
+	}
+	// 0.05 px per step is visually static.
+	steps := v.Stabilize(5000, 0.05)
+	if steps >= 5000 {
+		t.Errorf("no convergence in %d steps", steps)
+	}
+}
+
+func TestAggregationConservesValue(t *testing.T) {
+	v := newView(t)
+	var leafSum float64
+	for _, n := range v.MustGraph().Nodes {
+		if n.Type == trace.TypeHost {
+			leafSum += n.Value
+		}
+	}
+	if err := v.SetLevel(0); err != nil {
+		t.Fatal(err)
+	}
+	var aggSum float64
+	for _, n := range v.MustGraph().Nodes {
+		if n.Type == trace.TypeHost {
+			aggSum += n.Value
+		}
+	}
+	if diff := leafSum - aggSum; diff > 1e-6*leafSum || diff < -1e-6*leafSum {
+		t.Errorf("aggregation lost value: %g vs %g", leafSum, aggSum)
+	}
+}
+
+func TestSetSegmentsThroughView(t *testing.T) {
+	// Trace with categorised usage on one host.
+	tr := smallGridTrace(t)
+	if err := tr.Set(0, "c1-1", trace.MetricUsage+":app1", 5e8); err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewView(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetSegments(trace.TypeHost, []string{"app1"}); err != nil {
+		t.Fatal(err)
+	}
+	n := v.MustGraph().Node(vizgraph.NodeID("c1-1", trace.TypeHost))
+	if len(n.Segments) != 1 || n.Segments[0].Category != "app1" {
+		t.Errorf("segments = %+v", n.Segments)
+	}
+	// Reset to a single fill.
+	if err := v.SetSegments(trace.TypeHost, nil); err != nil {
+		t.Fatal(err)
+	}
+	n = v.MustGraph().Node(vizgraph.NodeID("c1-1", trace.TypeHost))
+	if len(n.Segments) != 0 {
+		t.Error("segments not cleared")
+	}
+	if err := v.SetSegments("nope", nil); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestSetFillAggregationThroughView(t *testing.T) {
+	v := newView(t)
+	if err := v.SetFillAggregation(trace.TypeLink, vizgraph.FillMaxRatio); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetLevel(0); err != nil {
+		t.Fatal(err)
+	}
+	// With max-ratio, the aggregated diamond shows the busiest link of
+	// the whole run, which our one-transfer scenario saturates at some
+	// instant; just assert the call path works and fill is within [0,1].
+	n := v.MustGraph().Node(vizgraph.NodeID("g", trace.TypeLink))
+	if n == nil {
+		t.Fatal("aggregate link node missing")
+	}
+	if n.Fill < 0 || n.Fill > 1 {
+		t.Errorf("fill = %g", n.Fill)
+	}
+	if err := v.SetFillAggregation("nope", vizgraph.FillRatio); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestSetAlgorithm(t *testing.T) {
+	v := newView(t)
+	v.SetAlgorithm(layout.Naive)
+	if d := v.StepLayout(1); d <= 0 {
+		t.Error("naive step produced no motion")
+	}
+}
+
+func TestSmoothnessAcrossLevels(t *testing.T) {
+	// The paper's scalability argument: moving between scales must not
+	// shuffle the picture. Measure displacement of surviving nodes across
+	// a level change relative to the layout diameter.
+	v := newView(t)
+	if err := v.SetLevel(2); err != nil {
+		t.Fatal(err)
+	}
+	v.Stabilize(500, 1e-3)
+	before := v.Layout().Snapshot()
+	if err := v.SetLevel(1); err != nil {
+		t.Fatal(err)
+	}
+	after := v.Layout().Snapshot()
+	// Nodes surviving a 2→1 transition: site-level links (up:s*), core.
+	d := layout.MeanDisplacement(before, after)
+	if d != 0 {
+		t.Errorf("surviving nodes moved %g during level change", d)
+	}
+}

@@ -1,0 +1,188 @@
+// Package experiments regenerates every figure of the paper's evaluation:
+// the didactic Figures 1–5 (mapping, temporal and spatial aggregation,
+// per-type scaling, layout parameters), the NAS-DT case study (Figures 6
+// and 7, with the ~20% locality speedup), the Grid'5000 master-worker case
+// study (Figures 8 and 9), and the scalability claims behind the
+// Barnes-Hut layout choice.
+//
+// Each experiment returns a Result: the table/series the paper reports,
+// shape checks ("who wins, by roughly what factor") that tests assert, and
+// optionally the topology-view SVGs.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Options tune an experiment run.
+type Options struct {
+	// Quick shrinks the workloads so the whole suite runs in seconds; the
+	// shape checks still hold. The command-line harness uses full size.
+	Quick bool
+	// OutDir, when non-empty, receives the figure SVGs.
+	OutDir string
+}
+
+// Table is a printable result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Check is one shape assertion against the paper's claim.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []Table
+	Checks []Check
+	Notes  []string
+}
+
+// Failed returns the names of failing checks.
+func (r *Result) Failed() []string {
+	var out []string
+	for _, c := range r.Checks {
+		if !c.Pass {
+			out = append(out, fmt.Sprintf("%s (%s)", c.Name, c.Detail))
+		}
+	}
+	return out
+}
+
+// Print renders the result as text.
+func (r *Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		if t.Title != "" {
+			fmt.Fprintf(w, "\n-- %s --\n", t.Title)
+		}
+		widths := make([]int, len(t.Header))
+		for i, h := range t.Header {
+			widths[i] = len(h)
+		}
+		for _, row := range t.Rows {
+			for i, c := range row {
+				if i < len(widths) && len(c) > widths[i] {
+					widths[i] = len(c)
+				}
+			}
+		}
+		printRow := func(cells []string) {
+			parts := make([]string, len(cells))
+			for i, c := range cells {
+				parts[i] = pad(c, widths[i])
+			}
+			fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+		}
+		printRow(t.Header)
+		printRow(dashes(widths))
+		for _, row := range t.Rows {
+			printRow(row)
+		}
+	}
+	if len(r.Notes) > 0 {
+		fmt.Fprintln(w)
+		for _, n := range r.Notes {
+			fmt.Fprintf(w, "  note: %s\n", n)
+		}
+	}
+	fmt.Fprintln(w)
+	for _, c := range r.Checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "  [%s] %s — %s\n", status, c.Name, c.Detail)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}
+
+func dashes(widths []int) []string {
+	out := make([]string, len(widths))
+	for i, w := range widths {
+		out[i] = strings.Repeat("-", w)
+	}
+	return out
+}
+
+func writeSVG(opts Options, name string, data []byte) error {
+	if opts.OutDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(opts.OutDir, name), data, 0o644)
+}
+
+func check(name string, pass bool, format string, args ...any) Check {
+	return Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)}
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// Experiment couples an identifier with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Result, error)
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig1", "Mapping trace metrics to the graph (three cursors)", Fig1},
+		{"fig2", "Temporal aggregation onto node size and fill", Fig2},
+		{"fig3", "Two spatial aggregations conserve totals", Fig3},
+		{"fig4", "Independent per-type size scaling and sliders", Fig4},
+		{"fig5", "Charge and spring parameters shape the layout", Fig5},
+		{"fig6", "NAS-DT A/WH, sequential deployment: saturated interconnect", Fig6},
+		{"fig7", "NAS-DT A/WH, locality deployment: ~20% faster", Fig7},
+		{"fig8", "Grid'5000 master-workers at four aggregation levels", Fig8},
+		{"fig9", "Workload diffusion over time at the site scale", Fig9},
+		{"scale", "Layout scalability: naive O(n²) vs Barnes-Hut O(n log n)", Scale},
+		{"ablation", "Design-choice ablations: lazy invalidation, Barnes-Hut theta", Ablation},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment identifiers.
+func IDs() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestResultPrint(t *testing.T) {
+	r := &Result{
+		ID:    "demo",
+		Title: "Demo",
+		Tables: []Table{{
+			Title:  "tbl",
+			Header: []string{"a", "long-header"},
+			Rows:   [][]string{{"1", "2"}, {"333333", "4"}},
+		}},
+		Notes:  []string{"a note"},
+		Checks: []Check{{Name: "good", Pass: true, Detail: "ok"}, {Name: "bad", Pass: false, Detail: "oops"}},
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"== demo: Demo ==", "-- tbl --", "long-header", "333333", "note: a note", "[PASS] good", "[FAIL] bad"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed report missing %q", want)
+		}
+	}
+	failed := r.Failed()
+	if len(failed) != 1 || !strings.Contains(failed[0], "bad") {
+		t.Errorf("Failed = %v", failed)
+	}
+}
+
+func TestCheckHelper(t *testing.T) {
+	c := check("name", true, "x=%d", 7)
+	if !c.Pass || c.Detail != "x=7" || c.Name != "name" {
+		t.Errorf("check = %+v", c)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if f2(1.234) != "1.23" || f1(1.26) != "1.3" || pct(0.5) != "50.0%" {
+		t.Error("format helpers wrong")
+	}
+	if pad("ab", 4) != "ab  " {
+		t.Errorf("pad = %q", pad("ab", 4))
+	}
+	d := dashes([]int{2, 3})
+	if d[0] != "--" || d[1] != "---" {
+		t.Errorf("dashes = %v", d)
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeSVG(Options{OutDir: dir}, "x.svg", []byte("<svg/>")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "x.svg"))
+	if err != nil || string(data) != "<svg/>" {
+		t.Errorf("file content = %q, %v", data, err)
+	}
+	// Empty OutDir skips writing.
+	if err := writeSVG(Options{}, "y.svg", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryIDsSorted(t *testing.T) {
+	ids := IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("IDs not sorted: %v", ids)
+		}
+	}
+	for _, id := range ids {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("ByID(%q) failed", id)
+		}
+	}
+}
+
+func TestAlmostEq(t *testing.T) {
+	if !almostEq(1, 1+1e-9) || almostEq(1, 1.1) || !almostEq(0, 0) {
+		t.Error("almostEq wrong")
+	}
+}
+
+// The didactic experiments are cheap enough to run inside the package
+// tests too, guarding their internals (the root tests assert the shape
+// checks; these guard the plumbing).
+func TestDidacticExperimentsRunClean(t *testing.T) {
+	for _, id := range []string{"fig1", "fig2", "fig3", "fig4", "fig5"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		res, err := e.Run(Options{Quick: true, OutDir: t.TempDir()})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Checks) == 0 || len(res.Tables) == 0 {
+			t.Errorf("%s: empty result", id)
+		}
+	}
+}

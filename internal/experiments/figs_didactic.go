@@ -1,0 +1,412 @@
+package experiments
+
+import (
+	"fmt"
+
+	"viva/internal/aggregation"
+	"viva/internal/core"
+	"viva/internal/layout"
+	"viva/internal/render"
+	"viva/internal/trace"
+	"viva/internal/vizgraph"
+)
+
+// fig1Trace is the paper's running example (Figure 1): two hosts and one
+// link whose availability (power/bandwidth) and utilization evolve, so
+// that the three cursors A, B, C show different graph shapes.
+func fig1Trace() *trace.Trace {
+	tr := trace.New()
+	tr.MustDeclareResource("root", trace.TypeGroup, "")
+	tr.MustDeclareResource("HostA", trace.TypeHost, "root")
+	tr.MustDeclareResource("HostB", trace.TypeHost, "root")
+	tr.MustDeclareResource("LinkA", trace.TypeLink, "root")
+	set := func(t float64, r, m string, v float64) {
+		if err := tr.Set(t, r, m, v); err != nil {
+			panic(err)
+		}
+	}
+	// Availability (solid lines of the paper's plot).
+	set(0, "HostA", trace.MetricPower, 100)
+	set(10, "HostA", trace.MetricPower, 10)
+	set(0, "HostB", trace.MetricPower, 25)
+	set(10, "HostB", trace.MetricPower, 40)
+	set(0, "LinkA", trace.MetricBandwidth, 10000)
+	// Utilization (dashed lines).
+	set(0, "HostA", trace.MetricUsage, 50)
+	set(10, "HostA", trace.MetricUsage, 8)
+	set(0, "HostB", trace.MetricUsage, 25)
+	set(10, "HostB", trace.MetricUsage, 10)
+	set(0, "LinkA", trace.MetricTraffic, 2500)
+	set(10, "LinkA", trace.MetricTraffic, 7500)
+	tr.MustDeclareEdge("HostA", "LinkA")
+	tr.MustDeclareEdge("LinkA", "HostB")
+	tr.SetEnd(20)
+	return tr
+}
+
+// Fig1 regenerates the mapping example: three cursors produce three graph
+// representations whose shape sizes follow the instantaneous metrics.
+func Fig1(opts Options) (*Result, error) {
+	tr := fig1Trace()
+	res := &Result{ID: "fig1", Title: "Trace metrics mapped to shapes at cursors A, B, C"}
+	cursors := []struct {
+		name string
+		t    float64
+	}{{"A", 5}, {"B", 12}, {"C", 18}}
+
+	table := Table{
+		Title:  "node values (size metric) and fills at each cursor",
+		Header: []string{"cursor", "t", "HostA size", "HostA fill", "HostB size", "HostB fill", "LinkA size", "LinkA fill"},
+	}
+	type snapshot struct{ hostA, hostB float64 }
+	snaps := make(map[string]snapshot)
+	for _, c := range cursors {
+		v, err := core.NewView(tr)
+		if err != nil {
+			return nil, err
+		}
+		// An (almost) instantaneous slice around the cursor.
+		if err := v.SetTimeSlice(c.t-0.05, c.t+0.05); err != nil {
+			return nil, err
+		}
+		g := v.MustGraph()
+		a := g.Node(vizgraph.NodeID("HostA", trace.TypeHost))
+		b := g.Node(vizgraph.NodeID("HostB", trace.TypeHost))
+		l := g.Node(vizgraph.NodeID("LinkA", trace.TypeLink))
+		table.Rows = append(table.Rows, []string{
+			c.name, f1(c.t), f1(a.Value), pct(a.Fill), f1(b.Value), pct(b.Fill), f1(l.Value), pct(l.Fill),
+		})
+		snaps[c.name] = snapshot{hostA: a.Value, hostB: b.Value}
+		v.Stabilize(800, 0.05)
+		if err := writeSVG(opts, fmt.Sprintf("fig1_%s.svg", c.name), render.SVG(g, v.Layout(), titled("Figure 1, cursor "+c.name))); err != nil {
+			return nil, err
+		}
+	}
+	res.Tables = append(res.Tables, table)
+	res.Checks = append(res.Checks,
+		check("cursor A: HostA bigger than HostB", snaps["A"].hostA > snaps["A"].hostB,
+			"%.0f vs %.0f", snaps["A"].hostA, snaps["A"].hostB),
+		check("cursors B and C: ordering flips", snaps["B"].hostB > snaps["B"].hostA && snaps["C"].hostB > snaps["C"].hostA,
+			"B: %.0f vs %.0f", snaps["B"].hostB, snaps["B"].hostA),
+	)
+	return res, nil
+}
+
+// Fig2 regenerates the temporal aggregation example: a time slice
+// [A1, A2] integrates the host's capacity and utilization onto node size
+// and fill.
+func Fig2(opts Options) (*Result, error) {
+	tr := fig1Trace()
+	res := &Result{ID: "fig2", Title: "Time-aggregated metrics mapped to size and fill"}
+	slice := aggregation.TimeSlice{Start: 5, End: 15}
+
+	powerTL := tr.Timeline("HostA", trace.MetricPower)
+	usageTL := tr.Timeline("HostA", trace.MetricUsage)
+	_, meanPower := aggregation.TimeAggregate(powerTL, slice)
+	_, meanUsage := aggregation.TimeAggregate(usageTL, slice)
+
+	v, err := core.NewView(tr)
+	if err != nil {
+		return nil, err
+	}
+	if err := v.SetTimeSlice(slice.Start, slice.End); err != nil {
+		return nil, err
+	}
+	g := v.MustGraph()
+	node := g.Node(vizgraph.NodeID("HostA", trace.TypeHost))
+
+	res.Tables = append(res.Tables, Table{
+		Title:  "HostA over the slice [5, 15]",
+		Header: []string{"quantity", "value"},
+		Rows: [][]string{
+			{"time-mean power (node size value)", f2(meanPower)},
+			{"time-mean usage", f2(meanUsage)},
+			{"node fill (usage/power)", pct(node.Fill)},
+		},
+	})
+	expectFill := meanUsage / meanPower
+	res.Checks = append(res.Checks,
+		check("node value equals the slice's time-mean power", almostEq(node.Value, meanPower),
+			"%.3f vs %.3f", node.Value, meanPower),
+		check("node fill equals usage/power over the slice", almostEq(node.Fill, expectFill),
+			"%.3f vs %.3f", node.Fill, expectFill),
+		check("mean bounded by the timeline's extremes",
+			powerTL.Min(slice.Start, slice.End) <= meanPower && meanPower <= powerTL.Max(slice.Start, slice.End),
+			"min %.0f <= %.1f <= max %.0f", powerTL.Min(slice.Start, slice.End), meanPower, powerTL.Max(slice.Start, slice.End)),
+	)
+	v.Stabilize(800, 0.05)
+	if err := writeSVG(opts, "fig2.svg", render.SVG(g, v.Layout(), titled("Figure 2: temporal aggregation"))); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Fig3 regenerates the two successive spatial aggregations: GroupA first,
+// then the whole GroupB, conserving host and link totals.
+func Fig3(opts Options) (*Result, error) {
+	tr := trace.New()
+	tr.MustDeclareResource("GroupB", trace.TypeGroup, "")
+	tr.MustDeclareResource("GroupA", trace.TypeGroup, "GroupB")
+	tr.MustDeclareResource("h1", trace.TypeHost, "GroupA")
+	tr.MustDeclareResource("h2", trace.TypeHost, "GroupA")
+	tr.MustDeclareResource("l1", trace.TypeLink, "GroupA")
+	tr.MustDeclareResource("h3", trace.TypeHost, "GroupB")
+	tr.MustDeclareResource("l2", trace.TypeLink, "GroupB")
+	set := func(t float64, r, m string, v float64) {
+		if err := tr.Set(t, r, m, v); err != nil {
+			panic(err)
+		}
+	}
+	set(0, "h1", trace.MetricPower, 100)
+	set(0, "h2", trace.MetricPower, 50)
+	set(0, "h3", trace.MetricPower, 150)
+	set(0, "h1", trace.MetricUsage, 80)
+	set(0, "h2", trace.MetricUsage, 10)
+	set(0, "h3", trace.MetricUsage, 30)
+	set(0, "l1", trace.MetricBandwidth, 1000)
+	set(0, "l2", trace.MetricBandwidth, 3000)
+	set(0, "l1", trace.MetricTraffic, 500)
+	set(0, "l2", trace.MetricTraffic, 600)
+	tr.MustDeclareEdge("h1", "l1")
+	tr.MustDeclareEdge("h2", "l1")
+	tr.MustDeclareEdge("l1", "l2")
+	tr.MustDeclareEdge("l2", "h3")
+	tr.SetEnd(10)
+
+	res := &Result{ID: "fig3", Title: "Two spatial aggregation operations"}
+	v, err := core.NewView(tr)
+	if err != nil {
+		return nil, err
+	}
+
+	hostSum := func() float64 {
+		var s float64
+		for _, n := range v.MustGraph().Nodes {
+			if n.Type == trace.TypeHost {
+				s += n.Value
+			}
+		}
+		return s
+	}
+	table := Table{
+		Title:  "view after each operation",
+		Header: []string{"stage", "nodes", "host value sum", "host fill"},
+	}
+	record := func(stage string) float64 {
+		g := v.MustGraph()
+		var fill float64
+		// Report the fill of the largest host node at this stage.
+		var biggest *vizgraph.Node
+		for _, n := range g.Nodes {
+			if n.Type == trace.TypeHost && (biggest == nil || n.Value > biggest.Value) {
+				biggest = n
+			}
+		}
+		if biggest != nil {
+			fill = biggest.Fill
+		}
+		table.Rows = append(table.Rows, []string{stage, fmt.Sprintf("%d", len(g.Nodes)), f1(hostSum()), pct(fill)})
+		return hostSum()
+	}
+
+	sum0 := record("leaves")
+	v.Stabilize(800, 0.05)
+	if err := writeSVG(opts, "fig3_leaves.svg", render.SVG(v.MustGraph(), v.Layout(), titled("Figure 3: before aggregation"))); err != nil {
+		return nil, err
+	}
+	if err := v.Aggregate("GroupA"); err != nil {
+		return nil, err
+	}
+	sum1 := record("after 1st aggregation (GroupA)")
+	v.Stabilize(800, 0.05)
+	if err := writeSVG(opts, "fig3_groupA.svg", render.SVG(v.MustGraph(), v.Layout(), titled("Figure 3: GroupA aggregated"))); err != nil {
+		return nil, err
+	}
+	if err := v.Aggregate("GroupB"); err != nil {
+		return nil, err
+	}
+	sum2 := record("after 2nd aggregation (GroupB)")
+	v.Stabilize(800, 0.05)
+	if err := writeSVG(opts, "fig3_groupB.svg", render.SVG(v.MustGraph(), v.Layout(), titled("Figure 3: GroupB aggregated"))); err != nil {
+		return nil, err
+	}
+	res.Tables = append(res.Tables, table)
+
+	g := v.MustGraph()
+	res.Checks = append(res.Checks,
+		check("totals conserved across aggregations", almostEq(sum0, sum1) && almostEq(sum1, sum2),
+			"%.0f, %.0f, %.0f", sum0, sum1, sum2),
+		check("final view is one square and one diamond", len(g.Nodes) == 2,
+			"%d nodes", len(g.Nodes)),
+		check("aggregate fill is the weighted mean", almostEq(g.Node(vizgraph.NodeID("GroupB", trace.TypeHost)).Fill, 120.0/300.0),
+			"fill %.3f vs 0.400", g.Node(vizgraph.NodeID("GroupB", trace.TypeHost)).Fill),
+	)
+	return res, nil
+}
+
+// Fig4 regenerates the three per-type scaling schemes.
+func Fig4(opts Options) (*Result, error) {
+	tr := fig1Trace()
+	res := &Result{ID: "fig4", Title: "Independent per-type size scales and interactive sliders"}
+	m := vizgraph.DefaultMapping()
+	maxPx := m.MaxPixel
+
+	sizes := func(v *core.View) (a, b, l float64) {
+		g := v.MustGraph()
+		return g.Node(vizgraph.NodeID("HostA", trace.TypeHost)).Size,
+			g.Node(vizgraph.NodeID("HostB", trace.TypeHost)).Size,
+			g.Node(vizgraph.NodeID("LinkA", trace.TypeLink)).Size
+	}
+
+	table := Table{
+		Title:  "pixel sizes under the three schemes",
+		Header: []string{"scheme", "slice", "host scale", "link scale", "HostA px", "HostB px", "LinkA px"},
+	}
+
+	// Scheme A: first slice, automatic scaling.
+	vA, err := core.NewView(tr)
+	if err != nil {
+		return nil, err
+	}
+	if err := vA.SetTimeSlice(0, 10); err != nil {
+		return nil, err
+	}
+	aA, bA, lA := sizes(vA)
+	table.Rows = append(table.Rows, []string{"A", "[0,10]", "1.0", "1.0", f1(aA), f1(bA), f1(lA)})
+
+	// Scheme B: second slice, automatic scaling; HostB becomes the max.
+	vB, err := core.NewView(tr)
+	if err != nil {
+		return nil, err
+	}
+	if err := vB.SetTimeSlice(10, 20); err != nil {
+		return nil, err
+	}
+	aB, bB, lB := sizes(vB)
+	table.Rows = append(table.Rows, []string{"B", "[10,20]", "1.0", "1.0", f1(aB), f1(bB), f1(lB)})
+
+	// Scheme C: same slice, sliders moved (hosts bigger, links smaller).
+	vC, err := core.NewView(tr)
+	if err != nil {
+		return nil, err
+	}
+	if err := vC.SetTimeSlice(10, 20); err != nil {
+		return nil, err
+	}
+	if err := vC.SetScale(trace.TypeHost, 1.6); err != nil {
+		return nil, err
+	}
+	if err := vC.SetScale(trace.TypeLink, 0.5); err != nil {
+		return nil, err
+	}
+	aC, bC, lC := sizes(vC)
+	table.Rows = append(table.Rows, []string{"C", "[10,20]", "1.6", "0.5", f1(aC), f1(bC), f1(lC)})
+	res.Tables = append(res.Tables, table)
+
+	for name, v := range map[string]*core.View{"a": vA, "b": vB, "c": vC} {
+		v.Stabilize(800, 0.05)
+		if err := writeSVG(opts, "fig4_"+name+".svg", render.SVG(v.MustGraph(), v.Layout(), titled("Figure 4, scheme "+name))); err != nil {
+			return nil, err
+		}
+	}
+
+	res.Checks = append(res.Checks,
+		check("scheme A: biggest host maps to the max pixel size", almostEq(aA, maxPx) && almostEq(bA, maxPx/4),
+			"HostA %.0fpx, HostB %.0fpx", aA, bA),
+		check("scheme B: the new biggest host gets the same pixel size", almostEq(bB, maxPx) && almostEq(aB, maxPx*10/40),
+			"HostB %.0fpx, HostA %.0fpx", bB, aB),
+		check("scheme C: sliders bias the two scales independently", bC > bB && lC < lB,
+			"hosts %.0f→%.0f, links %.0f→%.0f", bB, bC, lB, lC),
+		check("link scale unaffected by host changes", almostEq(lA, maxPx) && almostEq(lB, maxPx),
+			"LinkA %.0f/%.0f px", lA, lB),
+	)
+	return res, nil
+}
+
+// Fig5 regenerates the layout parameter study: charge spreads nodes
+// apart, springs pull connected nodes together.
+func Fig5(opts Options) (*Result, error) {
+	res := &Result{ID: "fig5", Title: "Charge and spring sliders reshape the layout"}
+
+	build := func(params layout.Params) *layout.Layout {
+		l := layout.New(params)
+		mustB(l.AddBodyAuto("hub", 1))
+		var springs []layout.Spring
+		for i := 0; i < 6; i++ {
+			id := fmt.Sprintf("leaf%d", i)
+			mustB(l.AddBodyAuto(id, 1))
+			springs = append(springs, layout.Spring{A: "hub", B: id, Strength: 1})
+		}
+		if err := l.SetSprings(springs); err != nil {
+			panic(err)
+		}
+		l.Run(layout.Naive, 4000, 1e-3)
+		return l
+	}
+	diameter := func(l *layout.Layout) float64 {
+		min, max := l.BoundingBox()
+		return max.Sub(min).Norm()
+	}
+	meanEdge := func(l *layout.Layout) float64 {
+		var sum float64
+		n := 0
+		for _, s := range l.Springs() {
+			sum += l.Body(s.A).Pos.Sub(l.Body(s.B).Pos).Norm()
+			n++
+		}
+		return sum / float64(n)
+	}
+
+	pA := layout.DefaultParams()
+	pB := pA
+	pB.Charge = pA.Charge / 8 // decreased charge: nodes get closer
+	pC := pA
+	pC.SpringLength = pA.SpringLength / 3 // shorter springs: connected nodes get closer
+
+	lA, lB, lC := build(pA), build(pB), build(pC)
+	dA, dB, dC := diameter(lA), diameter(lB), diameter(lC)
+	eA, eB, eC := meanEdge(lA), meanEdge(lB), meanEdge(lC)
+
+	res.Tables = append(res.Tables, Table{
+		Title:  "equilibrium geometry of a 7-node star",
+		Header: []string{"setting", "charge", "spring length", "diameter", "mean edge length"},
+		Rows: [][]string{
+			{"A (reference)", f1(pA.Charge), f1(pA.SpringLength), f1(dA), f1(eA)},
+			{"B (charge/8)", f1(pB.Charge), f1(pB.SpringLength), f1(dB), f1(eB)},
+			{"C (spring/3)", f1(pC.Charge), f1(pC.SpringLength), f1(dC), f1(eC)},
+		},
+	})
+	res.Checks = append(res.Checks,
+		check("decreasing charge makes nodes get closer", dB < dA, "diameter %.0f < %.0f", dB, dA),
+		check("shortening springs pulls connected nodes closer", eC < eA, "edge %.0f < %.0f", eC, eA),
+	)
+	_ = eB
+	return res, nil
+}
+
+func titled(title string) render.Options {
+	o := render.DefaultOptions()
+	o.Title = title
+	return o
+}
+
+func almostEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	if m < 0 {
+		m = -m
+	}
+	return d <= 1e-6*(1+m)
+}
+
+func mustB(_ *layout.Body, err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,414 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"viva/internal/aggregation"
+	"viva/internal/core"
+	"viva/internal/masterworker"
+	"viva/internal/platform"
+	"viva/internal/render"
+	"viva/internal/sim"
+	"viva/internal/trace"
+)
+
+// gridScenario is one simulated execution of the paper's Section 5.2
+// setting: two master-worker applications competing for the whole
+// Grid'5000 platform. The first is CPU-bound; the second has a higher
+// communication-to-computation ratio. Both masters use the given
+// scheduling strategy and a prefetch buffer of three tasks per worker.
+type gridScenario struct {
+	p        *platform.Platform
+	tr       *trace.Trace
+	cpu, net *masterworker.Stats
+	cpuApp   *masterworker.App
+	netApp   *masterworker.App
+	makespan float64
+}
+
+// cpuMaster and netMaster sit on different sites, as in the paper.
+const (
+	cpuMasterHost = "adonis-1"   // grenoble
+	netMasterHost = "graphene-1" // nancy
+)
+
+var gridCache = map[string]*gridScenario{}
+
+// runGridScenario simulates (and memoises) the two-application scenario.
+func runGridScenario(quick bool, strategy masterworker.Strategy) (*gridScenario, error) {
+	key := fmt.Sprintf("%v/%v", quick, strategy)
+	if sc, ok := gridCache[key]; ok {
+		return sc, nil
+	}
+	p := platform.Grid5000()
+	tr := trace.New()
+	e := sim.New(p, tr)
+	e.TraceCategories(true)
+	var hosts []string
+	for _, h := range p.Hosts() {
+		hosts = append(hosts, h.Name)
+	}
+	// Application tuning (see EXPERIMENTS.md): the CPU-bound app ships
+	// small task inputs, so its master can feed far more workers than its
+	// own site holds — the surplus diffuses outward in effective-bandwidth
+	// order (Figure 9's waves). The network-bound app ships 8× more bytes
+	// per flop; its master's egress saturates around its own site's
+	// compute throughput, so the work stays local (Figure 8's locality).
+	// Quick only trims the figure rendering, not the simulation.
+	cpuTasks, netTasks := 20000, 8000
+	_ = quick
+	cpuApp := &masterworker.App{
+		Name: "cpu", MasterHost: cpuMasterHost, Workers: hosts,
+		TaskCount: cpuTasks,
+		TaskFlops: 40 * platform.GFlops, TaskBytes: 0.25 * platform.MB,
+		ResultBytes: 10 * platform.KB, Prefetch: 3, SendWindow: 8,
+		Strategy: strategy,
+	}
+	netApp := &masterworker.App{
+		Name: "net", MasterHost: netMasterHost, Workers: hosts,
+		TaskCount: netTasks,
+		TaskFlops: 64 * platform.GFlops, TaskBytes: 2 * platform.MB,
+		ResultBytes: 10 * platform.KB, Prefetch: 3, SendWindow: 8,
+		Strategy: strategy,
+	}
+	cpuStats, err := masterworker.Deploy(e, cpuApp)
+	if err != nil {
+		return nil, err
+	}
+	netStats, err := masterworker.Deploy(e, netApp)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Run(); err != nil {
+		return nil, err
+	}
+	sc := &gridScenario{
+		p: p, tr: tr, cpu: cpuStats, net: netStats,
+		cpuApp: cpuApp, netApp: netApp, makespan: e.Now(),
+	}
+	gridCache[key] = sc
+	return sc, nil
+}
+
+// appWork integrates one application's compute usage (flops) over a group
+// and slice.
+func appWork(sc *gridScenario, ag *aggregation.Aggregator, group, app string, s aggregation.TimeSlice) float64 {
+	st, err := ag.Stats(group, trace.TypeHost, trace.MetricUsage+":"+app, s)
+	if err != nil {
+		return 0
+	}
+	return st.Sum * s.Width()
+}
+
+// siteUtilization returns one application's mean compute utilization of a
+// site over a slice.
+func siteUtilization(ag *aggregation.Aggregator, site, app string, s aggregation.TimeSlice) float64 {
+	use, err := ag.Stats(site, trace.TypeHost, trace.MetricUsage+":"+app, s)
+	if err != nil {
+		return 0
+	}
+	cap, err := ag.Stats(site, trace.TypeHost, trace.MetricPower, s)
+	if err != nil || cap.Sum <= 0 {
+		return 0
+	}
+	return use.Sum / cap.Sum
+}
+
+// Fig8 reproduces the four spatial-aggregation levels of the Grid'5000
+// view and the three phenomena of Section 5.2: the CPU-bound application
+// uses more resources, the communication-bound application exhibits
+// locality, and the two interfere everywhere — all quantifiable at the
+// cluster/site scale, not at the host scale.
+func Fig8(opts Options) (*Result, error) {
+	sc, err := runGridScenario(opts.Quick, masterworker.BandwidthCentric)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{ID: "fig8", Title: "Grid'5000 master-workers at four aggregation levels"}
+	v, err := core.NewView(sc.tr)
+	if err != nil {
+		return nil, err
+	}
+	// Split each host square's fill by application (the paper's
+	// future-work "richer graphical objects").
+	if err := v.SetSegments(trace.TypeHost, []string{"cpu", "net"}); err != nil {
+		return nil, err
+	}
+	slice := aggregation.TimeSlice{Start: 0, End: sc.makespan}
+	if err := v.SetTimeSlice(slice.Start, slice.End); err != nil {
+		return nil, err
+	}
+
+	// Table 1: view sizes at the four levels (the scalability story).
+	levels := []struct {
+		depth int
+		name  string
+	}{{3, "hosts"}, {2, "clusters"}, {1, "sites"}, {0, "grid"}}
+	sizeTable := Table{
+		Title:  "view size per spatial aggregation level",
+		Header: []string{"level", "graph nodes", "graph edges"},
+	}
+	nodesAt := map[string]int{}
+	for _, lv := range levels {
+		if err := v.SetLevel(lv.depth); err != nil {
+			return nil, err
+		}
+		g := v.MustGraph()
+		nodesAt[lv.name] = len(g.Nodes)
+		sizeTable.Rows = append(sizeTable.Rows, []string{
+			lv.name, fmt.Sprintf("%d", len(g.Nodes)), fmt.Sprintf("%d", len(g.Edges)),
+		})
+		if opts.OutDir != "" {
+			steps := 2500
+			if lv.depth == 3 && opts.Quick {
+				steps = 300 // a 6k-body layout converges slowly; keep quick mode quick
+			}
+			v.Stabilize(steps, 0.5)
+			if err := writeSVG(opts, fmt.Sprintf("fig8_%s.svg", lv.name),
+				render.SVG(g, v.Layout(), titled("Figure 8: "+lv.name+" level"))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res.Tables = append(res.Tables, sizeTable)
+
+	// Table 2: per-site resource usage of both applications (site level is
+	// where the phenomena become visible).
+	ag := v.Aggregator()
+	siteTable := Table{
+		Title:  "per-site compute work and task shares (whole run)",
+		Header: []string{"site", "cpu-app util", "net-app util", "cpu task share", "net task share"},
+	}
+	cpuSites, cpuShares := masterworker.SiteShares(sc.cpu, sc.p)
+	netSites, netShares := masterworker.SiteShares(sc.net, sc.p)
+	cpuShareBySite := map[string]float64{}
+	netShareBySite := map[string]float64{}
+	for i, s := range netSites {
+		netShareBySite[s] = netShares[i]
+	}
+	for i, s := range cpuSites {
+		cpuShareBySite[s] = cpuShares[i]
+	}
+	for _, site := range sc.p.Sites() {
+		siteTable.Rows = append(siteTable.Rows, []string{
+			site,
+			pct(siteUtilization(ag, site, "cpu", slice)),
+			pct(siteUtilization(ag, site, "net", slice)),
+			pct(cpuShareBySite[site]),
+			pct(netShareBySite[site]),
+		})
+	}
+	res.Tables = append(res.Tables, siteTable)
+
+	// Phenomenon 1: overall resource usage favours the CPU-bound app.
+	cpuWork := appWork(sc, ag, sc.p.Root, "cpu", slice)
+	netWork := appWork(sc, ag, sc.p.Root, "net", slice)
+	// Phenomenon 2: locality of the network-bound app — its master's site
+	// concentrates the largest share of its tasks.
+	netTop, netTopShare := topShare(netShareBySite)
+	_, cpuTopShare := topShare(cpuShareBySite)
+	netMasterSite := sc.p.Host(netMasterHost).Site
+	// Phenomenon 3: interference — both apps computed on the same sites.
+	overlap := 0
+	for _, site := range sc.p.Sites() {
+		if cpuShareBySite[site] > 0 && netShareBySite[site] > 0 {
+			overlap++
+		}
+	}
+
+	res.Checks = append(res.Checks,
+		check("aggregation shrinks the view by orders of magnitude",
+			nodesAt["hosts"] > 50*nodesAt["sites"],
+			"%d host-level nodes vs %d site-level", nodesAt["hosts"], nodesAt["sites"]),
+		check("CPU-bound app achieves better overall resource usage", cpuWork > netWork,
+			"%.3g vs %.3g flops", cpuWork, netWork),
+		check("network-bound app shows strong locality at its master's site",
+			netTop == netMasterSite && netTopShare > 0.4,
+			"top site %s share %s", netTop, pct(netTopShare)),
+		check("CPU-bound app spreads wider than the network-bound one",
+			cpuTopShare < netTopShare,
+			"top shares %s vs %s", pct(cpuTopShare), pct(netTopShare)),
+		check("applications interfere on shared sites", overlap >= 2,
+			"%d/%d sites ran both", overlap, len(sc.p.Sites())),
+	)
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("platform: %d hosts, %d clusters, %d sites", sc.p.NumHosts(), len(sc.p.Clusters("")), len(sc.p.Sites())),
+		fmt.Sprintf("makespans: cpu %.1fs, net %.1fs", sc.cpu.Makespan, sc.net.Makespan))
+	return res, nil
+}
+
+func topShare(shares map[string]float64) (string, float64) {
+	var names []string
+	for n := range shares {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	best, bestV := "", -1.0
+	for _, n := range names {
+		if shares[n] > bestV {
+			best, bestV = n, shares[n]
+		}
+	}
+	return best, bestV
+}
+
+// Fig9 reproduces the animation through time at the site scale: the
+// CPU-bound application's workload diffuses across sites in waves ordered
+// by effective bandwidth; a FIFO master shows no such locality.
+func Fig9(opts Options) (*Result, error) {
+	sc, err := runGridScenario(opts.Quick, masterworker.BandwidthCentric)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{ID: "fig9", Title: "Workload diffusion across time (site scale)"}
+	ag, err := aggregation.NewAggregator(sc.tr)
+	if err != nil {
+		return nil, err
+	}
+	T := sc.cpu.Makespan
+	nSlices := 4
+	slices := make([]aggregation.TimeSlice, nSlices)
+	for i := range slices {
+		slices[i] = aggregation.TimeSlice{Start: float64(i) * T / float64(nSlices), End: float64(i+1) * T / float64(nSlices)}
+	}
+
+	table := Table{
+		Title:  "cpu-app site utilization per time slice [t0..t3]",
+		Header: []string{"site", "t0", "t1", "t2", "t3", "first task (s)"},
+	}
+	// Continuous first-activity time of each site: the earliest instant a
+	// member host computes for the cpu application.
+	firstActive := map[string]float64{}
+	for _, site := range sc.p.Sites() {
+		firstActive[site] = siteFirstActivity(sc, site, "cpu")
+	}
+	utils := map[string][]float64{}
+	for _, site := range sc.p.Sites() {
+		row := []string{site}
+		for _, s := range slices {
+			u := siteUtilization(ag, site, "cpu", s)
+			utils[site] = append(utils[site], u)
+			row = append(row, pct(u))
+		}
+		row = append(row, f1(firstActive[site]))
+		table.Rows = append(table.Rows, row)
+	}
+	res.Tables = append(res.Tables, table)
+
+	// The diffusion pattern: the master's site starts immediately; other
+	// sites join in waves ordered by their effective bandwidth (the
+	// paper's "site B is filled quickly in [t0,t2] whereas site C has to
+	// wait until t2").
+	masterSite := sc.p.Host(cpuMasterHost).Site
+	late, lateT := "", 0.0
+	for _, site := range sc.p.Sites() {
+		if firstActive[site] > lateT {
+			late, lateT = site, firstActive[site]
+		}
+	}
+	spread := lateT - firstActive[masterSite]
+
+	// FIFO contrast: without bandwidth-centric service the master site
+	// loses its head start (uniform, inefficient spread).
+	scFIFO, err := runGridScenario(opts.Quick, masterworker.FIFO)
+	if err != nil {
+		return nil, err
+	}
+	bcSites, bcShares := masterworker.SiteShares(sc.cpu, sc.p)
+	bcMaster := shareOf(bcSites, bcShares, masterSite)
+	fifoSites, fifoShares := masterworker.SiteShares(scFIFO.cpu, scFIFO.p)
+	fifoMaster := shareOf(fifoSites, fifoShares, masterSite)
+	res.Tables = append(res.Tables, Table{
+		Title:  "cpu-app master-site task share by strategy",
+		Header: []string{"strategy", "master site", "share"},
+		Rows: [][]string{
+			{"bandwidth-centric", masterSite, pct(bcMaster)},
+			{"fifo", masterSite, pct(fifoMaster)},
+		},
+	})
+
+	res.Checks = append(res.Checks,
+		check("master's site starts first", firstActive[masterSite] <= minFirst(firstActive),
+			"%s starts at %.2fs", masterSite, firstActive[masterSite]),
+		check("workload diffuses in waves (some site waits)", spread > 0.03*T,
+			"site %q waits %.1fs (%.0f%% of the run)", late, spread, 100*spread/T),
+		check("bandwidth-centric keeps more work local than FIFO", bcMaster > fifoMaster,
+			"%s vs %s", pct(bcMaster), pct(fifoMaster)),
+	)
+
+	if opts.OutDir != "" {
+		v, err := core.NewView(sc.tr)
+		if err != nil {
+			return nil, err
+		}
+		if err := v.SetSegments(trace.TypeHost, []string{"cpu", "net"}); err != nil {
+			return nil, err
+		}
+		if err := v.SetLevel(1); err != nil {
+			return nil, err
+		}
+		v.Stabilize(2500, 0.2)
+		anim := render.NewAnimation(render.DefaultOptions(), 1.2)
+		for i, s := range slices {
+			if err := v.SetTimeSlice(s.Start, s.End); err != nil {
+				return nil, err
+			}
+			g := v.MustGraph()
+			if err := writeSVG(opts, fmt.Sprintf("fig9_t%d.svg", i),
+				render.SVG(g, v.Layout(), titled(fmt.Sprintf("Figure 9: slice t%d", i)))); err != nil {
+				return nil, err
+			}
+			anim.AddFrame(g, v.Layout(), fmt.Sprintf("Figure 9 animation: slice t%d = [%.0fs, %.0fs]", i, s.Start, s.End))
+		}
+		// The self-playing equivalent of the paper's video: the workload
+		// diffusion cycles through the four slices.
+		if err := writeSVG(opts, "fig9_anim.svg", anim.Render()); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// siteFirstActivity returns the earliest time any host of a site computes
+// for the given application (+Inf-like large value when it never does).
+func siteFirstActivity(sc *gridScenario, site, app string) float64 {
+	first := sc.makespan
+	metric := trace.MetricUsage + ":" + app
+	for _, h := range sc.p.Hosts() {
+		if h.Site != site {
+			continue
+		}
+		tl := sc.tr.Timeline(h.Name, metric)
+		for _, pt := range tl.Points() {
+			if pt.V > 0 {
+				if pt.T < first {
+					first = pt.T
+				}
+				break
+			}
+		}
+	}
+	return first
+}
+
+func minFirst(m map[string]float64) float64 {
+	first := true
+	var min float64
+	for _, v := range m {
+		if first || v < min {
+			min = v
+			first = false
+		}
+	}
+	return min
+}
+
+func shareOf(sites []string, shares []float64, site string) float64 {
+	for i, s := range sites {
+		if s == site {
+			return shares[i]
+		}
+	}
+	return 0
+}

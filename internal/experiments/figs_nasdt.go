@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+
+	"viva/internal/aggregation"
+	"viva/internal/core"
+	"viva/internal/nasdt"
+	"viva/internal/platform"
+	"viva/internal/render"
+	"viva/internal/sim"
+	"viva/internal/trace"
+)
+
+// dtRun executes NAS-DT class A White Hole on the two-cluster platform
+// with the given hostfile and returns the trace and makespan.
+func dtRun(hostfile []string) (*trace.Trace, float64, error) {
+	p := platform.TwoClusters()
+	tr := trace.New()
+	e := sim.New(p, tr)
+	cfg := nasdt.DefaultConfig()
+	g := nasdt.MustBuild(nasdt.WH, 'A')
+	nasdt.Run(e, g, hostfile, cfg)
+	if err := e.Run(); err != nil {
+		return nil, 0, err
+	}
+	return tr, e.Now(), nil
+}
+
+// interClusterLinks are the links interconnecting the two clusters.
+var interClusterLinks = []string{"up:adonis", "up:griffon", "bb:site"}
+
+// linkUtilization returns the mean traffic/bandwidth ratio of a link over
+// a slice.
+func linkUtilization(tr *trace.Trace, link string, s aggregation.TimeSlice) float64 {
+	traffic := tr.Timeline(link, trace.MetricTraffic).Mean(s.Start, s.End)
+	bw := tr.Timeline(link, trace.MetricBandwidth).At(s.Start)
+	if bw <= 0 {
+		return 0
+	}
+	return traffic / bw
+}
+
+// dtUtilizationTable builds the per-slice utilization rows of Figures 6/7:
+// the whole run plus beginning, middle and end slices.
+func dtUtilizationTable(tr *trace.Trace, makespan float64) (Table, map[string][]float64) {
+	slices := []struct {
+		name string
+		s    aggregation.TimeSlice
+	}{
+		{"whole run", aggregation.TimeSlice{Start: 0, End: makespan}},
+		{"beginning", aggregation.TimeSlice{Start: 0, End: makespan / 5}},
+		{"middle", aggregation.TimeSlice{Start: 2 * makespan / 5, End: 3 * makespan / 5}},
+		{"end", aggregation.TimeSlice{Start: 4 * makespan / 5, End: makespan}},
+	}
+	table := Table{
+		Title:  "network utilization per time slice",
+		Header: []string{"slice", "inter-cluster max", "intra-adonis mean", "intra-griffon mean"},
+	}
+	series := map[string][]float64{}
+	p := platform.TwoClusters()
+	for _, sl := range slices {
+		inter := 0.0
+		for _, l := range interClusterLinks {
+			if u := linkUtilization(tr, l, sl.s); u > inter {
+				inter = u
+			}
+		}
+		intra := func(cluster string) float64 {
+			var sum float64
+			n := 0
+			for _, h := range p.HostsOfCluster(cluster) {
+				sum += linkUtilization(tr, "lnk:"+h, sl.s)
+				n++
+			}
+			sum += linkUtilization(tr, "bb:"+cluster, sl.s)
+			n++
+			return sum / float64(n)
+		}
+		ia, ig := intra("adonis"), intra("griffon")
+		table.Rows = append(table.Rows, []string{sl.name, pct(inter), pct(ia), pct(ig)})
+		series["inter"] = append(series["inter"], inter)
+		series["intra"] = append(series["intra"], (ia+ig)/2)
+	}
+	return table, series
+}
+
+// dtSVGs renders the four topology views (whole run + three slices) at
+// host level, like the paper's screenshots.
+func dtSVGs(opts Options, prefix string, tr *trace.Trace, makespan float64) error {
+	if opts.OutDir == "" {
+		return nil
+	}
+	v, err := core.NewView(tr)
+	if err != nil {
+		return err
+	}
+	v.Stabilize(1500, 0.1)
+	views := []struct {
+		name  string
+		a, b  float64
+		title string
+	}{
+		{"whole", 0, makespan, "whole execution"},
+		{"begin", 0, makespan / 5, "beginning"},
+		{"middle", 2 * makespan / 5, 3 * makespan / 5, "middle"},
+		{"end", 4 * makespan / 5, makespan, "end"},
+	}
+	for _, vw := range views {
+		if err := v.SetTimeSlice(vw.a, vw.b); err != nil {
+			return err
+		}
+		g := v.MustGraph()
+		if err := writeSVG(opts, fmt.Sprintf("%s_%s.svg", prefix, vw.name),
+			render.SVG(g, v.Layout(), titled(prefix+": "+vw.title))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig6 reproduces the sequential-deployment run: the links interconnecting
+// the clusters are (almost) saturated over the whole execution and in
+// every slice.
+func Fig6(opts Options) (*Result, error) {
+	p := platform.TwoClusters()
+	g := nasdt.MustBuild(nasdt.WH, 'A')
+	hf := nasdt.SequentialHostfile(nasdt.ClusterHosts(p, "adonis", "griffon"), g.NumNodes())
+	tr, makespan, err := dtRun(hf)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{ID: "fig6", Title: "NAS-DT A/WH, sequential deployment"}
+	table, series := dtUtilizationTable(tr, makespan)
+	res.Tables = append(res.Tables, table)
+	res.Tables = append(res.Tables, Table{
+		Title:  "run summary",
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"makespan (s)", f2(makespan)},
+			{"cross-cluster task-graph edges", fmt.Sprintf("%d", nasdt.CrossEdges(g, hf, p))},
+		},
+	})
+	minInter := series["inter"][0]
+	for _, u := range series["inter"] {
+		if u < minInter {
+			minInter = u
+		}
+	}
+	res.Checks = append(res.Checks,
+		check("inter-cluster links almost saturated over the whole run", series["inter"][0] > 0.8,
+			"utilization %s", pct(series["inter"][0])),
+		check("saturation persists in beginning/middle/end slices", minInter > 0.6,
+			"min slice utilization %s", pct(minInter)),
+		check("interconnection hotter than cluster insides", series["inter"][0] > series["intra"][0],
+			"%s vs %s", pct(series["inter"][0]), pct(series["intra"][0])),
+	)
+	if err := dtSVGs(opts, "fig6", tr, makespan); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Fig7 reproduces the locality-aware run: inter-cluster utilization
+// collapses (except at startup, when the first levels of the White Hole
+// hierarchy cross), contention moves inside the clusters, and the
+// benchmark runs about 20% faster (the paper's headline).
+func Fig7(opts Options) (*Result, error) {
+	p := platform.TwoClusters()
+	g := nasdt.MustBuild(nasdt.WH, 'A')
+	seqHF := nasdt.SequentialHostfile(nasdt.ClusterHosts(p, "adonis", "griffon"), g.NumNodes())
+	locHF := nasdt.LocalityHostfile(g, p.HostsOfCluster("adonis"), p.HostsOfCluster("griffon"))
+
+	trSeq, seqSpan, err := dtRun(seqHF)
+	if err != nil {
+		return nil, err
+	}
+	trLoc, locSpan, err := dtRun(locHF)
+	if err != nil {
+		return nil, err
+	}
+	_ = trSeq
+
+	res := &Result{ID: "fig7", Title: "NAS-DT A/WH, locality-aware deployment"}
+	table, series := dtUtilizationTable(trLoc, locSpan)
+	res.Tables = append(res.Tables, table)
+
+	improvement := 1 - locSpan/seqSpan
+	res.Tables = append(res.Tables, Table{
+		Title:  "deployment comparison (paper: 20% improvement)",
+		Header: []string{"deployment", "cross edges", "makespan (s)", "improvement"},
+		Rows: [][]string{
+			{"sequential", fmt.Sprintf("%d", nasdt.CrossEdges(g, seqHF, p)), f2(seqSpan), "-"},
+			{"locality", fmt.Sprintf("%d", nasdt.CrossEdges(g, locHF, p)), f2(locSpan), pct(improvement)},
+		},
+	})
+
+	// Whole-run inter-cluster utilization under both deployments.
+	wholeLoc := series["inter"][0]
+	beginLoc := series["inter"][1]
+	midLoc := series["inter"][2]
+	endLoc := series["inter"][3]
+	res.Checks = append(res.Checks,
+		check("locality collapses inter-cluster utilization", wholeLoc < 0.35,
+			"whole-run utilization %s", pct(wholeLoc)),
+		check("remaining inter-cluster traffic sits at the beginning", beginLoc > midLoc && beginLoc > endLoc,
+			"begin %s vs middle %s / end %s", pct(beginLoc), pct(midLoc), pct(endLoc)),
+		check("locality wins ~20% (within [10%, 35%])", improvement > 0.10 && improvement < 0.35,
+			"improvement %s", pct(improvement)),
+		check("contention moved inside the clusters", series["intra"][0] > 0,
+			"intra mean %s", pct(series["intra"][0])),
+	)
+	res.Notes = append(res.Notes,
+		"paper: \"we have reduced the execution time of the NAS-DT class A with the white hole algorithm by 20% with the new deployment\"")
+	if err := dtSVGs(opts, "fig7", trLoc, locSpan); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

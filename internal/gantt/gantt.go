@@ -1,0 +1,167 @@
+// Package gantt renders the classical space/time timeline view — the
+// visualization technique the paper contrasts its topology-based approach
+// with (Section 2.2). Observed entities are listed on the vertical axis
+// and their behavioural states drawn as coloured rectangles along time,
+// exactly like Paje or Vampir would.
+//
+// Keeping this baseline in the repository makes the paper's argument
+// reproducible: render the NAS-DT run both ways and the Gantt chart shows
+// *when* processes wait, while only the topology view shows *where* the
+// saturation sits (see examples/ganttcompare).
+package gantt
+
+import (
+	"bytes"
+	"fmt"
+	"html"
+
+	"viva/internal/trace"
+)
+
+// Options control the rendering.
+type Options struct {
+	Width     int
+	RowHeight int
+	// Colors maps state values to CSS colors; states not listed get a
+	// deterministic palette color.
+	Colors map[string]string
+	Title  string
+	// ShowLegend appends a legend row for every state value drawn.
+	ShowLegend bool
+}
+
+// DefaultOptions renders 1000px-wide rows of 18px.
+func DefaultOptions() Options {
+	return Options{
+		Width:      1000,
+		RowHeight:  18,
+		ShowLegend: true,
+	}
+}
+
+// palette is the fallback state-color assignment, in first-seen order.
+var palette = []string{
+	"#3b7dd8", "#d85c3b", "#3bb273", "#b23bd8", "#d8a23b",
+	"#3bd8cf", "#d83b7a", "#7a8a3b", "#5c5cd8", "#8a6a4a",
+}
+
+// SVG draws the Gantt chart of the given resources' states over [a, b].
+// Resources without states get an empty row (idle throughout).
+func SVG(tr *trace.Trace, resources []string, a, b float64, opts Options) []byte {
+	if opts.Width <= 0 {
+		opts.Width = DefaultOptions().Width
+	}
+	if opts.RowHeight <= 0 {
+		opts.RowHeight = DefaultOptions().RowHeight
+	}
+	if b <= a {
+		b = a + 1
+	}
+	labelW := 0
+	for _, r := range resources {
+		if len(r) > labelW {
+			labelW = len(r)
+		}
+	}
+	leftPad := 10 + labelW*7
+	plotW := float64(opts.Width - leftPad - 10)
+	rowH := opts.RowHeight
+	topPad := 24
+	if opts.Title == "" {
+		topPad = 8
+	}
+
+	colors := make(map[string]string)
+	for k, v := range opts.Colors {
+		colors[k] = v
+	}
+	var legendOrder []string
+	colorOf := func(state string) string {
+		if c, ok := colors[state]; ok {
+			return c
+		}
+		c := palette[len(legendOrder)%len(palette)]
+		colors[state] = c
+		legendOrder = append(legendOrder, state)
+		return c
+	}
+	// Stabilise legend order for states with explicit colors too.
+	seen := make(map[string]bool)
+	noteState := func(s string) {
+		if !seen[s] {
+			seen[s] = true
+			if _, explicit := opts.Colors[s]; explicit {
+				legendOrder = append(legendOrder, s)
+			}
+		}
+	}
+
+	height := topPad + rowH*len(resources) + 30
+	if opts.ShowLegend {
+		height += 22
+	}
+
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		opts.Width, height, opts.Width, height)
+	buf.WriteByte('\n')
+	fmt.Fprintf(&buf, `<rect width="%d" height="%d" fill="#ffffff"/>`, opts.Width, height)
+	buf.WriteByte('\n')
+	if opts.Title != "" {
+		fmt.Fprintf(&buf, `<text x="10" y="16" font-size="13" font-family="sans-serif" fill="#222">%s</text>`,
+			html.EscapeString(opts.Title))
+		buf.WriteByte('\n')
+	}
+
+	x := func(t float64) float64 {
+		return float64(leftPad) + (t-a)/(b-a)*plotW
+	}
+	for i, res := range resources {
+		y := topPad + i*rowH
+		fmt.Fprintf(&buf, `<text x="%d" y="%d" font-size="10" font-family="monospace" fill="#333">%s</text>`,
+			8, y+rowH-6, html.EscapeString(res))
+		buf.WriteByte('\n')
+		// Row background.
+		fmt.Fprintf(&buf, `<rect x="%d" y="%d" width="%.1f" height="%d" fill="#f3f3f3"/>`,
+			leftPad, y+1, plotW, rowH-2)
+		buf.WriteByte('\n')
+		for _, iv := range tr.StateIntervals(res, a, b) {
+			noteState(iv.Value)
+			c := colorOf(iv.Value)
+			x0 := x(iv.Start)
+			w := x(iv.End) - x0
+			if w < 0.5 {
+				w = 0.5
+			}
+			fmt.Fprintf(&buf, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s"><title>%s [%.3f, %.3f]</title></rect>`,
+				x0, y+1, w, rowH-2, c, html.EscapeString(iv.Value), iv.Start, iv.End)
+			buf.WriteByte('\n')
+		}
+	}
+
+	// Time axis.
+	axisY := topPad + rowH*len(resources) + 12
+	fmt.Fprintf(&buf, `<line x1="%d" y1="%d" x2="%.1f" y2="%d" stroke="#888"/>`,
+		leftPad, axisY, float64(leftPad)+plotW, axisY)
+	buf.WriteByte('\n')
+	for i := 0; i <= 5; i++ {
+		t := a + (b-a)*float64(i)/5
+		fmt.Fprintf(&buf, `<text x="%.1f" y="%d" font-size="9" text-anchor="middle" font-family="sans-serif" fill="#555">%.2f</text>`,
+			x(t), axisY+12, t)
+		buf.WriteByte('\n')
+	}
+
+	if opts.ShowLegend {
+		lx := leftPad
+		ly := axisY + 20
+		for _, s := range legendOrder {
+			fmt.Fprintf(&buf, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`, lx, ly, colors[s])
+			fmt.Fprintf(&buf, `<text x="%d" y="%d" font-size="10" font-family="sans-serif" fill="#333">%s</text>`,
+				lx+14, ly+9, html.EscapeString(s))
+			buf.WriteByte('\n')
+			lx += 14 + 8 + len(s)*7
+		}
+	}
+	buf.WriteString("</svg>\n")
+	return buf.Bytes()
+}

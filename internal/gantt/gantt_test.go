@@ -1,0 +1,111 @@
+package gantt
+
+import (
+	"strings"
+	"testing"
+
+	"viva/internal/trace"
+)
+
+func ganttTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr := trace.New()
+	tr.MustDeclareResource("h", trace.TypeHost, "")
+	tr.MustDeclareResource("p0", "process", "h")
+	tr.MustDeclareResource("p1", "process", "h")
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(tr.SetState(0, "p0", "compute"))
+	must(tr.SetState(4, "p0", "send"))
+	must(tr.SetState(6, "p0", ""))
+	must(tr.SetState(0, "p1", "recv"))
+	must(tr.SetState(6, "p1", "compute"))
+	must(tr.SetState(10, "p1", ""))
+	tr.SetEnd(10)
+	return tr
+}
+
+func TestGanttSVGStructure(t *testing.T) {
+	tr := ganttTrace(t)
+	opts := DefaultOptions()
+	opts.Title = "test chart"
+	svg := string(SVG(tr, []string{"p0", "p1"}, 0, 10, opts))
+	for _, want := range []string{
+		"<svg", "</svg>",
+		">p0</text>", ">p1</text>", // row labels
+		"test chart",
+		"compute [0.000, 4.000]", // interval tooltips
+		"send [4.000, 6.000]",
+		"recv [0.000, 6.000]",
+		">compute</text>", // legend
+		">send</text>",
+		">recv</text>",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("gantt SVG missing %q", want)
+		}
+	}
+}
+
+func TestGanttClipping(t *testing.T) {
+	tr := ganttTrace(t)
+	svg := string(SVG(tr, []string{"p0"}, 5, 10, DefaultOptions()))
+	if strings.Contains(svg, "compute [0") {
+		t.Error("interval before the window drawn")
+	}
+	if !strings.Contains(svg, "send [5.000, 6.000]") {
+		t.Error("clipped interval missing or mis-clipped")
+	}
+}
+
+func TestGanttCustomColors(t *testing.T) {
+	tr := ganttTrace(t)
+	opts := DefaultOptions()
+	opts.Colors = map[string]string{"compute": "#123456"}
+	svg := string(SVG(tr, []string{"p0"}, 0, 10, opts))
+	if !strings.Contains(svg, "#123456") {
+		t.Error("custom color not used")
+	}
+}
+
+func TestGanttStatelessRowAndDegenerateWindow(t *testing.T) {
+	tr := ganttTrace(t)
+	// h has no states; window inverted gets fixed up; must not panic.
+	svg := string(SVG(tr, []string{"h"}, 5, 5, Options{}))
+	if !strings.Contains(svg, ">h</text>") {
+		t.Error("stateless row missing")
+	}
+}
+
+func TestGanttNoLegend(t *testing.T) {
+	tr := ganttTrace(t)
+	opts := DefaultOptions()
+	opts.ShowLegend = false
+	svg := string(SVG(tr, []string{"p0"}, 0, 10, opts))
+	if strings.Contains(svg, ">compute</text>") {
+		t.Error("legend drawn despite ShowLegend=false")
+	}
+}
+
+func TestGanttFromSimulation(t *testing.T) {
+	// End-to-end: the simulator's state traces render directly.
+	tr := trace.New()
+	// Reuse platform-free trace: declare a host + process manually and a
+	// couple of states to mimic an SMPI-style trace.
+	tr.MustDeclareResource("host", trace.TypeHost, "")
+	tr.MustDeclareResource("rank0", "process", "host")
+	if err := tr.SetState(0, "rank0", "compute"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SetState(1, "rank0", ""); err != nil {
+		t.Fatal(err)
+	}
+	tr.SetEnd(1)
+	svg := SVG(tr, tr.StatefulResources(), 0, 1, DefaultOptions())
+	if len(svg) == 0 || !strings.Contains(string(svg), "rank0") {
+		t.Error("simulation gantt empty")
+	}
+}

@@ -1,0 +1,436 @@
+// Package layout implements the paper's dynamic, interactive graph layout
+// (Sections 3.3 and 4.2): a force-directed placement where every node
+// carries an electrical charge (Coulomb repulsion), connected nodes pull
+// on each other through springs (Hooke attraction), and a damping factor
+// controls convergence speed. Two force engines are provided: the basic
+// O(n²) all-pairs algorithm and the Barnes-Hut quadtree approximation in
+// O(n log n) the paper adopts for scalability.
+//
+// The layout is incremental: bodies can be added, removed, pinned and
+// dragged while the simulation keeps iterating, so the picture evolves
+// smoothly when the analyst aggregates or disaggregates groups of nodes.
+// An aggregated body's charge is the sum of the charges it replaces.
+package layout
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is a position or vector in the 2D layout plane.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p − q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Norm returns the Euclidean norm of p.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Params are the analyst-facing knobs of the force model (the sliders of
+// Section 4.2).
+type Params struct {
+	// Charge scales the Coulomb repulsion between every pair of bodies;
+	// higher values spread the nodes apart.
+	Charge float64
+	// Spring scales the Hooke attraction along edges; higher values pull
+	// connected nodes together.
+	Spring float64
+	// SpringLength is the rest length of the springs.
+	SpringLength float64
+	// Damping in [0, 1) multiplies velocities each step: low values stop
+	// the motion quickly, values near 1 let the layout glide.
+	Damping float64
+	// Theta is the Barnes-Hut opening angle; 0 degenerates to exact
+	// all-pairs, typical values are 0.5–1.0.
+	Theta float64
+	// TimeStep is the integration step.
+	TimeStep float64
+	// MaxVelocity caps per-step motion, keeping the integration stable
+	// when charges collide.
+	MaxVelocity float64
+}
+
+// DefaultParams returns a stable, middle-of-the-sliders configuration.
+func DefaultParams() Params {
+	return Params{
+		Charge:       1000,
+		Spring:       0.05,
+		SpringLength: 60,
+		Damping:      0.85,
+		Theta:        0.7,
+		TimeStep:     0.5,
+		MaxVelocity:  200,
+	}
+}
+
+// Body is one laid-out node.
+type Body struct {
+	ID     string
+	Pos    Point
+	Vel    Point
+	Charge float64
+	// Pinned bodies ignore forces (the analyst dragged them and wants
+	// them to stay, or an algorithm anchors them).
+	Pinned bool
+
+	force Point
+}
+
+// Spring connects two bodies.
+type Spring struct {
+	A, B string
+	// Strength multiplies Params.Spring for this edge (use e.g. the edge
+	// multiplicity of an aggregated bundle).
+	Strength float64
+}
+
+// Layout is a running force simulation.
+type Layout struct {
+	params  Params
+	bodies  []*Body
+	index   map[string]*Body
+	springs []Spring
+}
+
+// New creates an empty layout.
+func New(params Params) *Layout {
+	return &Layout{params: params, index: make(map[string]*Body)}
+}
+
+// Params returns the current parameters.
+func (l *Layout) Params() Params { return l.params }
+
+// SetParams replaces the force parameters (slider movement).
+func (l *Layout) SetParams(p Params) { l.params = p }
+
+// Bodies returns the bodies in insertion order. The slice is shared; do
+// not reorder it.
+func (l *Layout) Bodies() []*Body { return l.bodies }
+
+// Body returns a body by ID, or nil.
+func (l *Layout) Body(id string) *Body { return l.index[id] }
+
+// Len returns the number of bodies.
+func (l *Layout) Len() int { return len(l.bodies) }
+
+// AddBody inserts a body. If no position is given (zero Point and
+// deterministic placement wanted), use AddBodyAuto instead. Adding an
+// existing ID is an error.
+func (l *Layout) AddBody(id string, pos Point, charge float64) (*Body, error) {
+	if _, ok := l.index[id]; ok {
+		return nil, fmt.Errorf("layout: body %q already exists", id)
+	}
+	b := &Body{ID: id, Pos: pos, Charge: charge}
+	l.bodies = append(l.bodies, b)
+	l.index[id] = b
+	return b, nil
+}
+
+// AddBodyAuto inserts a body at a deterministic pseudo-random position
+// derived from its ID, on a disc whose radius grows with the body count —
+// a reproducible seed layout.
+func (l *Layout) AddBodyAuto(id string, charge float64) (*Body, error) {
+	h := fnv64(id)
+	angle := float64(h%3600) / 3600 * 2 * math.Pi
+	radius := 40 + float64(len(l.bodies))*2 + float64((h/3600)%100)
+	pos := Point{X: radius * math.Cos(angle), Y: radius * math.Sin(angle)}
+	return l.AddBody(id, pos, charge)
+}
+
+// RemoveBody deletes a body and every spring touching it. Removing an
+// unknown ID is a no-op returning false.
+func (l *Layout) RemoveBody(id string) bool {
+	if _, ok := l.index[id]; !ok {
+		return false
+	}
+	delete(l.index, id)
+	for i, b := range l.bodies {
+		if b.ID == id {
+			l.bodies = append(l.bodies[:i], l.bodies[i+1:]...)
+			break
+		}
+	}
+	springs := l.springs[:0]
+	for _, s := range l.springs {
+		if s.A != id && s.B != id {
+			springs = append(springs, s)
+		}
+	}
+	l.springs = springs
+	return true
+}
+
+// SetSprings replaces the edge set. Unknown endpoints are rejected.
+func (l *Layout) SetSprings(springs []Spring) error {
+	for _, s := range springs {
+		if l.index[s.A] == nil || l.index[s.B] == nil {
+			return fmt.Errorf("layout: spring %s-%s references unknown body", s.A, s.B)
+		}
+	}
+	l.springs = append(l.springs[:0:0], springs...)
+	return nil
+}
+
+// Springs returns the current springs.
+func (l *Layout) Springs() []Spring {
+	out := make([]Spring, len(l.springs))
+	copy(out, l.springs)
+	return out
+}
+
+// Pin fixes a body at a position (analyst drag-and-hold). Returns false
+// for unknown IDs.
+func (l *Layout) Pin(id string, pos Point) bool {
+	b := l.index[id]
+	if b == nil {
+		return false
+	}
+	b.Pos = pos
+	b.Vel = Point{}
+	b.Pinned = true
+	return true
+}
+
+// Unpin releases a pinned body back to the simulation.
+func (l *Layout) Unpin(id string) bool {
+	b := l.index[id]
+	if b == nil {
+		return false
+	}
+	b.Pinned = false
+	return true
+}
+
+// Move teleports a body without pinning it: its neighbourhood will follow
+// through the springs on the next steps ("whenever a node is moved by the
+// analyst, all his neighbors seamlessly follow").
+func (l *Layout) Move(id string, pos Point) bool {
+	b := l.index[id]
+	if b == nil {
+		return false
+	}
+	b.Pos = pos
+	b.Vel = Point{}
+	return true
+}
+
+// Algorithm selects the repulsion engine.
+type Algorithm int
+
+const (
+	// Naive computes exact all-pairs repulsion in O(n²).
+	Naive Algorithm = iota
+	// BarnesHut approximates far-field repulsion through a quadtree in
+	// O(n log n) — the paper's choice for large graphs.
+	BarnesHut
+)
+
+// Step advances the simulation by one time step with the given engine and
+// returns the maximum displacement, the convergence measure.
+func (l *Layout) Step(algo Algorithm) float64 {
+	for _, b := range l.bodies {
+		b.force = Point{}
+	}
+	switch algo {
+	case BarnesHut:
+		l.repelBarnesHut()
+	default:
+		l.repelNaive()
+	}
+	l.applySprings()
+	return l.integrate()
+}
+
+// Run iterates until the maximum displacement per step falls below eps or
+// maxSteps is reached, returning the number of steps taken.
+func (l *Layout) Run(algo Algorithm, maxSteps int, eps float64) int {
+	for i := 0; i < maxSteps; i++ {
+		if l.Step(algo) < eps {
+			return i + 1
+		}
+	}
+	return maxSteps
+}
+
+func (l *Layout) repelNaive() {
+	c := l.params.Charge
+	for i, a := range l.bodies {
+		for _, b := range l.bodies[i+1:] {
+			f := coulomb(a, b, c)
+			a.force = a.force.Add(f)
+			b.force = b.force.Sub(f)
+		}
+	}
+}
+
+// coulomb returns the force pushing a away from b.
+func coulomb(a, b *Body, c float64) Point {
+	d := a.Pos.Sub(b.Pos)
+	dist := d.Norm()
+	if dist < 1e-3 {
+		// Coincident bodies: push apart along a deterministic direction
+		// derived from their IDs.
+		angle := float64(fnv64(a.ID+b.ID)%360) / 360 * 2 * math.Pi
+		d = Point{math.Cos(angle), math.Sin(angle)}
+		dist = 1e-3
+	}
+	mag := c * a.Charge * b.Charge / (dist * dist)
+	return d.Scale(mag / dist)
+}
+
+func (l *Layout) applySprings() {
+	k := l.params.Spring
+	rest := l.params.SpringLength
+	for _, s := range l.springs {
+		a, b := l.index[s.A], l.index[s.B]
+		if a == nil || b == nil {
+			continue
+		}
+		d := b.Pos.Sub(a.Pos)
+		dist := d.Norm()
+		if dist < 1e-6 {
+			continue
+		}
+		strength := s.Strength
+		if strength <= 0 {
+			strength = 1
+		}
+		mag := k * strength * (dist - rest)
+		f := d.Scale(mag / dist)
+		a.force = a.force.Add(f)
+		b.force = b.force.Sub(f)
+	}
+}
+
+func (l *Layout) integrate() float64 {
+	dt := l.params.TimeStep
+	damp := l.params.Damping
+	maxV := l.params.MaxVelocity
+	var maxDisp float64
+	for _, b := range l.bodies {
+		if b.Pinned {
+			b.Vel = Point{}
+			continue
+		}
+		b.Vel = b.Vel.Add(b.force.Scale(dt)).Scale(damp)
+		if v := b.Vel.Norm(); maxV > 0 && v > maxV {
+			b.Vel = b.Vel.Scale(maxV / v)
+		}
+		delta := b.Vel.Scale(dt)
+		b.Pos = b.Pos.Add(delta)
+		if d := delta.Norm(); d > maxDisp {
+			maxDisp = d
+		}
+	}
+	return maxDisp
+}
+
+// KineticEnergy returns Σ ½‖v‖² (unit masses), another convergence
+// indicator.
+func (l *Layout) KineticEnergy() float64 {
+	var e float64
+	for _, b := range l.bodies {
+		v := b.Vel.Norm()
+		e += 0.5 * v * v
+	}
+	return e
+}
+
+// Snapshot captures every body's position.
+func (l *Layout) Snapshot() map[string]Point {
+	out := make(map[string]Point, len(l.bodies))
+	for _, b := range l.bodies {
+		out[b.ID] = b.Pos
+	}
+	return out
+}
+
+// MeanDisplacement measures how far the bodies common to two snapshots
+// moved — the smoothness metric for aggregation transitions.
+func MeanDisplacement(a, b map[string]Point) float64 {
+	var sum float64
+	n := 0
+	ids := make([]string, 0, len(a))
+	for id := range a {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if q, ok := b[id]; ok {
+			sum += a[id].Sub(q).Norm()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// BoundingBox returns the min and max corners of the current layout.
+func (l *Layout) BoundingBox() (min, max Point) {
+	if len(l.bodies) == 0 {
+		return Point{}, Point{}
+	}
+	min = l.bodies[0].Pos
+	max = l.bodies[0].Pos
+	for _, b := range l.bodies[1:] {
+		min.X = math.Min(min.X, b.Pos.X)
+		min.Y = math.Min(min.Y, b.Pos.Y)
+		max.X = math.Max(max.X, b.Pos.X)
+		max.Y = math.Max(max.Y, b.Pos.Y)
+	}
+	return min, max
+}
+
+// Centroid returns the charge-weighted centroid of the given bodies —
+// where an aggregate node should appear for a smooth transition.
+func Centroid(bodies []*Body) Point {
+	var sum Point
+	var w float64
+	for _, b := range bodies {
+		c := b.Charge
+		if c <= 0 {
+			c = 1
+		}
+		sum = sum.Add(b.Pos.Scale(c))
+		w += c
+	}
+	if w == 0 {
+		return Point{}
+	}
+	return sum.Scale(1 / w)
+}
+
+// ScatterAround returns n deterministic positions jittered around a
+// center — where the children of a disaggregated node should appear.
+func ScatterAround(center Point, ids []string, radius float64) []Point {
+	out := make([]Point, len(ids))
+	for i, id := range ids {
+		h := fnv64(id)
+		angle := float64(h%3600) / 3600 * 2 * math.Pi
+		r := radius * (0.5 + float64((h/3600)%100)/200)
+		out[i] = center.Add(Point{r * math.Cos(angle), r * math.Sin(angle)})
+	}
+	return out
+}
+
+// fnv64 is the FNV-1a hash, used for deterministic pseudo-random
+// placement.
+func fnv64(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

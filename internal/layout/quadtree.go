@@ -1,0 +1,173 @@
+package layout
+
+import "math"
+
+// Barnes-Hut quadtree: far groups of bodies are approximated by their
+// aggregate charge at their centre of charge, turning the O(n²) all-pairs
+// repulsion into O(n log n) [Barnes & Hut 1986], which is what lets the
+// layout scale to thousands of nodes.
+
+type quadNode struct {
+	// Square region [x, x+size) × [y, y+size).
+	x, y, size float64
+
+	charge   float64 // total charge of contained bodies
+	cx, cy   float64 // centre of charge
+	body     *Body   // non-nil for leaf with exactly one body
+	children *[4]*quadNode
+	count    int
+}
+
+// buildQuadtree constructs the tree over the current bodies.
+func buildQuadtree(bodies []*Body) *quadNode {
+	if len(bodies) == 0 {
+		return nil
+	}
+	minX, minY := bodies[0].Pos.X, bodies[0].Pos.Y
+	maxX, maxY := minX, minY
+	for _, b := range bodies[1:] {
+		if b.Pos.X < minX {
+			minX = b.Pos.X
+		}
+		if b.Pos.X > maxX {
+			maxX = b.Pos.X
+		}
+		if b.Pos.Y < minY {
+			minY = b.Pos.Y
+		}
+		if b.Pos.Y > maxY {
+			maxY = b.Pos.Y
+		}
+	}
+	size := maxX - minX
+	if dy := maxY - minY; dy > size {
+		size = dy
+	}
+	if size <= 0 {
+		size = 1
+	}
+	size *= 1.0001 // keep the max coordinate strictly inside
+	root := &quadNode{x: minX, y: minY, size: size}
+	for _, b := range bodies {
+		root.insert(b, 0)
+	}
+	return root
+}
+
+const maxQuadDepth = 64
+
+func (q *quadNode) insert(b *Body, depth int) {
+	// Update aggregate charge and centre of charge.
+	c := b.Charge
+	if c <= 0 {
+		c = 1
+	}
+	total := q.charge + c
+	q.cx = (q.cx*q.charge + b.Pos.X*c) / total
+	q.cy = (q.cy*q.charge + b.Pos.Y*c) / total
+	q.charge = total
+	q.count++
+
+	if q.count == 1 {
+		q.body = b
+		return
+	}
+	if q.children == nil {
+		q.children = &[4]*quadNode{}
+		// Push the resident body down, unless we hit the depth limit
+		// (coincident bodies): then the node simply stays aggregated.
+		if q.body != nil && depth < maxQuadDepth {
+			old := q.body
+			q.body = nil
+			q.childFor(old.Pos).insertShallow(old, depth+1)
+		}
+	}
+	if depth < maxQuadDepth {
+		q.childFor(b.Pos).insertShallow(b, depth+1)
+	}
+}
+
+// insertShallow inserts into a child subtree (recursing through insert).
+func (q *quadNode) insertShallow(b *Body, depth int) { q.insert(b, depth) }
+
+func (q *quadNode) childFor(p Point) *quadNode {
+	half := q.size / 2
+	ix, iy := 0, 0
+	x, y := q.x, q.y
+	if p.X >= q.x+half {
+		ix = 1
+		x += half
+	}
+	if p.Y >= q.y+half {
+		iy = 1
+		y += half
+	}
+	idx := iy*2 + ix
+	if q.children[idx] == nil {
+		q.children[idx] = &quadNode{x: x, y: y, size: half}
+	}
+	return q.children[idx]
+}
+
+// forceOn accumulates the Barnes-Hut approximated repulsion on body b.
+func (q *quadNode) forceOn(b *Body, theta, chargeK float64, out *Point) {
+	if q == nil || q.count == 0 {
+		return
+	}
+	if q.body == b && q.count == 1 {
+		return
+	}
+	dx := b.Pos.X - q.cx
+	dy := b.Pos.Y - q.cy
+	dist := dx*dx + dy*dy
+	// Opening criterion: size/dist < theta, or the cell is a single body.
+	if q.body != nil || q.children == nil || q.size*q.size < theta*theta*dist {
+		if dist < 1e-6 {
+			// Coincident with the cell's centre: nudge deterministically.
+			h := fnv64(b.ID)
+			dx = float64(h%1000)/1000 - 0.5
+			dy = float64((h/1000)%1000)/1000 - 0.5
+			dist = dx*dx + dy*dy
+		}
+		d := math.Sqrt(dist)
+		bc := b.Charge
+		if bc <= 0 {
+			bc = 1
+		}
+		// Exclude b's own contribution when it is inside this aggregate.
+		charge := q.charge
+		if q.contains(b.Pos) {
+			charge -= bc
+			if charge <= 0 {
+				return
+			}
+		}
+		mag := chargeK * bc * charge / dist
+		out.X += dx / d * mag
+		out.Y += dy / d * mag
+		return
+	}
+	for _, c := range q.children {
+		c.forceOn(b, theta, chargeK, out)
+	}
+}
+
+func (q *quadNode) contains(p Point) bool {
+	return p.X >= q.x && p.X < q.x+q.size && p.Y >= q.y && p.Y < q.y+q.size
+}
+
+func (l *Layout) repelBarnesHut() {
+	root := buildQuadtree(l.bodies)
+	if root == nil {
+		return
+	}
+	theta := l.params.Theta
+	if theta <= 0 {
+		theta = 0.7
+	}
+	for _, b := range l.bodies {
+		var f Point
+		root.forceOn(b, theta, l.params.Charge, &f)
+		b.force = b.force.Add(f)
+	}
+}

@@ -1,0 +1,154 @@
+package layout
+
+import (
+	"math"
+	"sort"
+)
+
+// Quality metrics from the graph-drawing literature the paper's related
+// work cites (Section 2.3): "several quality measures are taken into
+// account when drawing a graph: area used, symmetry, angular resolution
+// …, and crossing number". They quantify what "the graph always remains
+// well organized" means, and let tests assert that the Barnes-Hut
+// approximation does not degrade the drawing compared to the exact
+// solver.
+type Quality struct {
+	// Area of the bounding box.
+	Area float64
+	// Crossings is the number of intersecting edge pairs (the paper's
+	// "crossing number").
+	Crossings int
+	// MeanEdgeLength and EdgeLengthCV (coefficient of variation) describe
+	// how uniform the springs settled; force-directed layouts aim for
+	// near-uniform edge lengths.
+	MeanEdgeLength float64
+	EdgeLengthCV   float64
+	// MinAngle is the sharpest angle (radians) between edges sharing an
+	// endpoint — the paper's "angular resolution".
+	MinAngle float64
+	// MinNodeDistance is the smallest pairwise body distance; overlapping
+	// nodes make a drawing unreadable.
+	MinNodeDistance float64
+}
+
+// Measure computes the quality metrics of the current layout.
+func (l *Layout) Measure() Quality {
+	q := Quality{MinAngle: math.Pi}
+	min, max := l.BoundingBox()
+	q.Area = (max.X - min.X) * (max.Y - min.Y)
+
+	// Edge lengths.
+	lengths := make([]float64, 0, len(l.springs))
+	for _, s := range l.springs {
+		a, b := l.index[s.A], l.index[s.B]
+		if a == nil || b == nil {
+			continue
+		}
+		lengths = append(lengths, a.Pos.Sub(b.Pos).Norm())
+	}
+	if len(lengths) > 0 {
+		var sum float64
+		for _, d := range lengths {
+			sum += d
+		}
+		q.MeanEdgeLength = sum / float64(len(lengths))
+		var ss float64
+		for _, d := range lengths {
+			dd := d - q.MeanEdgeLength
+			ss += dd * dd
+		}
+		if q.MeanEdgeLength > 0 {
+			q.EdgeLengthCV = math.Sqrt(ss/float64(len(lengths))) / q.MeanEdgeLength
+		}
+	}
+
+	// Crossing number (exact, O(E²) — layouts under measurement are the
+	// aggregated views, which are small).
+	for i := 0; i < len(l.springs); i++ {
+		for j := i + 1; j < len(l.springs); j++ {
+			if l.springsCross(l.springs[i], l.springs[j]) {
+				q.Crossings++
+			}
+		}
+	}
+
+	// Angular resolution: sharpest angle between edges sharing a body.
+	adj := make(map[string][]Point)
+	for _, s := range l.springs {
+		a, b := l.index[s.A], l.index[s.B]
+		if a == nil || b == nil {
+			continue
+		}
+		adj[s.A] = append(adj[s.A], b.Pos.Sub(a.Pos))
+		adj[s.B] = append(adj[s.B], a.Pos.Sub(b.Pos))
+	}
+	ids := make([]string, 0, len(adj))
+	for id := range adj {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		dirs := adj[id]
+		for i := 0; i < len(dirs); i++ {
+			for j := i + 1; j < len(dirs); j++ {
+				if a := angleBetween(dirs[i], dirs[j]); a < q.MinAngle {
+					q.MinAngle = a
+				}
+			}
+		}
+	}
+
+	// Minimum node distance.
+	q.MinNodeDistance = math.Inf(1)
+	for i, a := range l.bodies {
+		for _, b := range l.bodies[i+1:] {
+			if d := a.Pos.Sub(b.Pos).Norm(); d < q.MinNodeDistance {
+				q.MinNodeDistance = d
+			}
+		}
+	}
+	if math.IsInf(q.MinNodeDistance, 1) {
+		q.MinNodeDistance = 0
+	}
+	return q
+}
+
+// springsCross reports whether two springs' segments properly intersect
+// (shared endpoints do not count).
+func (l *Layout) springsCross(s1, s2 Spring) bool {
+	if s1.A == s2.A || s1.A == s2.B || s1.B == s2.A || s1.B == s2.B {
+		return false
+	}
+	a, b := l.index[s1.A], l.index[s1.B]
+	c, d := l.index[s2.A], l.index[s2.B]
+	if a == nil || b == nil || c == nil || d == nil {
+		return false
+	}
+	return segmentsIntersect(a.Pos, b.Pos, c.Pos, d.Pos)
+}
+
+func segmentsIntersect(p1, p2, p3, p4 Point) bool {
+	d1 := cross(p4.Sub(p3), p1.Sub(p3))
+	d2 := cross(p4.Sub(p3), p2.Sub(p3))
+	d3 := cross(p2.Sub(p1), p3.Sub(p1))
+	d4 := cross(p2.Sub(p1), p4.Sub(p1))
+	return ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))
+}
+
+func cross(a, b Point) float64 { return a.X*b.Y - a.Y*b.X }
+
+func angleBetween(a, b Point) float64 {
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return math.Pi
+	}
+	c := (a.X*b.X + a.Y*b.Y) / (na * nb)
+	if c > 1 {
+		c = 1
+	}
+	if c < -1 {
+		c = -1
+	}
+	return math.Acos(c)
+}

@@ -1,0 +1,107 @@
+package layout
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestSegmentsIntersect(t *testing.T) {
+	cases := []struct {
+		p1, p2, p3, p4 Point
+		want           bool
+	}{
+		{Point{0, 0}, Point{10, 10}, Point{0, 10}, Point{10, 0}, true}, // X
+		{Point{0, 0}, Point{10, 0}, Point{0, 1}, Point{10, 1}, false},  // parallel
+		{Point{0, 0}, Point{5, 5}, Point{6, 6}, Point{10, 10}, false},  // collinear apart
+		{Point{0, 0}, Point{10, 0}, Point{5, 5}, Point{5, 1}, false},   // above
+		{Point{0, 0}, Point{10, 0}, Point{5, 5}, Point{5, -5}, true},   // crossing vertical
+	}
+	for i, c := range cases {
+		if got := segmentsIntersect(c.p1, c.p2, c.p3, c.p4); got != c.want {
+			t.Errorf("case %d: intersect = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestMeasureSquareWithDiagonals(t *testing.T) {
+	l := New(DefaultParams())
+	pos := []Point{{0, 0}, {10, 0}, {10, 10}, {0, 10}}
+	for i, p := range pos {
+		mustAdd(t, l, fmt.Sprintf("n%d", i), p, 1)
+	}
+	// Square sides + the two crossing diagonals.
+	springs := []Spring{
+		{A: "n0", B: "n1"}, {A: "n1", B: "n2"}, {A: "n2", B: "n3"}, {A: "n3", B: "n0"},
+		{A: "n0", B: "n2"}, {A: "n1", B: "n3"},
+	}
+	if err := l.SetSprings(springs); err != nil {
+		t.Fatal(err)
+	}
+	q := l.Measure()
+	if q.Crossings != 1 {
+		t.Errorf("Crossings = %d, want 1 (the diagonals)", q.Crossings)
+	}
+	if q.Area != 100 {
+		t.Errorf("Area = %g, want 100", q.Area)
+	}
+	// Sides are length 10, diagonals ~14.14.
+	if q.MeanEdgeLength < 10 || q.MeanEdgeLength > 12 {
+		t.Errorf("MeanEdgeLength = %g", q.MeanEdgeLength)
+	}
+	// Sharpest corner angle: 45° between a side and a diagonal.
+	if math.Abs(q.MinAngle-math.Pi/4) > 1e-9 {
+		t.Errorf("MinAngle = %g, want %g", q.MinAngle, math.Pi/4)
+	}
+	if q.MinNodeDistance != 10 {
+		t.Errorf("MinNodeDistance = %g, want 10", q.MinNodeDistance)
+	}
+}
+
+func TestMeasureEmpty(t *testing.T) {
+	l := New(DefaultParams())
+	q := l.Measure()
+	if q.Crossings != 0 || q.Area != 0 || q.MinNodeDistance != 0 {
+		t.Errorf("empty Measure = %+v", q)
+	}
+}
+
+// The Barnes-Hut approximation must not degrade drawing quality: settle
+// the same tree with both engines and compare crossings and edge-length
+// uniformity.
+func TestBarnesHutQualityMatchesNaive(t *testing.T) {
+	build := func() *Layout {
+		l := New(DefaultParams())
+		var springs []Spring
+		for i := 0; i < 40; i++ {
+			id := fmt.Sprintf("n%d", i)
+			if _, err := l.AddBodyAuto(id, 1); err != nil {
+				t.Fatal(err)
+			}
+			if i > 0 {
+				springs = append(springs, Spring{A: fmt.Sprintf("n%d", (i-1)/3), B: id, Strength: 1})
+			}
+		}
+		if err := l.SetSprings(springs); err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	ln := build()
+	ln.Run(Naive, 4000, 1e-3)
+	lb := build()
+	lb.Run(BarnesHut, 4000, 1e-3)
+	qn, qb := ln.Measure(), lb.Measure()
+
+	// A tree admits a planar drawing; both engines should end up with few
+	// crossings and comparable edge uniformity.
+	if qb.Crossings > qn.Crossings+3 {
+		t.Errorf("BH crossings %d much worse than naive %d", qb.Crossings, qn.Crossings)
+	}
+	if qb.EdgeLengthCV > qn.EdgeLengthCV*2+0.2 {
+		t.Errorf("BH edge CV %g much worse than naive %g", qb.EdgeLengthCV, qn.EdgeLengthCV)
+	}
+	if qb.MinNodeDistance <= 0 {
+		t.Error("BH layout has coincident nodes")
+	}
+}

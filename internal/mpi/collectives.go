@@ -1,0 +1,122 @@
+package mpi
+
+import (
+	"fmt"
+
+	"viva/internal/sim"
+)
+
+// Collective operations, implemented with the classic binomial-tree
+// algorithms (as MPICH does for small messages). Every rank of a job must
+// call the same collectives in the same order; a per-rank sequence number
+// keeps successive collectives from interfering.
+
+func (r *Rank) collMbox(seq, src, dst int) string {
+	return fmt.Sprintf("%s/coll%d/%d>%d", r.job, seq, src, dst)
+}
+
+// Bcast distributes the root's payload to every rank along a binomial
+// tree and returns it (the root returns its own payload). bytes is the
+// payload size each tree edge carries.
+func (r *Rank) Bcast(root int, payload any, bytes float64) any {
+	r.checkPeer(root)
+	seq := r.collSeq
+	r.collSeq++
+	size := r.size
+	rel := (r.rank - root + size) % size
+
+	// Receive from the parent (unless root).
+	mask := 1
+	for mask < size {
+		if rel&mask != 0 {
+			src := ((rel &^ mask) + root) % size
+			payload = r.ctx.Recv(r.collMbox(seq, src, r.rank))
+			break
+		}
+		mask <<= 1
+	}
+	// Forward to children, highest distance first.
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < size {
+			dst := (rel + mask + root) % size
+			r.ctx.Send(r.collMbox(seq, r.rank, dst), payload, bytes)
+		}
+		mask >>= 1
+	}
+	return payload
+}
+
+// Reduce combines every rank's value with op up a binomial tree; the
+// result lands on root (ok=true there, false elsewhere). op must be
+// associative and commutative.
+func (r *Rank) Reduce(root int, value float64, bytes float64, op func(a, b float64) float64) (float64, bool) {
+	r.checkPeer(root)
+	seq := r.collSeq
+	r.collSeq++
+	size := r.size
+	rel := (r.rank - root + size) % size
+
+	acc := value
+	mask := 1
+	for mask < size {
+		if rel&mask == 0 {
+			peer := rel | mask
+			if peer < size {
+				src := (peer + root) % size
+				v := r.ctx.Recv(r.collMbox(seq, src, r.rank)).(float64)
+				acc = op(acc, v)
+			}
+		} else {
+			dst := ((rel &^ mask) + root) % size
+			r.ctx.Send(r.collMbox(seq, r.rank, dst), acc, bytes)
+			return 0, false
+		}
+		mask <<= 1
+	}
+	return acc, true
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast: every rank gets the
+// combined value.
+func (r *Rank) Allreduce(value float64, bytes float64, op func(a, b float64) float64) float64 {
+	acc, isRoot := r.Reduce(0, value, bytes, op)
+	var payload any
+	if isRoot {
+		payload = acc
+	}
+	return r.Bcast(0, payload, bytes).(float64)
+}
+
+// Barrier blocks until every rank of the job reached it.
+func (r *Rank) Barrier() {
+	r.Allreduce(0, 1, func(a, b float64) float64 { return a + b })
+}
+
+// Gather collects every rank's payload on root (linear algorithm); root
+// receives the slice indexed by rank, others get nil.
+func (r *Rank) Gather(root int, payload any, bytes float64) []any {
+	r.checkPeer(root)
+	seq := r.collSeq
+	r.collSeq++
+	if r.rank != root {
+		r.ctx.Send(r.collMbox(seq, r.rank, root), payload, bytes)
+		return nil
+	}
+	out := make([]any, r.size)
+	out[root] = payload
+	// Post every receive, then wait: transfers overlap.
+	comms := make([]*sim.Comm, r.size)
+	for src := 0; src < r.size; src++ {
+		if src == root {
+			continue
+		}
+		comms[src] = r.ctx.Get(r.collMbox(seq, src, root))
+	}
+	for src, cm := range comms {
+		if cm != nil {
+			out[src] = cm.Wait(r.ctx)
+		}
+	}
+	return out
+}

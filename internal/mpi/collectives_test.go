@@ -1,0 +1,201 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+
+	"viva/internal/platform"
+	"viva/internal/sim"
+)
+
+// collPlatform has enough hosts for the largest collective tests.
+func collPlatform(hosts int) *platform.Platform {
+	p := platform.New("g")
+	p.AddSite("s", platform.SiteConfig{BackboneBandwidth: 1e9, UplinkBandwidth: 1e9})
+	p.AddCluster("s", "c", platform.ClusterConfig{
+		Hosts: hosts, HostPower: 1e9,
+		HostLinkBandwidth: 1e6, BackboneBandwidth: 1e9, UplinkBandwidth: 1e9,
+	})
+	return p
+}
+
+func hostfile(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = collPlatform(n).HostsOfCluster("c")[i]
+	}
+	return out
+}
+
+func runWorld(t *testing.T, n int, body func(*Rank)) {
+	t.Helper()
+	e := sim.New(collPlatform(n), nil)
+	World(e, "coll", hostfile(n), body)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 13} {
+		for _, root := range []int{0, n - 1} {
+			var mu sync.Mutex
+			got := make(map[int]any)
+			runWorld(t, n, func(r *Rank) {
+				var payload any
+				if r.Rank() == root {
+					payload = "data"
+				}
+				v := r.Bcast(root, payload, 1000)
+				mu.Lock()
+				got[r.Rank()] = v
+				mu.Unlock()
+			})
+			for i := 0; i < n; i++ {
+				if got[i] != "data" {
+					t.Errorf("n=%d root=%d rank %d got %v", n, root, i, got[i])
+				}
+			}
+		}
+	}
+}
+
+func TestReduce(t *testing.T) {
+	sum := func(a, b float64) float64 { return a + b }
+	for _, n := range []int{1, 2, 3, 5, 8, 11} {
+		for _, root := range []int{0, n / 2} {
+			var result float64
+			roots := 0
+			runWorld(t, n, func(r *Rank) {
+				v, isRoot := r.Reduce(root, float64(r.Rank()+1), 100, sum)
+				if isRoot {
+					result = v
+					roots++
+				}
+			})
+			want := float64(n*(n+1)) / 2
+			if roots != 1 {
+				t.Fatalf("n=%d: %d roots", n, roots)
+			}
+			if result != want {
+				t.Errorf("n=%d root=%d: sum = %g, want %g", n, root, result, want)
+			}
+		}
+	}
+}
+
+func TestAllreduceMax(t *testing.T) {
+	max := func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	n := 6
+	var mu sync.Mutex
+	var results []float64
+	runWorld(t, n, func(r *Rank) {
+		v := r.Allreduce(float64(r.Rank()), 100, max)
+		mu.Lock()
+		results = append(results, v)
+		mu.Unlock()
+	})
+	if len(results) != n {
+		t.Fatalf("results = %v", results)
+	}
+	for _, v := range results {
+		if v != float64(n-1) {
+			t.Errorf("allreduce max = %g, want %d", v, n-1)
+		}
+	}
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	n := 4
+	var mu sync.Mutex
+	after := make([]float64, 0, n)
+	runWorld(t, n, func(r *Rank) {
+		// Rank i works i seconds before the barrier.
+		r.Compute(float64(r.Rank()) * 1e9)
+		r.Barrier()
+		mu.Lock()
+		after = append(after, r.Now())
+		mu.Unlock()
+	})
+	if len(after) != n {
+		t.Fatalf("after = %v", after)
+	}
+	// Everyone leaves the barrier no earlier than the slowest rank's 3s.
+	for _, tt := range after {
+		if tt < 3 {
+			t.Errorf("rank left barrier at %g, before the slowest arrived", tt)
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	n := 5
+	root := 2
+	var got []any
+	runWorld(t, n, func(r *Rank) {
+		res := r.Gather(root, r.Rank()*10, 100)
+		if r.Rank() == root {
+			got = res
+		} else if res != nil {
+			t.Errorf("non-root rank %d got %v", r.Rank(), res)
+		}
+	})
+	if len(got) != n {
+		t.Fatalf("gathered = %v", got)
+	}
+	for i, v := range got {
+		if v != i*10 {
+			t.Errorf("gathered[%d] = %v, want %d", i, v, i*10)
+		}
+	}
+}
+
+func TestSuccessiveCollectivesDoNotInterfere(t *testing.T) {
+	n := 4
+	sum := func(a, b float64) float64 { return a + b }
+	runWorld(t, n, func(r *Rank) {
+		for round := 1; round <= 3; round++ {
+			v := r.Allreduce(float64(round), 10, sum)
+			if v != float64(round*n) {
+				t.Errorf("round %d: allreduce = %g, want %d", round, v, round*n)
+			}
+		}
+	})
+}
+
+func TestBcastTreeIsLogDepth(t *testing.T) {
+	// With equal link latencies, a binomial bcast of a tiny payload on n
+	// ranks completes in ~ceil(log2 n) link latencies, not n.
+	n := 8
+	p := platform.New("g")
+	p.AddSite("s", platform.SiteConfig{BackboneBandwidth: 1e9, UplinkBandwidth: 1e9})
+	p.AddCluster("s", "c", platform.ClusterConfig{
+		Hosts: n, HostPower: 1e9,
+		HostLinkBandwidth: 1e9, HostLinkLatency: 0.5, // 1s per hop (2 host links)
+		BackboneBandwidth: 1e12, UplinkBandwidth: 1e9,
+	})
+	hf := p.HostsOfCluster("c")
+	e := sim.New(p, nil)
+	var end float64
+	World(e, "logtest", hf, func(r *Rank) {
+		r.Bcast(0, "x", 1)
+		if t := r.Now(); t > end {
+			end = t
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// log2(8) = 3 rounds × ~1s each; linear would take 7s.
+	if end > 4.5 {
+		t.Errorf("bcast finished at %g, not logarithmic", end)
+	}
+	if end < 2.5 {
+		t.Errorf("bcast finished at %g, suspiciously fast", end)
+	}
+}

@@ -1,0 +1,98 @@
+// Package mpi is a thin message-passing layer over the simulator: ranks
+// placed on hosts through a hostfile, with blocking and asynchronous
+// point-to-point transfers. It stands in for the SMPI runtime the paper
+// used to execute the NAS-DT benchmark (DESIGN.md, substitutions).
+package mpi
+
+import (
+	"fmt"
+
+	"viva/internal/sim"
+)
+
+// Rank is the per-process handle passed to the application body.
+type Rank struct {
+	ctx     *sim.Ctx
+	rank    int
+	size    int
+	job     string
+	collSeq int // sequence number separating successive collectives
+}
+
+// World runs one actor per rank of a job. hostfile[i] is the host of rank
+// i; body is invoked with the process's Rank. World only spawns the
+// actors; the caller drives the engine with Run.
+func World(e *sim.Engine, job string, hostfile []string, body func(*Rank)) {
+	size := len(hostfile)
+	if size == 0 {
+		panic("mpi: empty hostfile")
+	}
+	for i := 0; i < size; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("%s.%d", job, i), hostfile[i], func(c *sim.Ctx) {
+			body(&Rank{ctx: c, rank: i, size: size, job: job})
+		})
+	}
+}
+
+// Rank returns the process's rank in [0, Size).
+func (r *Rank) Rank() int { return r.rank }
+
+// Size returns the number of ranks in the job.
+func (r *Rank) Size() int { return r.size }
+
+// Now returns the current simulated time.
+func (r *Rank) Now() float64 { return r.ctx.Now() }
+
+// Host returns the host the rank runs on.
+func (r *Rank) Host() string { return r.ctx.Host() }
+
+// SetCategory tags the rank's subsequent activity for per-category tracing.
+func (r *Rank) SetCategory(cat string) { r.ctx.SetCategory(cat) }
+
+// Compute executes flops on the local host.
+func (r *Rank) Compute(flops float64) { r.ctx.Execute(flops) }
+
+func (r *Rank) mbox(src, dst int) string {
+	return fmt.Sprintf("%s:%d>%d", r.job, src, dst)
+}
+
+// Send transfers bytes to rank dst and blocks until delivery completes.
+func (r *Rank) Send(dst int, payload any, bytes float64) {
+	r.checkPeer(dst)
+	r.ctx.Send(r.mbox(r.rank, dst), payload, bytes)
+}
+
+// Recv blocks until the message from rank src arrives and returns its
+// payload.
+func (r *Rank) Recv(src int) any {
+	r.checkPeer(src)
+	return r.ctx.Recv(r.mbox(src, r.rank))
+}
+
+// Isend posts an asynchronous send to rank dst.
+func (r *Rank) Isend(dst int, payload any, bytes float64) *sim.Comm {
+	r.checkPeer(dst)
+	return r.ctx.Put(r.mbox(r.rank, dst), payload, bytes)
+}
+
+// Irecv posts an asynchronous receive from rank src.
+func (r *Rank) Irecv(src int) *sim.Comm {
+	r.checkPeer(src)
+	return r.ctx.Get(r.mbox(src, r.rank))
+}
+
+// WaitAll blocks until every given communication completed.
+func (r *Rank) WaitAll(comms []*sim.Comm) {
+	for _, cm := range comms {
+		if cm != nil {
+			cm.Wait(r.ctx)
+		}
+	}
+}
+
+func (r *Rank) checkPeer(p int) {
+	if p < 0 || p >= r.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", p, r.size))
+	}
+}

@@ -1,0 +1,131 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+
+	"viva/internal/platform"
+	"viva/internal/sim"
+)
+
+func testPlatform() *platform.Platform {
+	p := platform.New("g")
+	p.AddSite("s", platform.SiteConfig{BackboneBandwidth: 1e9, UplinkBandwidth: 1e9})
+	p.AddCluster("s", "c", platform.ClusterConfig{
+		Hosts: 4, HostPower: 100,
+		HostLinkBandwidth: 1000, BackboneBandwidth: 1e9, UplinkBandwidth: 1e9,
+	})
+	return p
+}
+
+func near(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+		t.Errorf("%s = %g, want %g", what, got, want)
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	e := sim.New(testPlatform(), nil)
+	var end float64
+	World(e, "pp", []string{"c-1", "c-2"}, func(r *Rank) {
+		switch r.Rank() {
+		case 0:
+			r.Send(1, "ping", 1000)
+			if got := r.Recv(1); got != "pong" {
+				t.Errorf("payload = %v", got)
+			}
+			end = r.Now()
+		case 1:
+			if got := r.Recv(0); got != "ping" {
+				t.Errorf("payload = %v", got)
+			}
+			r.Send(0, "pong", 1000)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Two 1000 B transfers at 1000 B/s (host links) = 2 s.
+	near(t, "pingpong end", end, 2)
+}
+
+func TestRing(t *testing.T) {
+	e := sim.New(testPlatform(), nil)
+	n := 4
+	hosts := []string{"c-1", "c-2", "c-3", "c-4"}
+	sum := 0
+	World(e, "ring", hosts, func(r *Rank) {
+		next := (r.Rank() + 1) % n
+		prev := (r.Rank() + n - 1) % n
+		if r.Rank() == 0 {
+			r.Send(next, 1, 10)
+			v := r.Recv(prev).(int)
+			sum = v
+		} else {
+			v := r.Recv(prev).(int)
+			r.Send(next, v+1, 10)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sum != n {
+		t.Errorf("ring sum = %d, want %d", sum, n)
+	}
+}
+
+func TestIsendIrecvOverlap(t *testing.T) {
+	e := sim.New(testPlatform(), nil)
+	var end float64
+	World(e, "ov", []string{"c-1", "c-2"}, func(r *Rank) {
+		switch r.Rank() {
+		case 0:
+			// Two concurrent 1000 B sends to distinct ranks would contend on
+			// rank 0's host link: each gets 500 B/s => 2 s total.
+			c1 := r.Isend(1, nil, 1000)
+			r.WaitAll([]*sim.Comm{c1})
+			end = r.Now()
+		case 1:
+			r.WaitAll([]*sim.Comm{r.Irecv(0)})
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	near(t, "isend end", end, 1)
+}
+
+func TestRankMetadata(t *testing.T) {
+	e := sim.New(testPlatform(), nil)
+	World(e, "meta", []string{"c-3"}, func(r *Rank) {
+		if r.Rank() != 0 || r.Size() != 1 || r.Host() != "c-3" {
+			t.Errorf("metadata wrong: rank=%d size=%d host=%s", r.Rank(), r.Size(), r.Host())
+		}
+		r.SetCategory("x")
+		r.Compute(100)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadPeerPanics(t *testing.T) {
+	e := sim.New(testPlatform(), nil)
+	World(e, "bad", []string{"c-1"}, func(r *Rank) {
+		r.Send(5, nil, 1)
+	})
+	if err := e.Run(); err == nil {
+		t.Error("out-of-range peer not surfaced")
+	}
+}
+
+func TestEmptyHostfilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for empty hostfile")
+		}
+	}()
+	e := sim.New(testPlatform(), nil)
+	World(e, "empty", nil, func(r *Rank) {})
+}

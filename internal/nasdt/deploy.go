@@ -1,0 +1,85 @@
+package nasdt
+
+import (
+	"fmt"
+
+	"viva/internal/platform"
+)
+
+// SequentialHostfile places rank i on hosts[i % len(hosts)]: the ordinary
+// deployment of the paper's Figure 6, filling the first cluster's hosts
+// before the second cluster's and wrapping around. hosts is typically the
+// concatenation of the clusters' host lists.
+func SequentialHostfile(hosts []string, ranks int) []string {
+	if len(hosts) == 0 {
+		panic("nasdt: no hosts")
+	}
+	out := make([]string, ranks)
+	for i := range out {
+		out[i] = hosts[i%len(hosts)]
+	}
+	return out
+}
+
+// ClusterHosts gathers the host names of the given clusters, in cluster
+// then host order — the host list the sequential deployment fills.
+func ClusterHosts(p *platform.Platform, clusters ...string) []string {
+	var out []string
+	for _, c := range clusters {
+		hs := p.HostsOfCluster(c)
+		if len(hs) == 0 {
+			panic(fmt.Sprintf("nasdt: cluster %q has no hosts", c))
+		}
+		out = append(out, hs...)
+	}
+	return out
+}
+
+// LocalityHostfile builds the locality-aware deployment of the paper's
+// Figure 7: the task graph is split into two halves along its layer
+// structure — for the divergent (WH) and convergent (BH) binary trees this
+// leaves a single inter-cluster edge at the narrow end — and each half is
+// placed round-robin on one cluster's hosts, keeping forwarders next to
+// the data they forward.
+func LocalityHostfile(g *Graph, clusterA, clusterB []string) []string {
+	if len(clusterA) == 0 || len(clusterB) == 0 {
+		panic("nasdt: locality deployment needs two non-empty clusters")
+	}
+	out := make([]string, g.NumNodes())
+	nextA, nextB := 0, 0
+	for _, layer := range g.Layers {
+		w := len(layer)
+		for i, id := range layer {
+			if w == 1 || i < w/2 {
+				out[id] = clusterA[nextA%len(clusterA)]
+				nextA++
+			} else {
+				out[id] = clusterB[nextB%len(clusterB)]
+				nextB++
+			}
+		}
+	}
+	return out
+}
+
+// CrossEdges counts the graph edges whose endpoints are placed on
+// different clusters under a hostfile, given the host→cluster mapping of
+// the platform. It is the static measure of a deployment's locality.
+func CrossEdges(g *Graph, hostfile []string, p *platform.Platform) int {
+	cluster := func(rank int) string {
+		h := p.Host(hostfile[rank])
+		if h == nil {
+			panic(fmt.Sprintf("nasdt: hostfile rank %d names unknown host %q", rank, hostfile[rank]))
+		}
+		return h.Cluster
+	}
+	n := 0
+	for _, node := range g.Nodes {
+		for _, dst := range node.Out {
+			if cluster(node.ID) != cluster(dst) {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,206 @@
+// Package nasdt implements the NAS Data Traffic (DT) benchmark family used
+// by the paper's first case study: layered task graphs — Black Hole, White
+// Hole and Shuffle — whose nodes exchange large data quanta through
+// forwarder processes, making the benchmark communication-bound and highly
+// sensitive to process placement.
+//
+// This is a from-scratch reimplementation of the benchmark's structure
+// rather than a port of the NPB sources (see DESIGN.md, substitutions):
+// the class letter selects the number of sources, and the graph families
+// reproduce the convergent (BH), divergent (WH) and shuffled (SH)
+// communication shapes that the original program builds.
+package nasdt
+
+import "fmt"
+
+// Kind selects the communication graph family.
+type Kind int
+
+const (
+	// BH (Black Hole): many sources converge through a binary reduction of
+	// forwarders into a single sink.
+	BH Kind = iota
+	// WH (White Hole): a single source diverges through a binary expansion
+	// of forwarders into many sinks.
+	WH
+	// SH (Shuffle): equal-width layers connected by a perfect-shuffle
+	// pattern.
+	SH
+)
+
+// String returns the benchmark's short name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case BH:
+		return "BH"
+	case WH:
+		return "WH"
+	case SH:
+		return "SH"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Class is the NAS problem-class letter. It selects the graph width:
+// S → 4, W → 8, A → 16, B → 32 sources (or sinks, for WH).
+type Class byte
+
+// Width returns the number of wide-end nodes of the class.
+func (c Class) Width() (int, error) {
+	switch c {
+	case 'S':
+		return 4, nil
+	case 'W':
+		return 8, nil
+	case 'A':
+		return 16, nil
+	case 'B':
+		return 32, nil
+	default:
+		return 0, fmt.Errorf("nasdt: unknown class %q", string(c))
+	}
+}
+
+// Role of a node in the task graph.
+type Role int
+
+const (
+	Source Role = iota
+	Forwarder
+	Sink
+)
+
+// Node is one task of the DT graph, mapped to one MPI rank.
+type Node struct {
+	ID    int
+	Role  Role
+	Layer int   // 0 = first layer (sources for BH/SH, the source for WH)
+	In    []int // IDs of predecessor nodes
+	Out   []int // IDs of successor nodes
+}
+
+// Graph is a DT task graph. Node IDs are contiguous and equal to MPI
+// ranks.
+type Graph struct {
+	Kind  Kind
+	Class Class
+	Nodes []*Node
+	// Layers lists node IDs layer by layer, wide end ordering preserved.
+	Layers [][]int
+}
+
+// NumNodes returns the number of tasks (MPI ranks) of the graph.
+func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+// Build constructs the DT graph of the given kind and class.
+func Build(kind Kind, class Class) (*Graph, error) {
+	width, err := class.Width()
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{Kind: kind, Class: class}
+	switch kind {
+	case BH:
+		g.buildConvergent(width)
+	case WH:
+		g.buildDivergent(width)
+	case SH:
+		g.buildShuffle(width)
+	default:
+		return nil, fmt.Errorf("nasdt: unknown kind %d", int(kind))
+	}
+	return g, nil
+}
+
+// MustBuild is Build panicking on error, for constant arguments.
+func MustBuild(kind Kind, class Class) *Graph {
+	g, err := Build(kind, class)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *Graph) newNode(role Role, layer int) *Node {
+	n := &Node{ID: len(g.Nodes), Role: role, Layer: layer}
+	g.Nodes = append(g.Nodes, n)
+	for len(g.Layers) <= layer {
+		g.Layers = append(g.Layers, nil)
+	}
+	g.Layers[layer] = append(g.Layers[layer], n.ID)
+	return n
+}
+
+func (g *Graph) connect(from, to int) {
+	g.Nodes[from].Out = append(g.Nodes[from].Out, to)
+	g.Nodes[to].In = append(g.Nodes[to].In, from)
+}
+
+// buildConvergent: width sources, then halving layers of forwarders, then
+// one sink. width must be a power of two.
+func (g *Graph) buildConvergent(width int) {
+	layer := 0
+	prev := make([]int, 0, width)
+	for i := 0; i < width; i++ {
+		prev = append(prev, g.newNode(Source, layer).ID)
+	}
+	for w := width / 2; w >= 1; w /= 2 {
+		layer++
+		role := Forwarder
+		if w == 1 {
+			role = Sink
+		}
+		cur := make([]int, 0, w)
+		for i := 0; i < w; i++ {
+			n := g.newNode(role, layer)
+			g.connect(prev[2*i], n.ID)
+			g.connect(prev[2*i+1], n.ID)
+			cur = append(cur, n.ID)
+		}
+		prev = cur
+	}
+}
+
+// buildDivergent: one source, then doubling layers of forwarders, then
+// width sinks — the mirror image of buildConvergent.
+func (g *Graph) buildDivergent(width int) {
+	layer := 0
+	prev := []int{g.newNode(Source, layer).ID}
+	for w := 2; w <= width; w *= 2 {
+		layer++
+		role := Forwarder
+		if w == width {
+			role = Sink
+		}
+		cur := make([]int, 0, w)
+		for i := 0; i < w; i++ {
+			n := g.newNode(role, layer)
+			g.connect(prev[i/2], n.ID)
+			cur = append(cur, n.ID)
+		}
+		prev = cur
+	}
+}
+
+// buildShuffle: three layers of equal width (sources, forwarders, sinks)
+// wired by the perfect shuffle: node i of a layer feeds nodes (2i) mod w
+// and (2i+1) mod w of the next.
+func (g *Graph) buildShuffle(width int) {
+	var srcs, fwds, sinks []int
+	for i := 0; i < width; i++ {
+		srcs = append(srcs, g.newNode(Source, 0).ID)
+	}
+	for i := 0; i < width; i++ {
+		fwds = append(fwds, g.newNode(Forwarder, 1).ID)
+	}
+	for i := 0; i < width; i++ {
+		sinks = append(sinks, g.newNode(Sink, 2).ID)
+	}
+	for i := 0; i < width; i++ {
+		g.connect(srcs[i], fwds[(2*i)%width])
+		g.connect(srcs[i], fwds[(2*i+1)%width])
+		g.connect(fwds[i], sinks[(2*i)%width])
+		g.connect(fwds[i], sinks[(2*i+1)%width])
+	}
+}

@@ -1,0 +1,240 @@
+package nasdt
+
+import (
+	"testing"
+
+	"viva/internal/platform"
+	"viva/internal/sim"
+	"viva/internal/trace"
+)
+
+func TestClassWidths(t *testing.T) {
+	cases := map[Class]int{'S': 4, 'W': 8, 'A': 16, 'B': 32}
+	for c, w := range cases {
+		got, err := c.Width()
+		if err != nil || got != w {
+			t.Errorf("Width(%q) = %d, %v; want %d", string(c), got, err, w)
+		}
+	}
+	if _, err := Class('X').Width(); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestBuildConvergent(t *testing.T) {
+	g := MustBuild(BH, 'A')
+	// 16 + 8 + 4 + 2 + 1 = 31 nodes.
+	if g.NumNodes() != 31 {
+		t.Fatalf("BH A nodes = %d, want 31", g.NumNodes())
+	}
+	if len(g.Layers) != 5 {
+		t.Fatalf("BH A layers = %d, want 5", len(g.Layers))
+	}
+	var sources, forwarders, sinks int
+	for _, n := range g.Nodes {
+		switch n.Role {
+		case Source:
+			sources++
+			if len(n.In) != 0 || len(n.Out) != 1 {
+				t.Errorf("BH source %d degree in=%d out=%d", n.ID, len(n.In), len(n.Out))
+			}
+		case Forwarder:
+			forwarders++
+			if len(n.In) != 2 || len(n.Out) != 1 {
+				t.Errorf("BH forwarder %d degree in=%d out=%d", n.ID, len(n.In), len(n.Out))
+			}
+		case Sink:
+			sinks++
+			if len(n.In) != 2 || len(n.Out) != 0 {
+				t.Errorf("BH sink %d degree in=%d out=%d", n.ID, len(n.In), len(n.Out))
+			}
+		}
+	}
+	if sources != 16 || forwarders != 14 || sinks != 1 {
+		t.Errorf("BH roles = %d/%d/%d, want 16/14/1", sources, forwarders, sinks)
+	}
+}
+
+func TestBuildDivergent(t *testing.T) {
+	g := MustBuild(WH, 'A')
+	if g.NumNodes() != 31 {
+		t.Fatalf("WH A nodes = %d, want 31", g.NumNodes())
+	}
+	if g.Nodes[0].Role != Source || len(g.Nodes[0].Out) != 2 {
+		t.Error("WH node 0 is not a fan-out source")
+	}
+	sinks := 0
+	for _, n := range g.Nodes {
+		if n.Role == Sink {
+			sinks++
+			if len(n.In) != 1 || len(n.Out) != 0 {
+				t.Errorf("WH sink %d degree in=%d out=%d", n.ID, len(n.In), len(n.Out))
+			}
+		}
+	}
+	if sinks != 16 {
+		t.Errorf("WH sinks = %d, want 16", sinks)
+	}
+}
+
+func TestBuildShuffle(t *testing.T) {
+	g := MustBuild(SH, 'S')
+	if g.NumNodes() != 12 {
+		t.Fatalf("SH S nodes = %d, want 12", g.NumNodes())
+	}
+	for _, n := range g.Nodes {
+		switch n.Role {
+		case Source:
+			if len(n.Out) != 2 {
+				t.Errorf("SH source out-degree = %d", len(n.Out))
+			}
+		case Forwarder:
+			if len(n.In) != 2 || len(n.Out) != 2 {
+				t.Errorf("SH forwarder degrees = %d/%d", len(n.In), len(n.Out))
+			}
+		case Sink:
+			if len(n.In) != 2 {
+				t.Errorf("SH sink in-degree = %d", len(n.In))
+			}
+		}
+	}
+}
+
+func TestBuildEdgesConsistent(t *testing.T) {
+	for _, kind := range []Kind{BH, WH, SH} {
+		for _, class := range []Class{'S', 'W', 'A', 'B'} {
+			g := MustBuild(kind, class)
+			for _, n := range g.Nodes {
+				for _, dst := range n.Out {
+					found := false
+					for _, in := range g.Nodes[dst].In {
+						if in == n.ID {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("%s/%s: edge %d->%d not mirrored", kind, string(class), n.ID, dst)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(BH, 'Z'); err == nil {
+		t.Error("bad class accepted")
+	}
+	if _, err := Build(Kind(99), 'A'); err == nil {
+		t.Error("bad kind accepted")
+	}
+}
+
+func TestSequentialHostfile(t *testing.T) {
+	hosts := []string{"a", "b", "c"}
+	hf := SequentialHostfile(hosts, 7)
+	want := []string{"a", "b", "c", "a", "b", "c", "a"}
+	for i := range want {
+		if hf[i] != want[i] {
+			t.Fatalf("hostfile = %v, want %v", hf, want)
+		}
+	}
+}
+
+func TestLocalityHostfileSingleCrossEdge(t *testing.T) {
+	p := platform.TwoClusters()
+	adonis := p.HostsOfCluster("adonis")
+	griffon := p.HostsOfCluster("griffon")
+	for _, kind := range []Kind{BH, WH} {
+		g := MustBuild(kind, 'A')
+		hf := LocalityHostfile(g, adonis, griffon)
+		if got := CrossEdges(g, hf, p); got != 1 {
+			t.Errorf("%s locality cross edges = %d, want 1", kind, got)
+		}
+	}
+}
+
+func TestSequentialHostfileManyCrossEdges(t *testing.T) {
+	p := platform.TwoClusters()
+	g := MustBuild(WH, 'A')
+	hf := SequentialHostfile(ClusterHosts(p, "adonis", "griffon"), g.NumNodes())
+	seq := CrossEdges(g, hf, p)
+	loc := CrossEdges(g, LocalityHostfile(g, p.HostsOfCluster("adonis"), p.HostsOfCluster("griffon")), p)
+	if seq <= loc {
+		t.Errorf("sequential cross edges (%d) not worse than locality (%d)", seq, loc)
+	}
+}
+
+func runDT(t *testing.T, hostfile []string, g *Graph, tr *trace.Trace) float64 {
+	t.Helper()
+	p := platform.TwoClusters()
+	e := sim.New(p, tr)
+	cfg := DefaultConfig()
+	cfg.Waves = 5
+	cfg.MessageBytes = 1e6
+	Run(e, g, hostfile, cfg)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return e.Now()
+}
+
+func TestRunCompletes(t *testing.T) {
+	p := platform.TwoClusters()
+	g := MustBuild(WH, 'S')
+	hf := SequentialHostfile(ClusterHosts(p, "adonis", "griffon"), g.NumNodes())
+	makespan := runDT(t, hf, g, nil)
+	if makespan <= 0 {
+		t.Fatalf("makespan = %g", makespan)
+	}
+}
+
+func TestLocalityBeatsSequential(t *testing.T) {
+	p := platform.TwoClusters()
+	g := MustBuild(WH, 'A')
+	seqHF := SequentialHostfile(ClusterHosts(p, "adonis", "griffon"), g.NumNodes())
+	locHF := LocalityHostfile(g, p.HostsOfCluster("adonis"), p.HostsOfCluster("griffon"))
+	seq := runDT(t, seqHF, g, nil)
+	loc := runDT(t, locHF, g, nil)
+	if loc >= seq {
+		t.Errorf("locality makespan %g not better than sequential %g", loc, seq)
+	}
+}
+
+func TestInterClusterTrafficDropsWithLocality(t *testing.T) {
+	p := platform.TwoClusters()
+	g := MustBuild(WH, 'A')
+
+	trSeq := trace.New()
+	seq := runDT(t, SequentialHostfile(ClusterHosts(p, "adonis", "griffon"), g.NumNodes()), g, trSeq)
+	trLoc := trace.New()
+	loc := runDT(t, LocalityHostfile(g, p.HostsOfCluster("adonis"), p.HostsOfCluster("griffon")), g, trLoc)
+
+	bytesOn := func(tr *trace.Trace, link string, end float64) float64 {
+		return tr.Timeline(link, trace.MetricTraffic).Integrate(0, end)
+	}
+	seqBytes := bytesOn(trSeq, "up:adonis", seq)
+	locBytes := bytesOn(trLoc, "up:adonis", loc)
+	if locBytes >= seqBytes/2 {
+		t.Errorf("inter-cluster bytes: locality %g not well below sequential %g", locBytes, seqBytes)
+	}
+}
+
+func TestRunPanicsOnBadInput(t *testing.T) {
+	p := platform.TwoClusters()
+	g := MustBuild(WH, 'S')
+	e := sim.New(p, nil)
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("short hostfile", func() { Run(e, g, []string{"adonis-1"}, DefaultConfig()) })
+	assertPanics("zero waves", func() {
+		hf := SequentialHostfile(ClusterHosts(p, "adonis"), g.NumNodes())
+		Run(e, g, hf, Config{Waves: 0, MessageBytes: 1})
+	})
+}

@@ -1,0 +1,24 @@
+package paje
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead asserts the Paje parser never panics on arbitrary input.
+func FuzzRead(f *testing.F) {
+	f.Add(sampleHeader + sampleBody)
+	f.Add("%EventDef PajeCreateContainer 4\n%\tTime date\n%EndEventDef\n4 zz\n")
+	f.Add("% \n")
+	f.Add("0\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Read(strings.NewReader(input))
+		if err == nil && tr != nil {
+			// Whatever was accepted must be structurally valid.
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("accepted paje trace invalid: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,393 @@
+// Package paje reads traces in the Paje file format — the format the real
+// VIVA tool and its ecosystem (Paje, PajeNG, SimGrid's --cfg=tracing
+// output) exchange — and converts them into this library's trace model, so
+// traces produced by the original toolchain can be explored with this
+// reproduction directly.
+//
+// The format is self-describing: a header of %EventDef blocks declares
+// each event kind's numeric id and field layout; the body is one event per
+// line. The subset implemented covers the type system
+// (Define{Container,Variable,State}Type, DefineEntityValue), container
+// lifecycle (Create/DestroyContainer), variables (Set/Add/SubVariable) and
+// states (Set/Push/PopState). Link events are accepted and skipped:
+// Paje links are message arrows, which this model derives from variables
+// instead.
+package paje
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"viva/internal/trace"
+)
+
+// eventDef is one %EventDef block: an event name and its field order.
+type eventDef struct {
+	name   string
+	fields []string
+}
+
+// parser holds the translation state.
+type parser struct {
+	defs map[string]*eventDef // event id -> definition
+
+	tr *trace.Trace
+
+	// Paje type system: alias/name -> kind ("container", "variable",
+	// "state") and human name.
+	typeKind map[string]string
+	typeName map[string]string
+
+	// Containers: alias or name -> resource name in the output trace.
+	containers map[string]string
+	nameUsed   map[string]bool
+
+	// Entity values (state names): alias -> display name.
+	entityValues map[string]string
+
+	// State stacks for Push/PopState, per (resource, state type).
+	stacks map[string][]string
+
+	lineno int
+}
+
+// Read parses a Paje trace.
+func Read(r io.Reader) (*trace.Trace, error) {
+	p := &parser{
+		defs:         make(map[string]*eventDef),
+		tr:           trace.New(),
+		typeKind:     make(map[string]string),
+		typeName:     make(map[string]string),
+		containers:   make(map[string]string),
+		nameUsed:     make(map[string]bool),
+		entityValues: make(map[string]string),
+		stacks:       make(map[string][]string),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	var current *eventDef
+	var currentID string
+	for sc.Scan() {
+		p.lineno++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "%") {
+			rest := strings.TrimSpace(trimmed[1:])
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			switch fields[0] {
+			case "EventDef":
+				if len(fields) < 3 {
+					return nil, p.errf("EventDef wants a name and an id")
+				}
+				current = &eventDef{name: fields[1]}
+				currentID = fields[2]
+			case "EndEventDef":
+				if current == nil {
+					return nil, p.errf("EndEventDef without EventDef")
+				}
+				p.defs[currentID] = current
+				current = nil
+			default:
+				// A field declaration: "<name> <type>".
+				if current == nil {
+					return nil, p.errf("field declaration outside EventDef")
+				}
+				current.fields = append(current.fields, fields[0])
+			}
+			continue
+		}
+		if err := p.event(trimmed); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := p.tr.Validate(); err != nil {
+		return nil, err
+	}
+	return p.tr, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("paje: line %d: %s", p.lineno, fmt.Sprintf(format, args...))
+}
+
+// tokenize splits an event line into fields, honouring double quotes.
+func tokenize(line string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '"':
+			if inQuote {
+				out = append(out, cur.String())
+				cur.Reset()
+				inQuote = false
+			} else {
+				flush()
+				inQuote = true
+			}
+		case (c == ' ' || c == '\t') && !inQuote:
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return out
+}
+
+// event dispatches one body line.
+func (p *parser) event(line string) error {
+	tokens := tokenize(line)
+	if len(tokens) == 0 {
+		return nil
+	}
+	def, ok := p.defs[tokens[0]]
+	if !ok {
+		return p.errf("unknown event id %q", tokens[0])
+	}
+	if len(tokens)-1 < len(def.fields) {
+		return p.errf("%s wants %d fields, got %d", def.name, len(def.fields), len(tokens)-1)
+	}
+	get := func(field string) string {
+		for i, f := range def.fields {
+			if strings.EqualFold(f, field) {
+				return tokens[1+i]
+			}
+		}
+		return ""
+	}
+	getTime := func() (float64, error) {
+		s := get("Time")
+		if s == "" {
+			return 0, p.errf("%s lacks a Time field", def.name)
+		}
+		t, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, p.errf("bad time %q", s)
+		}
+		return t, nil
+	}
+
+	switch def.name {
+	case "PajeDefineContainerType":
+		p.defineType(get("Alias"), get("Name"), "container")
+	case "PajeDefineVariableType":
+		p.defineType(get("Alias"), get("Name"), "variable")
+	case "PajeDefineStateType":
+		p.defineType(get("Alias"), get("Name"), "state")
+	case "PajeDefineEventType", "PajeDefineLinkType":
+		p.defineType(get("Alias"), get("Name"), "other")
+	case "PajeDefineEntityValue":
+		alias := get("Alias")
+		name := get("Name")
+		if name == "" {
+			name = alias
+		}
+		p.entityValues[alias] = name
+
+	case "PajeCreateContainer":
+		return p.createContainer(get("Alias"), get("Name"), get("Type"), get("Container"))
+	case "PajeDestroyContainer":
+		// Containers stay in the trace (the window simply ends); nothing
+		// to do.
+		return nil
+
+	case "PajeSetVariable", "PajeAddVariable", "PajeSubVariable":
+		t, err := getTime()
+		if err != nil {
+			return err
+		}
+		res, err := p.container(get("Container"))
+		if err != nil {
+			return err
+		}
+		metric := p.metricName(get("Type"))
+		v, err := strconv.ParseFloat(get("Value"), 64)
+		if err != nil {
+			return p.errf("bad value %q", get("Value"))
+		}
+		switch def.name {
+		case "PajeSetVariable":
+			return p.tr.Set(t, res, metric, v)
+		case "PajeAddVariable":
+			return p.tr.Add(t, res, metric, v)
+		default:
+			return p.tr.Add(t, res, metric, -v)
+		}
+
+	case "PajeSetState":
+		t, err := getTime()
+		if err != nil {
+			return err
+		}
+		res, err := p.container(get("Container"))
+		if err != nil {
+			return err
+		}
+		p.stacks[res] = p.stacks[res][:0]
+		return p.tr.SetState(t, res, p.stateValue(get("Value")))
+
+	case "PajePushState":
+		t, err := getTime()
+		if err != nil {
+			return err
+		}
+		res, err := p.container(get("Container"))
+		if err != nil {
+			return err
+		}
+		v := p.stateValue(get("Value"))
+		p.stacks[res] = append(p.stacks[res], v)
+		return p.tr.SetState(t, res, v)
+
+	case "PajePopState":
+		t, err := getTime()
+		if err != nil {
+			return err
+		}
+		res, err := p.container(get("Container"))
+		if err != nil {
+			return err
+		}
+		st := p.stacks[res]
+		if len(st) > 0 {
+			st = st[:len(st)-1]
+			p.stacks[res] = st
+		}
+		top := ""
+		if len(st) > 0 {
+			top = st[len(st)-1]
+		}
+		return p.tr.SetState(t, res, top)
+
+	case "PajeStartLink", "PajeEndLink", "PajeNewEvent":
+		// Message arrows and point events: accepted, not modelled.
+		return nil
+	default:
+		return p.errf("unsupported event %q", def.name)
+	}
+	return nil
+}
+
+func (p *parser) defineType(alias, name, kind string) {
+	if name == "" {
+		name = alias
+	}
+	p.typeKind[alias] = kind
+	p.typeName[alias] = name
+	if alias != name {
+		p.typeKind[name] = kind
+		p.typeName[name] = name
+	}
+}
+
+// resourceType maps a Paje container type to our resource type: names
+// containing "link" become links, "host"/"machine"/"node" hosts, anything
+// else keeps its lowercased Paje type name (groups stay groups through
+// the hierarchy, so unknown types still aggregate fine).
+func (p *parser) resourceType(pajeType string) string {
+	name := strings.ToLower(p.typeName[pajeType])
+	if name == "" {
+		name = strings.ToLower(pajeType)
+	}
+	switch {
+	case strings.Contains(name, "link"):
+		return trace.TypeLink
+	case strings.Contains(name, "host"), strings.Contains(name, "machine"), strings.Contains(name, "node"):
+		return trace.TypeHost
+	case strings.Contains(name, "site"), strings.Contains(name, "cluster"),
+		strings.Contains(name, "grid"), strings.Contains(name, "platform"),
+		strings.Contains(name, "zone"):
+		return trace.TypeGroup
+	default:
+		return name
+	}
+}
+
+func (p *parser) metricName(pajeType string) string {
+	name := strings.ToLower(p.typeName[pajeType])
+	if name == "" {
+		name = strings.ToLower(pajeType)
+	}
+	// Map SimGrid's conventional variable names onto ours.
+	switch name {
+	case "power", "speed":
+		return trace.MetricPower
+	case "power_used", "speed_used", "usage":
+		return trace.MetricUsage
+	case "bandwidth":
+		return trace.MetricBandwidth
+	case "bandwidth_used", "traffic":
+		return trace.MetricTraffic
+	default:
+		return name
+	}
+}
+
+func (p *parser) stateValue(v string) string {
+	if name, ok := p.entityValues[v]; ok {
+		return name
+	}
+	return v
+}
+
+func (p *parser) createContainer(alias, name, pajeType, parentRef string) error {
+	if name == "" {
+		name = alias
+	}
+	parent := ""
+	if parentRef != "" && parentRef != "0" {
+		res, err := p.container(parentRef)
+		if err != nil {
+			return err
+		}
+		parent = res
+	}
+	// Ensure a unique resource name.
+	resName := name
+	if p.nameUsed[resName] && parent != "" {
+		resName = parent + "/" + name
+	}
+	for p.nameUsed[resName] {
+		resName += "'"
+	}
+	p.nameUsed[resName] = true
+	if err := p.tr.DeclareResource(resName, p.resourceType(pajeType), parent); err != nil {
+		return p.errf("%v", err)
+	}
+	if alias != "" {
+		p.containers[alias] = resName
+	}
+	if _, taken := p.containers[name]; !taken {
+		p.containers[name] = resName
+	}
+	return nil
+}
+
+func (p *parser) container(ref string) (string, error) {
+	if res, ok := p.containers[ref]; ok {
+		return res, nil
+	}
+	return "", p.errf("unknown container %q", ref)
+}

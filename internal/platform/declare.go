@@ -1,0 +1,35 @@
+package platform
+
+import "viva/internal/trace"
+
+// DeclareInto registers the whole platform in a trace: the hierarchy
+// (grid, sites, clusters), every host and every link, with their
+// capacities recorded as timelines from t = 0. Simulators call this once
+// before running so that the visualization can correlate usage with
+// capacity and topology.
+func (p *Platform) DeclareInto(tr *trace.Trace) {
+	for _, z := range p.Zones() {
+		tr.MustDeclareResource(z.Name, trace.TypeGroup, z.Parent)
+	}
+	for _, h := range p.Hosts() {
+		tr.MustDeclareResource(h.Name, trace.TypeHost, h.Cluster)
+		must(tr.Set(0, h.Name, trace.MetricPower, h.Power))
+	}
+	for _, l := range p.Links() {
+		tr.MustDeclareResource(l.Name, trace.TypeLink, l.Parent)
+		must(tr.Set(0, l.Name, trace.MetricBandwidth, l.Bandwidth))
+	}
+	tr.MustDeclareResource(p.CoreName(), TypeRouter, p.Root)
+	for _, e := range p.EdgeList() {
+		tr.MustDeclareEdge(e.A, e.B)
+	}
+}
+
+// TypeRouter is the resource type of the grid core pseudo-node.
+const TypeRouter = "router"
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

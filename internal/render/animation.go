@@ -1,0 +1,99 @@
+package render
+
+import (
+	"bytes"
+	"fmt"
+	"html"
+
+	"viva/internal/layout"
+	"viva/internal/vizgraph"
+)
+
+// Animation is built frame by frame: each AddFrame captures the graph and
+// layout at one time slice; Render produces a single self-playing SVG
+// (SMIL timing) that cycles through the frames — the paper demonstrated
+// this temporal navigation with a video, this is its standalone-file
+// equivalent (Figure 9's workload diffusion plays in any browser).
+type Animation struct {
+	opts     Options
+	frames   []bytes.Buffer
+	titles   []string
+	duration float64 // seconds per frame
+}
+
+// NewAnimation creates an animation; frameDuration is the seconds each
+// frame stays visible.
+func NewAnimation(opts Options, frameDuration float64) *Animation {
+	if opts.Width <= 0 || opts.Height <= 0 {
+		o := DefaultOptions()
+		opts.Width, opts.Height = o.Width, o.Height
+	}
+	if frameDuration <= 0 {
+		frameDuration = 1
+	}
+	return &Animation{opts: opts, duration: frameDuration}
+}
+
+// AddFrame renders the current state of a view as the next frame. The
+// graph and layout are read immediately (later mutations don't affect the
+// captured frame).
+func (a *Animation) AddFrame(g *vizgraph.Graph, lay *layout.Layout, title string) {
+	opts := a.opts
+	opts.Title = "" // titles are per-frame, drawn by Render
+	opts.IDPrefix = fmt.Sprintf("f%d-", len(a.frames))
+	var buf bytes.Buffer
+	emitBody(&buf, g, lay, opts)
+	a.frames = append(a.frames, buf)
+	a.titles = append(a.titles, title)
+}
+
+// Len returns the number of captured frames.
+func (a *Animation) Len() int { return len(a.frames) }
+
+// Render assembles the animated SVG. It returns nil when no frames were
+// added.
+func (a *Animation) Render() []byte {
+	n := len(a.frames)
+	if n == 0 {
+		return nil
+	}
+	total := a.duration * float64(n)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		a.opts.Width, a.opts.Height, a.opts.Width, a.opts.Height)
+	buf.WriteByte('\n')
+	if a.opts.Background != "" {
+		fmt.Fprintf(&buf, `<rect width="%d" height="%d" fill="%s"/>`,
+			a.opts.Width, a.opts.Height, html.EscapeString(a.opts.Background))
+		buf.WriteByte('\n')
+	}
+	for i := range a.frames {
+		display := "none"
+		if i == 0 {
+			display = "inline"
+		}
+		fmt.Fprintf(&buf, `<g display="%s">`, display)
+		buf.WriteByte('\n')
+		// Discrete visibility schedule: frame i shows during
+		// [i, i+1) * duration of each cycle.
+		start := float64(i) / float64(n)
+		end := float64(i+1) / float64(n)
+		if i == 0 {
+			fmt.Fprintf(&buf, `<animate attributeName="display" values="inline;none" keyTimes="0;%.6f" calcMode="discrete" dur="%.3fs" repeatCount="indefinite"/>`,
+				end, total)
+		} else {
+			fmt.Fprintf(&buf, `<animate attributeName="display" values="none;inline;none" keyTimes="0;%.6f;%.6f" calcMode="discrete" dur="%.3fs" repeatCount="indefinite"/>`,
+				start, end, total)
+		}
+		buf.WriteByte('\n')
+		buf.Write(a.frames[i].Bytes())
+		if t := a.titles[i]; t != "" {
+			fmt.Fprintf(&buf, `<text x="10" y="20" font-size="14" fill="#222222" font-family="sans-serif">%s</text>`,
+				html.EscapeString(t))
+			buf.WriteByte('\n')
+		}
+		buf.WriteString("</g>\n")
+	}
+	buf.WriteString("</svg>\n")
+	return buf.Bytes()
+}

@@ -1,0 +1,49 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"viva/internal/core"
+)
+
+func TestAnimationFrames(t *testing.T) {
+	v, err := core.NewView(demoTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Stabilize(300, 0.2)
+	anim := NewAnimation(DefaultOptions(), 0.5)
+	_, end := v.Trace().Window()
+	for i := 0; i < 4; i++ {
+		a := float64(i) * end / 4
+		if err := v.SetTimeSlice(a, a+end/4); err != nil {
+			t.Fatal(err)
+		}
+		anim.AddFrame(v.MustGraph(), v.Layout(), "frame")
+	}
+	if anim.Len() != 4 {
+		t.Fatalf("Len = %d", anim.Len())
+	}
+	svg := string(anim.Render())
+	if got := strings.Count(svg, "<animate "); got != 4 {
+		t.Errorf("animate elements = %d, want 4", got)
+	}
+	if got := strings.Count(svg, `dur="2.000s"`); got != 4 {
+		t.Errorf("durations = %d, want 4 cycles of 2s", got)
+	}
+	// Per-frame clip ids must not collide.
+	if !strings.Contains(svg, "clip-f0-") || !strings.Contains(svg, "clip-f3-") {
+		t.Error("frame-namespaced clip ids missing")
+	}
+	if strings.Count(svg, "<svg") != 1 || strings.Count(svg, "</svg>") != 1 {
+		t.Error("not a single SVG document")
+	}
+}
+
+func TestAnimationEmpty(t *testing.T) {
+	anim := NewAnimation(Options{}, 0)
+	if anim.Render() != nil {
+		t.Error("empty animation rendered content")
+	}
+}

@@ -1,0 +1,206 @@
+// Package render draws a visual graph (vizgraph + layout positions) as a
+// standalone SVG document — the headless output used to regenerate the
+// paper's figures.
+//
+// Shapes follow the paper's conventions: squares for hosts, diamonds for
+// links, circles for routers; a shape's area tracks the aggregated
+// capacity and a bottom-up partial fill tracks the utilization.
+package render
+
+import (
+	"bytes"
+	"fmt"
+	"html"
+	"math"
+
+	"viva/internal/layout"
+	"viva/internal/vizgraph"
+)
+
+// Options control the SVG output.
+type Options struct {
+	Width, Height int
+	Background    string
+	// ShowLabels draws the node labels of nodes at least LabelMinSize px.
+	ShowLabels   bool
+	LabelMinSize float64
+	// Title is an optional caption at the top-left.
+	Title string
+	// IDPrefix namespaces generated element ids (clip paths); the
+	// animation renderer sets it per frame to avoid collisions.
+	IDPrefix string
+}
+
+// DefaultOptions renders an 800×600 white canvas with labels on large
+// nodes.
+func DefaultOptions() Options {
+	return Options{
+		Width: 800, Height: 600,
+		Background:   "#ffffff",
+		ShowLabels:   true,
+		LabelMinSize: 24,
+	}
+}
+
+// SVG renders the graph using the body positions of the layout. Nodes
+// missing from the layout are skipped.
+func SVG(g *vizgraph.Graph, lay *layout.Layout, opts Options) []byte {
+	if opts.Width <= 0 || opts.Height <= 0 {
+		o := DefaultOptions()
+		opts.Width, opts.Height = o.Width, o.Height
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		opts.Width, opts.Height, opts.Width, opts.Height)
+	buf.WriteByte('\n')
+	if opts.Background != "" {
+		fmt.Fprintf(&buf, `<rect width="%d" height="%d" fill="%s"/>`, opts.Width, opts.Height, html.EscapeString(opts.Background))
+		buf.WriteByte('\n')
+	}
+	emitBody(&buf, g, lay, opts)
+	buf.WriteString("</svg>\n")
+	return buf.Bytes()
+}
+
+// emitBody renders edges, nodes and title into buf (everything between
+// the <svg> tags).
+func emitBody(buf *bytes.Buffer, g *vizgraph.Graph, lay *layout.Layout, opts Options) {
+	tx, ty, scale := fitTransform(g, lay, opts)
+	project := func(p layout.Point) (float64, float64) {
+		return (p.X-tx)*scale + float64(opts.Width)/2, (p.Y-ty)*scale + float64(opts.Height)/2
+	}
+
+	// Edges first, under the nodes.
+	for _, e := range g.Edges {
+		ba, bb := lay.Body(e.From), lay.Body(e.To)
+		if ba == nil || bb == nil {
+			continue
+		}
+		x1, y1 := project(ba.Pos)
+		x2, y2 := project(bb.Pos)
+		w := 1 + math.Log10(float64(e.Multiplicity))
+		fmt.Fprintf(buf, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#b0b0b0" stroke-width="%.1f"/>`,
+			x1, y1, x2, y2, w)
+		buf.WriteByte('\n')
+	}
+
+	for _, n := range g.Nodes {
+		b := lay.Body(n.ID)
+		if b == nil {
+			continue
+		}
+		x, y := project(b.Pos)
+		size := n.Size * scale
+		if size < 2 {
+			size = 2
+		}
+		drawNode(buf, n, x, y, size, opts.IDPrefix)
+		if opts.ShowLabels && size >= opts.LabelMinSize {
+			fmt.Fprintf(buf, `<text x="%.1f" y="%.1f" font-size="%.0f" text-anchor="middle" fill="#222222" font-family="sans-serif">%s</text>`,
+				x, y+size/2+12, math.Max(9, size/5), html.EscapeString(n.Label))
+			buf.WriteByte('\n')
+		}
+	}
+
+	if opts.Title != "" {
+		fmt.Fprintf(buf, `<text x="10" y="20" font-size="14" fill="#222222" font-family="sans-serif">%s</text>`,
+			html.EscapeString(opts.Title))
+		buf.WriteByte('\n')
+	}
+}
+
+// fitTransform computes the translation and scale centring the layout in
+// the viewport with a margin.
+func fitTransform(g *vizgraph.Graph, lay *layout.Layout, opts Options) (cx, cy, scale float64) {
+	min, max := lay.BoundingBox()
+	cx = (min.X + max.X) / 2
+	cy = (min.Y + max.Y) / 2
+	spanX := max.X - min.X
+	spanY := max.Y - min.Y
+	// Account for node sizes at the fringe.
+	var maxNode float64
+	for _, n := range g.Nodes {
+		if n.Size > maxNode {
+			maxNode = n.Size
+		}
+	}
+	margin := maxNode + 30
+	scaleX := (float64(opts.Width) - 2*margin) / math.Max(spanX, 1)
+	scaleY := (float64(opts.Height) - 2*margin) / math.Max(spanY, 1)
+	scale = math.Min(scaleX, scaleY)
+	if scale <= 0 || math.IsInf(scale, 0) {
+		scale = 1
+	}
+	if scale > 1.5 {
+		scale = 1.5 // don't blow small layouts up
+	}
+	return cx, cy, scale
+}
+
+// drawNode emits a node's outline shape plus its bottom-anchored partial
+// fill.
+func drawNode(buf *bytes.Buffer, n *vizgraph.Node, x, y, size float64, idPrefix string) {
+	half := size / 2
+	color := n.Color
+	if color == "" {
+		color = "#3b7dd8"
+	}
+	clipID := fmt.Sprintf("clip-%s%s", sanitizeID(idPrefix), sanitizeID(n.ID))
+	// Clip path holding the shape outline; the fill rect is clipped by it.
+	fmt.Fprintf(buf, `<clipPath id="%s">`, clipID)
+	writeShapePath(buf, n.Shape, x, y, half, "")
+	buf.WriteString("</clipPath>\n")
+	// Shape background (light), then the fill portion, then the outline.
+	writeShapePath(buf, n.Shape, x, y, half, fmt.Sprintf(`fill="%s" fill-opacity="0.15"`, color))
+	buf.WriteByte('\n')
+	switch {
+	case len(n.Segments) > 0:
+		// Per-category stacked fill, bottom up (the paper's "richer
+		// graphical objects": one shape shows how categories share it).
+		base := y + half
+		for _, seg := range n.Segments {
+			fh := size * seg.Fraction
+			fmt.Fprintf(buf, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" clip-path="url(#%s)"><title>%s: %.1f%%</title></rect>`,
+				x-half, base-fh, size, fh, seg.Color, clipID, html.EscapeString(seg.Category), 100*seg.Fraction)
+			buf.WriteByte('\n')
+			base -= fh
+		}
+	case n.Fill > 0:
+		fh := size * n.Fill
+		fmt.Fprintf(buf, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" clip-path="url(#%s)"/>`,
+			x-half, y+half-fh, size, fh, color, clipID)
+		buf.WriteByte('\n')
+	}
+	writeShapePath(buf, n.Shape, x, y, half, fmt.Sprintf(`fill="none" stroke="%s" stroke-width="1.5"`, color))
+	buf.WriteByte('\n')
+}
+
+func writeShapePath(buf *bytes.Buffer, shape vizgraph.Shape, x, y, half float64, attrs string) {
+	if attrs != "" {
+		attrs = " " + attrs
+	}
+	switch shape {
+	case vizgraph.Diamond:
+		fmt.Fprintf(buf, `<polygon points="%.1f,%.1f %.1f,%.1f %.1f,%.1f %.1f,%.1f"%s/>`,
+			x, y-half, x+half, y, x, y+half, x-half, y, attrs)
+	case vizgraph.Circle:
+		fmt.Fprintf(buf, `<circle cx="%.1f" cy="%.1f" r="%.1f"%s/>`, x, y, half, attrs)
+	default: // Square
+		fmt.Fprintf(buf, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f"%s/>`,
+			x-half, y-half, 2*half, 2*half, attrs)
+	}
+}
+
+func sanitizeID(id string) string {
+	out := make([]byte, 0, len(id))
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,96 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"viva/internal/core"
+	"viva/internal/trace"
+)
+
+func demoTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr := trace.New()
+	tr.MustDeclareResource("root", trace.TypeGroup, "")
+	tr.MustDeclareResource("HostA", trace.TypeHost, "root")
+	tr.MustDeclareResource("HostB", trace.TypeHost, "root")
+	tr.MustDeclareResource("LinkA", trace.TypeLink, "root")
+	tr.MustDeclareResource("core", "router", "root")
+	set := func(tt float64, r, m string, v float64) {
+		t.Helper()
+		if err := tr.Set(tt, r, m, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	set(0, "HostA", trace.MetricPower, 100)
+	set(0, "HostA", trace.MetricUsage, 50)
+	set(0, "HostB", trace.MetricPower, 25)
+	set(0, "LinkA", trace.MetricBandwidth, 1e4)
+	set(0, "LinkA", trace.MetricTraffic, 5e3)
+	tr.MustDeclareEdge("HostA", "LinkA")
+	tr.MustDeclareEdge("LinkA", "HostB")
+	tr.MustDeclareEdge("LinkA", "core")
+	tr.SetEnd(10)
+	return tr
+}
+
+func renderDemo(t *testing.T, opts Options) string {
+	t.Helper()
+	v, err := core.NewView(demoTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Stabilize(500, 0.1)
+	return string(SVG(v.MustGraph(), v.Layout(), opts))
+}
+
+func TestSVGStructure(t *testing.T) {
+	svg := renderDemo(t, DefaultOptions())
+	for _, want := range []string{
+		"<svg", "</svg>",
+		"<rect",           // squares (hosts) and fills
+		"<polygon",        // diamond (link)
+		"<circle",         // router
+		"<line",           // edges
+		"clip-HostA_host", // fill clip path
+		">HostA</text>",   // label
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestSVGNoLabels(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ShowLabels = false
+	svg := renderDemo(t, opts)
+	if strings.Contains(svg, "<text") {
+		t.Error("labels drawn despite ShowLabels=false")
+	}
+}
+
+func TestSVGTitleEscaped(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Title = `<script>"x"</script>`
+	svg := renderDemo(t, opts)
+	if strings.Contains(svg, "<script>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "&lt;script&gt;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestSVGZeroSizeOptionsDefaulted(t *testing.T) {
+	svg := renderDemo(t, Options{})
+	if !strings.Contains(svg, `width="800"`) {
+		t.Error("default width not applied")
+	}
+}
+
+func TestSanitizeID(t *testing.T) {
+	if got := sanitizeID("a/b:c d"); got != "a_b_c_d" {
+		t.Errorf("sanitizeID = %q", got)
+	}
+}

@@ -1,0 +1,457 @@
+// Package server exposes a core.View over HTTP: a JSON API wrapping every
+// interactive operation of the paper (time-slice selection, spatial
+// aggregation, layout parameters, node dragging, per-type scales) plus an
+// embedded HTML5 canvas front-end, so the visualization is explorable in a
+// browser. This is the Go-era stand-in for VIVA's GTK user interface.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+
+	"viva/internal/aggregation"
+	"viva/internal/core"
+	"viva/internal/layout"
+	"viva/internal/render"
+	"viva/internal/vizgraph"
+)
+
+// Server wraps a View with a mutex so HTTP handlers can share it.
+type Server struct {
+	mu   sync.Mutex
+	view *core.View
+}
+
+// New creates a server over a view.
+func New(view *core.View) *Server { return &Server{view: view} }
+
+// Handler returns the HTTP handler serving the UI and the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", s.handleIndex)
+	mux.HandleFunc("GET /api/graph", s.handleGraph)
+	mux.HandleFunc("GET /api/meta", s.handleMeta)
+	mux.HandleFunc("GET /api/node", s.handleNode)
+	mux.HandleFunc("GET /svg", s.handleSVG)
+	mux.HandleFunc("POST /api/slice", s.handleSlice)
+	mux.HandleFunc("POST /api/shift", s.handleShift)
+	mux.HandleFunc("POST /api/aggregate", s.handleAggregate)
+	mux.HandleFunc("POST /api/disaggregate", s.handleDisaggregate)
+	mux.HandleFunc("POST /api/level", s.handleLevel)
+	mux.HandleFunc("POST /api/scale", s.handleScale)
+	mux.HandleFunc("POST /api/fillmode", s.handleFillMode)
+	mux.HandleFunc("POST /api/params", s.handleParams)
+	mux.HandleFunc("POST /api/move", s.handleMove)
+	mux.HandleFunc("POST /api/unpin", s.handleUnpin)
+	return mux
+}
+
+// ListenAndServe runs the server on addr until the listener fails.
+func (s *Server) ListenAndServe(addr string) error {
+	return http.ListenAndServe(addr, s.Handler())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+}
+
+func decode(r *http.Request, v any) error {
+	defer r.Body.Close()
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// nodeJSON is the wire form of a visual node.
+type nodeJSON struct {
+	ID       string        `json:"id"`
+	Group    string        `json:"group"`
+	Parent   string        `json:"parent"` // hierarchy parent of the group
+	Type     string        `json:"type"`
+	Label    string        `json:"label"`
+	Shape    string        `json:"shape"`
+	Color    string        `json:"color"`
+	Size     float64       `json:"size"`
+	Fill     float64       `json:"fill"`
+	Count    int           `json:"count"`
+	Value    float64       `json:"value"`
+	X        float64       `json:"x"`
+	Y        float64       `json:"y"`
+	Pinned   bool          `json:"pinned"`
+	Leaf     bool          `json:"leaf"`
+	Segments []segmentJSON `json:"segments,omitempty"`
+}
+
+type segmentJSON struct {
+	Category string  `json:"category"`
+	Fraction float64 `json:"fraction"`
+	Color    string  `json:"color"`
+}
+
+type edgeJSON struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Mult int    `json:"mult"`
+}
+
+type graphJSON struct {
+	Nodes  []nodeJSON    `json:"nodes"`
+	Edges  []edgeJSON    `json:"edges"`
+	Slice  [2]float64    `json:"slice"`
+	Window [2]float64    `json:"window"`
+	Params layout.Params `json:"params"`
+	Moving float64       `json:"moving"` // last step's max displacement
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	steps := 5
+	if q := r.URL.Query().Get("steps"); q != "" {
+		if _, err := fmt.Sscanf(q, "%d", &steps); err != nil || steps < 0 || steps > 1000 {
+			writeErr(w, fmt.Errorf("bad steps %q", q))
+			return
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, err := s.view.Graph()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	moving := s.view.StepLayout(steps)
+	out := graphJSON{Params: s.view.Layout().Params(), Moving: moving}
+	out.Slice = [2]float64{s.view.TimeSlice().Start, s.view.TimeSlice().End}
+	ws, we := s.view.Trace().Window()
+	out.Window = [2]float64{ws, we}
+	tree := s.view.Aggregator().Tree()
+	for _, n := range g.Nodes {
+		b := s.view.Layout().Body(n.ID)
+		if b == nil {
+			continue
+		}
+		tn := tree.Node(n.Group)
+		nj := nodeJSON{
+			ID: n.ID, Group: n.Group, Parent: tn.Parent, Type: n.Type,
+			Label: n.Label, Shape: n.Shape.String(), Color: n.Color,
+			Size: n.Size, Fill: n.Fill, Count: n.Count, Value: n.Value,
+			X: b.Pos.X, Y: b.Pos.Y, Pinned: b.Pinned, Leaf: tn.IsEntity(),
+		}
+		for _, seg := range n.Segments {
+			nj.Segments = append(nj.Segments, segmentJSON{Category: seg.Category, Fraction: seg.Fraction, Color: seg.Color})
+		}
+		out.Nodes = append(out.Nodes, nj)
+	}
+	for _, e := range g.Edges {
+		out.Edges = append(out.Edges, edgeJSON{From: e.From, To: e.To, Mult: e.Multiplicity})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type metaJSON struct {
+	Window   [2]float64 `json:"window"`
+	MaxDepth int        `json:"maxDepth"`
+	Metrics  []string   `json:"metrics"`
+	Types    []string   `json:"types"`
+	Groups   []string   `json:"groups"` // interior hierarchy nodes
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tr := s.view.Trace()
+	tree := s.view.Aggregator().Tree()
+	ws, we := tr.Window()
+	meta := metaJSON{Window: [2]float64{ws, we}, MaxDepth: tree.MaxDepth(), Metrics: tr.Metrics()}
+	typeSet := map[string]bool{}
+	for _, r := range tr.Resources() {
+		if !typeSet[r.Type] {
+			typeSet[r.Type] = true
+			meta.Types = append(meta.Types, r.Type)
+		}
+	}
+	for _, name := range tree.Names() {
+		if !tree.Node(name).IsEntity() {
+			meta.Groups = append(meta.Groups, name)
+		}
+	}
+	writeJSON(w, http.StatusOK, meta)
+}
+
+// statsJSON is the wire form of the statistical aggregation companions
+// (the paper's future-work indicators: variance and friends let the
+// analyst spot heterogeneous aggregates worth disaggregating).
+type statsJSON struct {
+	Count  int     `json:"count"`
+	Sum    float64 `json:"sum"`
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Stddev float64 `json:"stddev"`
+	Median float64 `json:"median"`
+}
+
+type nodeDetailJSON struct {
+	ID        string    `json:"id"`
+	Label     string    `json:"label"`
+	Group     string    `json:"group"`
+	Type      string    `json:"type"`
+	Count     int       `json:"count"`
+	Value     float64   `json:"value"`
+	Fill      float64   `json:"fill"`
+	SizeStats statsJSON `json:"sizeStats"`
+	FillStats statsJSON `json:"fillStats"`
+	Members   []string  `json:"members"`
+}
+
+func toStatsJSON(st aggregation.Stats) statsJSON {
+	return statsJSON{
+		Count: st.Count, Sum: st.Sum, Mean: st.Mean,
+		Min: st.Min, Max: st.Max,
+		Stddev: math.Sqrt(st.Variance), Median: st.Median,
+	}
+}
+
+// handleNode returns one node's full aggregation detail: the statistical
+// companions of its value and fill, plus (a sample of) the member
+// entities it aggregates.
+func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, err := s.view.Graph()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	n := g.Node(id)
+	if n == nil {
+		writeErr(w, fmt.Errorf("unknown node %q", id))
+		return
+	}
+	detail := nodeDetailJSON{
+		ID: n.ID, Label: n.Label, Group: n.Group, Type: n.Type,
+		Count: n.Count, Value: n.Value, Fill: n.Fill,
+		SizeStats: toStatsJSON(n.SizeStats),
+		FillStats: toStatsJSON(n.FillStats),
+	}
+	tree := s.view.Aggregator().Tree()
+	for _, m := range s.view.Cut().Members(n.Group) {
+		if tree.Node(m).Type != n.Type {
+			continue
+		}
+		detail.Members = append(detail.Members, m)
+		if len(detail.Members) >= 50 {
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, detail)
+}
+
+func (s *Server) handleSVG(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, err := s.view.Graph()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	_, _ = w.Write(render.SVG(g, s.view.Layout(), render.DefaultOptions()))
+}
+
+func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Start float64 `json:"start"`
+		End   float64 `json:"end"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.view.SetTimeSlice(req.Start, req.End); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleShift(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Dt float64 `json:"dt"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.view.ShiftTimeSlice(req.Dt)
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	s.groupOp(w, r, s.view.Aggregate)
+}
+
+func (s *Server) handleDisaggregate(w http.ResponseWriter, r *http.Request) {
+	s.groupOp(w, r, s.view.Disaggregate)
+}
+
+func (s *Server) groupOp(w http.ResponseWriter, r *http.Request, op func(string) error) {
+	var req struct {
+		Group string `json:"group"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := op(req.Group); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleLevel(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Depth int `json:"depth"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.view.SetLevel(req.Depth); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleScale(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Type   string  `json:"type"`
+		Factor float64 `json:"factor"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.view.SetScale(req.Type, req.Factor); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleFillMode switches a type's aggregated-fill semantics between the
+// paper's ratio and the saturation-preserving max (see
+// vizgraph.FillAggregation).
+func (s *Server) handleFillMode(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Type string `json:"type"`
+		Mode string `json:"mode"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	var mode vizgraph.FillAggregation
+	switch req.Mode {
+	case "ratio":
+		mode = vizgraph.FillRatio
+	case "max":
+		mode = vizgraph.FillMaxRatio
+	default:
+		writeErr(w, fmt.Errorf("unknown fill mode %q (want ratio or max)", req.Mode))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.view.SetFillAggregation(req.Type, mode); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	p := s.view.Layout().Params()
+	s.mu.Unlock()
+	// Decode over the current params so omitted fields keep their value.
+	if err := decode(r, &p); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if p.Damping < 0 || p.Damping >= 1 || p.Charge < 0 || p.Spring < 0 {
+		writeErr(w, fmt.Errorf("invalid parameters"))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.view.SetLayoutParams(p)
+	writeJSON(w, http.StatusOK, p)
+}
+
+func (s *Server) handleMove(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID  string  `json:"id"`
+		X   float64 `json:"x"`
+		Y   float64 `json:"y"`
+		Pin bool    `json:"pin"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.view.MoveNode(req.ID, req.X, req.Y, req.Pin); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleUnpin(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID string `json:"id"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.view.UnpinNode(req.ID); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(indexHTML))
+}

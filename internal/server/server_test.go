@@ -1,0 +1,312 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"viva/internal/core"
+	"viva/internal/trace"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	tr := trace.New()
+	tr.MustDeclareResource("root", trace.TypeGroup, "")
+	tr.MustDeclareResource("c1", trace.TypeGroup, "root")
+	tr.MustDeclareResource("h1", trace.TypeHost, "c1")
+	tr.MustDeclareResource("h2", trace.TypeHost, "c1")
+	tr.MustDeclareResource("l1", trace.TypeLink, "root")
+	for _, args := range [][3]any{
+		{"h1", trace.MetricPower, 100.0},
+		{"h2", trace.MetricPower, 50.0},
+		{"l1", trace.MetricBandwidth, 1000.0},
+		{"h1", trace.MetricUsage, 60.0},
+	} {
+		if err := tr.Set(0, args[0].(string), args[1].(string), args[2].(float64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.MustDeclareEdge("h1", "l1")
+	tr.MustDeclareEdge("h2", "l1")
+	tr.SetEnd(10)
+	v, err := core.NewView(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(v).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestIndexServed(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "<canvas") {
+		t.Error("UI page lacks canvas")
+	}
+	// Unknown paths 404.
+	resp2, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", resp2.StatusCode)
+	}
+}
+
+func TestGraphEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var g graphJSON
+	getJSON(t, srv.URL+"/api/graph?steps=3", &g)
+	if len(g.Nodes) != 3 {
+		t.Fatalf("nodes = %d, want 3", len(g.Nodes))
+	}
+	if len(g.Edges) != 2 {
+		t.Errorf("edges = %d, want 2", len(g.Edges))
+	}
+	if g.Window[1] != 10 {
+		t.Errorf("window = %v", g.Window)
+	}
+	for _, n := range g.Nodes {
+		if n.Shape == "" || n.Color == "" || n.Size <= 0 {
+			t.Errorf("node %s incomplete: %+v", n.ID, n)
+		}
+	}
+	// Bad steps rejected.
+	resp, err := http.Get(srv.URL + "/api/graph?steps=abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad steps status = %d", resp.StatusCode)
+	}
+}
+
+func TestMetaEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var m metaJSON
+	getJSON(t, srv.URL+"/api/meta", &m)
+	if m.MaxDepth != 2 {
+		t.Errorf("maxDepth = %d, want 2", m.MaxDepth)
+	}
+	if len(m.Groups) != 2 { // root, c1
+		t.Errorf("groups = %v", m.Groups)
+	}
+	if len(m.Metrics) == 0 || len(m.Types) == 0 {
+		t.Error("metrics/types empty")
+	}
+}
+
+func TestSVGEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "image/svg+xml" {
+		t.Errorf("content type = %s", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "<svg") {
+		t.Error("no SVG content")
+	}
+}
+
+func TestSliceEndpoint(t *testing.T) {
+	srv := testServer(t)
+	if resp := postJSON(t, srv.URL+"/api/slice", map[string]float64{"start": 1, "end": 5}); resp.StatusCode != http.StatusOK {
+		t.Errorf("valid slice status = %d", resp.StatusCode)
+	}
+	var g graphJSON
+	getJSON(t, srv.URL+"/api/graph?steps=0", &g)
+	if g.Slice != [2]float64{1, 5} {
+		t.Errorf("slice = %v", g.Slice)
+	}
+	if resp := postJSON(t, srv.URL+"/api/slice", map[string]float64{"start": 5, "end": 1}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid slice status = %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/api/shift", map[string]float64{"dt": 2}); resp.StatusCode != http.StatusOK {
+		t.Errorf("shift status = %d", resp.StatusCode)
+	}
+	getJSON(t, srv.URL+"/api/graph?steps=0", &g)
+	if g.Slice != [2]float64{3, 7} {
+		t.Errorf("shifted slice = %v", g.Slice)
+	}
+}
+
+func TestAggregationEndpoints(t *testing.T) {
+	srv := testServer(t)
+	if resp := postJSON(t, srv.URL+"/api/aggregate", map[string]string{"group": "c1"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("aggregate status = %d", resp.StatusCode)
+	}
+	var g graphJSON
+	getJSON(t, srv.URL+"/api/graph?steps=0", &g)
+	if len(g.Nodes) != 2 { // c1 square + l1 diamond
+		t.Errorf("nodes after aggregate = %d, want 2", len(g.Nodes))
+	}
+	if resp := postJSON(t, srv.URL+"/api/disaggregate", map[string]string{"group": "c1"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("disaggregate status = %d", resp.StatusCode)
+	}
+	getJSON(t, srv.URL+"/api/graph?steps=0", &g)
+	if len(g.Nodes) != 3 {
+		t.Errorf("nodes after disaggregate = %d, want 3", len(g.Nodes))
+	}
+	if resp := postJSON(t, srv.URL+"/api/aggregate", map[string]string{"group": "ghost"}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad group status = %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/api/level", map[string]int{"depth": 0}); resp.StatusCode != http.StatusOK {
+		t.Errorf("level status = %d", resp.StatusCode)
+	}
+	getJSON(t, srv.URL+"/api/graph?steps=0", &g)
+	if len(g.Nodes) != 2 {
+		t.Errorf("nodes at level 0 = %d, want 2", len(g.Nodes))
+	}
+}
+
+func TestScaleAndParamsEndpoints(t *testing.T) {
+	srv := testServer(t)
+	if resp := postJSON(t, srv.URL+"/api/scale", map[string]any{"type": "host", "factor": 2.0}); resp.StatusCode != http.StatusOK {
+		t.Errorf("scale status = %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/api/scale", map[string]any{"type": "ghost", "factor": 2.0}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad scale status = %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/api/params", map[string]float64{"Charge": 2000}); resp.StatusCode != http.StatusOK {
+		t.Errorf("params status = %d", resp.StatusCode)
+	}
+	var g graphJSON
+	getJSON(t, srv.URL+"/api/graph?steps=0", &g)
+	if g.Params.Charge != 2000 {
+		t.Errorf("charge = %g, want 2000", g.Params.Charge)
+	}
+	// Omitted fields keep their previous value.
+	if g.Params.Damping == 0 {
+		t.Error("damping reset by partial params update")
+	}
+	if resp := postJSON(t, srv.URL+"/api/params", map[string]float64{"Damping": 1.5}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid damping status = %d", resp.StatusCode)
+	}
+}
+
+func TestMoveEndpoints(t *testing.T) {
+	srv := testServer(t)
+	var g graphJSON
+	getJSON(t, srv.URL+"/api/graph?steps=0", &g)
+	id := g.Nodes[0].ID
+	if resp := postJSON(t, srv.URL+"/api/move", map[string]any{"id": id, "x": 5.0, "y": 6.0, "pin": true}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("move status = %d", resp.StatusCode)
+	}
+	getJSON(t, srv.URL+"/api/graph?steps=0", &g)
+	for _, n := range g.Nodes {
+		if n.ID == id && (!n.Pinned || n.X != 5 || n.Y != 6) {
+			t.Errorf("node after pin-move: %+v", n)
+		}
+	}
+	if resp := postJSON(t, srv.URL+"/api/unpin", map[string]string{"id": id}); resp.StatusCode != http.StatusOK {
+		t.Errorf("unpin status = %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/api/move", map[string]any{"id": "ghost", "x": 0.0, "y": 0.0, "pin": false}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad move status = %d", resp.StatusCode)
+	}
+}
+
+func TestNodeDetailEndpoint(t *testing.T) {
+	srv := testServer(t)
+	// Aggregate so a node has several members.
+	if resp := postJSON(t, srv.URL+"/api/aggregate", map[string]string{"group": "c1"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("aggregate status = %d", resp.StatusCode)
+	}
+	var d struct {
+		ID      string   `json:"id"`
+		Count   int      `json:"count"`
+		Value   float64  `json:"value"`
+		Members []string `json:"members"`
+		Stats   struct {
+			Stddev float64 `json:"stddev"`
+			Median float64 `json:"median"`
+		} `json:"sizeStats"`
+	}
+	getJSON(t, srv.URL+"/api/node?id=c1/host", &d)
+	if d.Count != 2 || d.Value != 150 {
+		t.Errorf("detail = %+v", d)
+	}
+	if len(d.Members) != 2 || d.Members[0] != "h1" {
+		t.Errorf("members = %v", d.Members)
+	}
+	if d.Stats.Median != 75 || d.Stats.Stddev != 25 {
+		t.Errorf("stats = %+v", d.Stats)
+	}
+	resp, err := http.Get(srv.URL + "/api/node?id=ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown node status = %d", resp.StatusCode)
+	}
+}
+
+func TestMalformedJSONRejected(t *testing.T) {
+	srv := testServer(t)
+	for _, ep := range []string{"/api/slice", "/api/aggregate", "/api/level", "/api/scale", "/api/params", "/api/move", "/api/unpin", "/api/shift", "/api/disaggregate"} {
+		resp, err := http.Post(srv.URL+ep, "application/json", strings.NewReader("{bad"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s malformed JSON status = %d", ep, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package sim
+
+import "sort"
+
+type activityKind int
+
+const (
+	actExec activityKind = iota
+	actComm
+	actSleep
+)
+
+// resource is the engine-side view of a host or link: a capacity shared by
+// the flows currently attached to it.
+type resource struct {
+	name     string
+	capacity float64
+	isHost   bool
+	flows    map[*activity]struct{}
+
+	// Last traced totals, to avoid redundant trace points.
+	lastUsage   float64
+	lastByCat   map[string]float64
+	traceUsage  bool
+	usageMetric string
+}
+
+func (r *resource) sortedFlows() []*activity {
+	out := make([]*activity, 0, len(r.flows))
+	for f := range r.flows {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// activity is one unit of simulated work: an execution, a communication
+// flow, or a timer.
+type activity struct {
+	id       int64
+	kind     activityKind
+	label    string
+	category string
+
+	resources []*resource // host (exec) or route links (comm)
+	attached  bool        // flows only count once attached (after latency)
+
+	delay      float64 // pending latency/sleep duration, from lastUpdate
+	remaining  float64 // flops or bytes left
+	rate       float64 // currently assigned progress rate
+	lastUpdate float64 // engine time of the last settle
+
+	done    bool
+	waiters []*Actor
+
+	payload    any // comm payload, delivered on completion
+	srcHost    string
+	dstHost    string
+	totalBytes float64
+
+	seq int64 // heap invalidation sequence
+}
+
+func (a *activity) addWaiter(w *Actor) {
+	a.waiters = append(a.waiters, w)
+}
+
+// settle advances remaining to engine time now under the current rate.
+func (a *activity) settle(now float64) {
+	if a.attached && !a.done {
+		a.remaining -= a.rate * (now - a.lastUpdate)
+		if a.remaining < 0 {
+			a.remaining = 0
+		}
+	}
+	a.lastUpdate = now
+}
+
+// eventTime returns the absolute time of the activity's next event under
+// current rates: end of its delay phase, or completion of its work phase.
+// It returns false when no event is pending (for example a zero-rate flow).
+func (a *activity) eventTime() (float64, bool) {
+	if a.done {
+		return 0, false
+	}
+	if !a.attached {
+		return a.lastUpdate + a.delay, true
+	}
+	if a.rate <= 0 {
+		return 0, false
+	}
+	return a.lastUpdate + a.remaining/a.rate, true
+}
+
+// eventEntry is a heap element. Stale entries (seq mismatch) are skipped on
+// pop.
+type eventEntry struct {
+	t   float64
+	seq int64
+	act *activity
+}
+
+type eventHeap []eventEntry
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].act.id < h[j].act.id
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(eventEntry)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

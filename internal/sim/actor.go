@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"fmt"
+
+	"viva/internal/platform"
+)
+
+type actorState int
+
+const (
+	actorReady actorState = iota
+	actorRunning
+	actorBlocked
+	actorDone
+)
+
+// Actor is one simulated process. Its body runs in a dedicated goroutine,
+// but the engine schedules exactly one actor at a time, so actor code needs
+// no synchronisation.
+type Actor struct {
+	id   int64
+	name string
+	host *platform.Host
+	eng  *Engine
+
+	resume chan struct{}
+	parked chan struct{}
+
+	state       actorState
+	queued      bool
+	err         error
+	category    string
+	traceStates bool
+}
+
+// setState records the actor's behavioural state when state tracing is on.
+func (a *Actor) setState(v string) {
+	if a.traceStates && a.eng.tr != nil {
+		if err := a.eng.tr.SetState(a.eng.now, a.name, v); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Name returns the actor's name.
+func (a *Actor) Name() string { return a.name }
+
+func (a *Actor) start(fn func(*Ctx)) {
+	go func() {
+		<-a.resume
+		defer func() {
+			if r := recover(); r != nil {
+				a.err = fmt.Errorf("panic: %v", r)
+			}
+			a.state = actorDone
+			a.parked <- struct{}{}
+		}()
+		fn(&Ctx{a: a})
+		a.state = actorDone
+	}()
+}
+
+// block parks the actor and hands control back to the engine; it returns
+// when the engine reschedules the actor.
+func (a *Actor) block() {
+	a.state = actorBlocked
+	a.parked <- struct{}{}
+	<-a.resume
+	a.state = actorRunning
+}
+
+// Ctx is the interface an actor body uses to interact with simulated time
+// and resources. It is only valid inside the actor's own function.
+type Ctx struct {
+	a *Actor
+}
+
+// Now returns the current simulated time.
+func (c *Ctx) Now() float64 { return c.a.eng.now }
+
+// Name returns the actor's name.
+func (c *Ctx) Name() string { return c.a.name }
+
+// Host returns the name of the host the actor runs on.
+func (c *Ctx) Host() string { return c.a.host.Name }
+
+// HostPower returns the compute power of the actor's host, in flop/s.
+func (c *Ctx) HostPower() float64 { return c.a.host.Power }
+
+// SetCategory tags every subsequent activity of this actor with the given
+// category. Categories drive the per-application resource usage traces the
+// grid scenario visualizes (Figures 8 and 9).
+func (c *Ctx) SetCategory(cat string) { c.a.category = cat }
+
+// Execute runs amount flops on the actor's host, sharing the host's power
+// with every other execution there, and returns when the work completes.
+func (c *Ctx) Execute(amount float64) {
+	if amount <= 0 {
+		return
+	}
+	e := c.a.eng
+	host := e.hosts[c.a.host.Name]
+	act := &activity{
+		kind:      actExec,
+		label:     "exec:" + c.a.name,
+		category:  c.a.category,
+		resources: []*resource{host},
+		remaining: amount,
+	}
+	act.addWaiter(c.a)
+	c.a.setState("compute")
+	e.startActivity(act)
+	for !act.done {
+		c.a.block()
+	}
+	c.a.setState("")
+}
+
+// Sleep suspends the actor for d seconds of simulated time.
+func (c *Ctx) Sleep(d float64) {
+	if d <= 0 {
+		return
+	}
+	e := c.a.eng
+	act := &activity{kind: actSleep, label: "sleep:" + c.a.name, delay: d}
+	act.addWaiter(c.a)
+	c.a.setState("sleep")
+	e.startActivity(act)
+	for !act.done {
+		c.a.block()
+	}
+	c.a.setState("")
+}
+
+// Spawn starts a new actor from inside a running one.
+func (c *Ctx) Spawn(name, host string, fn func(*Ctx)) *Actor {
+	return c.a.eng.Spawn(name, host, fn)
+}
+
+// SetHostPower changes a host's capacity from now on (see
+// Engine.SetHostPower). Combined with Sleep it scripts availability
+// scenarios: slowdowns, outages (power 0) and recoveries.
+func (c *Ctx) SetHostPower(host string, power float64) error {
+	return c.a.eng.SetHostPower(host, power)
+}
+
+// Put posts an asynchronous send of payload (size bytes) to a mailbox and
+// returns immediately. The transfer starts when a receiver shows up and
+// completes after the route latency plus the fair-shared transfer time.
+func (c *Ctx) Put(mbox string, payload any, size float64) *Comm {
+	return c.a.eng.put(c.a, mbox, payload, size)
+}
+
+// Get posts an asynchronous receive on a mailbox and returns immediately;
+// Wait on the returned Comm blocks until a message arrives.
+func (c *Ctx) Get(mbox string) *Comm {
+	return c.a.eng.get(c.a, mbox)
+}
+
+// Send transfers payload (size bytes) to a mailbox and blocks until the
+// transfer completes (rendezvous semantics).
+func (c *Ctx) Send(mbox string, payload any, size float64) {
+	cm := c.Put(mbox, payload, size)
+	c.a.setState("send")
+	cm.Wait(c)
+	c.a.setState("")
+}
+
+// Recv blocks until a message arrives on the mailbox and returns its
+// payload.
+func (c *Ctx) Recv(mbox string) any {
+	cm := c.Get(mbox)
+	c.a.setState("recv")
+	payload := cm.Wait(c)
+	c.a.setState("")
+	return payload
+}
+
+// WaitAny blocks until at least one of the given communications completed
+// and returns the index of the first completed one (lowest index when
+// several completed at the same instant). Nil entries are ignored; WaitAny
+// panics if every entry is nil.
+func (c *Ctx) WaitAny(comms []*Comm) int {
+	allNil := true
+	for _, cm := range comms {
+		if cm != nil {
+			allNil = false
+			break
+		}
+	}
+	if allNil {
+		panic("sim: WaitAny on no communications")
+	}
+	c.a.setState("wait")
+	defer c.a.setState("")
+	for {
+		for i, cm := range comms {
+			if cm != nil && cm.completed() {
+				return i
+			}
+		}
+		for _, cm := range comms {
+			if cm != nil {
+				cm.addWaiter(c.a)
+			}
+		}
+		c.a.block()
+	}
+}
+
+// Comm is a handle on an asynchronous communication.
+type Comm struct {
+	eng            *Engine
+	act            *activity // nil until sender and receiver matched
+	pendingWaiters []*Actor
+	payload        any // what the sender shipped
+}
+
+func (cm *Comm) completed() bool { return cm.act != nil && cm.act.done }
+
+func (cm *Comm) addWaiter(a *Actor) {
+	if cm.act != nil {
+		cm.act.addWaiter(a)
+		return
+	}
+	cm.pendingWaiters = append(cm.pendingWaiters, a)
+}
+
+// Done reports whether the communication completed.
+func (cm *Comm) Done() bool { return cm.completed() }
+
+// Wait blocks the calling actor until the communication completes and
+// returns the payload.
+func (cm *Comm) Wait(c *Ctx) any {
+	for !cm.completed() {
+		cm.addWaiter(c.a)
+		c.a.block()
+	}
+	return cm.payload
+}

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"viva/internal/trace"
+)
+
+// Physics of the fluid model, checked against the traces the engine
+// emits: work and bytes are conserved exactly.
+
+// The time-integral of a host's usage equals the flops executed there.
+func TestHostUsageIntegralEqualsWork(t *testing.T) {
+	tr := trace.New()
+	e := New(testPlatform(), tr)
+	totalFlops := map[string]float64{}
+	work := []struct {
+		host  string
+		flops float64
+		delay float64
+	}{
+		{"c-1", 500, 0}, {"c-1", 300, 1.5}, {"c-2", 800, 0.3}, {"c-3", 123, 2},
+	}
+	for i, w := range work {
+		w := w
+		e.Spawn(names("job", i), w.host, func(c *Ctx) {
+			c.Sleep(w.delay)
+			c.Execute(w.flops)
+		})
+		totalFlops[w.host] += w.flops
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	_, end := tr.Window()
+	for host, want := range totalFlops {
+		got := tr.Timeline(host, trace.MetricUsage).Integrate(0, end+1)
+		near(t, "work on "+host, got, want)
+	}
+}
+
+// The time-integral of traffic on every link of a flow's route equals the
+// bytes shipped (each flow occupies the whole route).
+func TestLinkTrafficIntegralEqualsBytes(t *testing.T) {
+	p := testPlatform()
+	tr := trace.New()
+	e := New(p, tr)
+	e.Spawn("s", "c-1", func(c *Ctx) { c.Send("mb", nil, 4000) })
+	e.Spawn("r", "c-2", func(c *Ctx) { c.Recv("mb") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	_, end := tr.Window()
+	route, err := p.Route("c-1", "c-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range route {
+		got := tr.Timeline(l.Name, trace.MetricTraffic).Integrate(0, end+1)
+		near(t, "bytes through "+l.Name, got, 4000)
+	}
+}
+
+// Randomised conservation: any mix of concurrent transfers still moves
+// exactly the requested bytes across each host link.
+func TestRandomWorkloadConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 10; round++ {
+		tr := trace.New()
+		e := New(testPlatform(), tr)
+		hosts := []string{"c-1", "c-2", "c-3", "c-4"}
+		outBytes := map[string]float64{}
+		inBytes := map[string]float64{}
+		n := 2 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			src := hosts[rng.Intn(len(hosts))]
+			dst := hosts[rng.Intn(len(hosts))]
+			for dst == src {
+				dst = hosts[rng.Intn(len(hosts))]
+			}
+			size := float64(100 + rng.Intn(5000))
+			delay := rng.Float64() * 3
+			mb := names("mb", round*100+i)
+			e.Spawn(names("s", round*100+i), src, func(c *Ctx) {
+				c.Sleep(delay)
+				c.Send(mb, nil, size)
+			})
+			e.Spawn(names("r", round*100+i), dst, func(c *Ctx) {
+				c.Recv(mb)
+			})
+			outBytes[src] += size
+			inBytes[dst] += size
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		_, end := tr.Window()
+		for _, h := range hosts {
+			got := tr.Timeline("lnk:"+h, trace.MetricTraffic).Integrate(0, end+1)
+			want := outBytes[h] + inBytes[h]
+			near(t, "round bytes through lnk:"+h, got, want)
+		}
+	}
+}
+
+// Capacity is never exceeded: at no traced instant does a resource's
+// usage exceed its capacity.
+func TestCapacityNeverExceeded(t *testing.T) {
+	tr := trace.New()
+	e := New(testPlatform(), tr)
+	for i := 0; i < 6; i++ {
+		i := i
+		src := []string{"c-1", "c-2", "c-3"}[i%3]
+		dst := []string{"c-2", "c-3", "c-4"}[i%3]
+		mb := names("x", i)
+		e.Spawn(names("sj", i), src, func(c *Ctx) {
+			c.Execute(300)
+			c.Send(mb, nil, 2500)
+		})
+		e.Spawn(names("rj", i), dst, func(c *Ctx) {
+			c.Recv(mb)
+			c.Execute(200)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tr.Resources() {
+		var capMetric, useMetric string
+		switch r.Type {
+		case trace.TypeHost:
+			capMetric, useMetric = trace.MetricPower, trace.MetricUsage
+		case trace.TypeLink:
+			capMetric, useMetric = trace.MetricBandwidth, trace.MetricTraffic
+		default:
+			continue
+		}
+		capacity := tr.Timeline(r.Name, capMetric).At(0)
+		for _, p := range tr.Timeline(r.Name, useMetric).Points() {
+			if p.V > capacity*(1+1e-9) {
+				t.Errorf("%s usage %g exceeds capacity %g at t=%g", r.Name, p.V, capacity, p.T)
+			}
+		}
+	}
+}
+
+func names(prefix string, i int) string {
+	return prefix + "-" + string(rune('A'+i/26)) + string(rune('a'+i%26))
+}

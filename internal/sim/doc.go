@@ -1,0 +1,26 @@
+// Package sim is a discrete-event simulator of distributed applications on
+// hierarchical platforms. It stands in for the SimGrid/SMPI toolchain the
+// paper used to produce its traces (see DESIGN.md, substitutions).
+//
+// The resource model follows SimGrid's fluid model:
+//
+//   - a computation on a host progresses at the host's power divided among
+//     the computations currently running there;
+//   - a communication occupies every link of the route between its two
+//     hosts, pays the route latency once, and then progresses at the rate
+//     the max-min fair bandwidth sharing assigns to it;
+//   - rates are recomputed whenever the set of concurrent activities
+//     changes, but only inside the connected component of resources and
+//     flows affected by the change (lazy partial invalidation), which keeps
+//     large scenarios — thousands of hosts — tractable.
+//
+// Applications are written as actors: plain Go functions that run in their
+// own goroutine and interact with the engine through a Ctx (Execute, Send,
+// Recv, Sleep, …). The engine schedules exactly one actor at a time and
+// orders every queue deterministically, so a given program produces a
+// byte-identical trace on every run.
+//
+// While running, the engine records host usage and link traffic (overall
+// and per activity category) into a trace.Trace, which is exactly the
+// input the topology-based visualization consumes.
+package sim

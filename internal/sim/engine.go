@@ -1,0 +1,474 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"viva/internal/platform"
+	"viva/internal/trace"
+)
+
+// Engine owns simulated time, the resource pool, the actors and the event
+// queue. Create one with New, spawn actors, then call Run.
+type Engine struct {
+	plat *platform.Platform
+	tr   *trace.Trace
+
+	now    float64
+	nextID int64
+
+	actors   []*Actor
+	runnable []*Actor
+
+	hosts map[string]*resource // host name -> compute resource
+	links map[string]*resource // link name -> network resource
+
+	mailboxes map[string]*mailbox
+
+	dirty map[*resource]struct{}
+	queue eventHeap
+
+	categories  map[string]bool // categories seen, for per-category tracing
+	traceCats   bool
+	traceStates bool
+
+	commBytes map[HostPair]float64 // delivered bytes per (src, dst) hosts
+
+	// fullRecompute disables the lazy component-based rate invalidation:
+	// every activity change re-solves the whole platform. Only useful to
+	// measure how much the lazy scheme buys (see the ablation benchmark).
+	fullRecompute bool
+
+	// Stats, exposed for benchmarks and tests.
+	Events     int
+	Recomputes int
+}
+
+// New creates an engine over the platform. If tr is non-nil the platform
+// is declared into it and resource usage is traced while running.
+func New(plat *platform.Platform, tr *trace.Trace) *Engine {
+	e := &Engine{
+		plat:       plat,
+		tr:         tr,
+		hosts:      make(map[string]*resource),
+		links:      make(map[string]*resource),
+		mailboxes:  make(map[string]*mailbox),
+		dirty:      make(map[*resource]struct{}),
+		categories: make(map[string]bool),
+		commBytes:  make(map[HostPair]float64),
+	}
+	if tr != nil {
+		plat.DeclareInto(tr)
+	}
+	for _, h := range plat.Hosts() {
+		e.hosts[h.Name] = &resource{
+			name:        h.Name,
+			capacity:    h.Power,
+			isHost:      true,
+			flows:       make(map[*activity]struct{}),
+			traceUsage:  tr != nil,
+			usageMetric: trace.MetricUsage,
+			lastByCat:   make(map[string]float64),
+		}
+	}
+	for _, l := range plat.Links() {
+		e.links[l.Name] = &resource{
+			name:        l.Name,
+			capacity:    l.Bandwidth,
+			flows:       make(map[*activity]struct{}),
+			traceUsage:  tr != nil,
+			usageMetric: trace.MetricTraffic,
+			lastByCat:   make(map[string]float64),
+		}
+	}
+	return e
+}
+
+// TraceCategories enables per-category usage tracing: in addition to the
+// total usage of every resource, one extra metric "usage:<cat>" (hosts) or
+// "traffic:<cat>" (links) is recorded per activity category.
+func (e *Engine) TraceCategories(enable bool) { e.traceCats = enable }
+
+// SetFullRecompute disables the lazy partial invalidation (ablation knob:
+// every rate change re-solves the full platform instead of the affected
+// component).
+func (e *Engine) SetFullRecompute(enable bool) { e.fullRecompute = enable }
+
+// TraceStates enables behavioural tracing: every actor becomes a
+// "process" resource (child of its host) whose state — compute, send,
+// recv, wait, sleep — is recorded over time. This is the data classical
+// Gantt-chart timeline views display; enabling it lets the same trace
+// feed both the topology-based view and the Gantt baseline.
+func (e *Engine) TraceStates(enable bool) { e.traceStates = enable }
+
+// SetHostPower changes a host's compute capacity from the current
+// simulated time on: running executions immediately share the new value
+// and the host's power timeline records the change. It models dynamic
+// availability (machines slowing down, going away with power 0, or coming
+// back), which the paper's trace model explicitly covers.
+func (e *Engine) SetHostPower(host string, power float64) error {
+	r, ok := e.hosts[host]
+	if !ok {
+		return fmt.Errorf("sim: unknown host %q", host)
+	}
+	if power < 0 {
+		return fmt.Errorf("sim: negative power %g for host %q", power, host)
+	}
+	r.capacity = power
+	e.dirty[r] = struct{}{}
+	if e.tr != nil {
+		mustSet(e.tr.Set(e.now, host, trace.MetricPower, power))
+	}
+	return nil
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Platform returns the platform the engine simulates.
+func (e *Engine) Platform() *platform.Platform { return e.plat }
+
+// Spawn registers an actor on a host. The actor starts running when Run is
+// called (or immediately if spawned from inside a running actor).
+func (e *Engine) Spawn(name, host string, fn func(*Ctx)) *Actor {
+	h := e.plat.Host(host)
+	if h == nil {
+		panic(fmt.Sprintf("sim: spawn %q on unknown host %q", name, host))
+	}
+	a := &Actor{
+		id:     e.nextID,
+		name:   name,
+		host:   h,
+		eng:    e,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+		state:  actorReady,
+	}
+	e.nextID++
+	e.actors = append(e.actors, a)
+	if e.traceStates && e.tr != nil {
+		e.tr.MustDeclareResource(a.name, "process", h.Name)
+		a.traceStates = true
+	}
+	a.queued = true
+	e.runnable = append(e.runnable, a)
+	a.start(fn)
+	return a
+}
+
+// Run executes the simulation until every actor finished. It returns an
+// error if an actor panicked or if the system deadlocks (actors blocked
+// forever on unmatched communications).
+func (e *Engine) Run() error {
+	if err := e.drainRunnable(); err != nil {
+		return err
+	}
+	for {
+		e.recomputeDirty()
+		act := e.popEvent()
+		if act == nil {
+			break
+		}
+		t, _ := act.eventTime()
+		if t < e.now {
+			t = e.now // numerical safety: time never goes backward
+		}
+		e.now = t
+		e.Events++
+		e.fire(act)
+		if err := e.drainRunnable(); err != nil {
+			return err
+		}
+	}
+	// Nothing left to happen: any actor still alive is deadlocked.
+	var stuck []string
+	for _, a := range e.actors {
+		if a.state != actorDone {
+			stuck = append(stuck, a.name)
+		}
+	}
+	if len(stuck) > 0 {
+		sort.Strings(stuck)
+		return fmt.Errorf("sim: deadlock at t=%g, %d actor(s) blocked: %v", e.now, len(stuck), stuck)
+	}
+	if e.tr != nil {
+		e.tr.SetEnd(e.now)
+	}
+	return nil
+}
+
+// drainRunnable runs every runnable actor until it blocks or finishes.
+// Actors woken or spawned while draining are processed too.
+func (e *Engine) drainRunnable() error {
+	for len(e.runnable) > 0 {
+		a := e.runnable[0]
+		e.runnable = e.runnable[1:]
+		a.queued = false
+		if a.state == actorDone {
+			continue
+		}
+		a.state = actorRunning
+		a.resume <- struct{}{}
+		<-a.parked
+		if a.state == actorDone && a.err != nil {
+			return fmt.Errorf("sim: actor %q failed: %w", a.name, a.err)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) wake(a *Actor) {
+	if a.state == actorDone || a.queued {
+		return
+	}
+	a.queued = true
+	e.runnable = append(e.runnable, a)
+}
+
+// fire processes the pending event of an activity: end of its delay phase
+// or completion of its work phase.
+func (e *Engine) fire(act *activity) {
+	if act.done {
+		return
+	}
+	if !act.attached {
+		// Delay elapsed.
+		act.delay = 0
+		act.lastUpdate = e.now
+		if act.kind == actSleep || act.remaining <= 0 || len(act.resources) == 0 {
+			e.complete(act)
+			return
+		}
+		// Enter the flow phase.
+		act.attached = true
+		for _, r := range act.resources {
+			r.flows[act] = struct{}{}
+			e.dirty[r] = struct{}{}
+		}
+		return
+	}
+	act.settle(e.now)
+	act.remaining = 0
+	e.complete(act)
+}
+
+// HostPair identifies a directed host-to-host communication.
+type HostPair struct {
+	Src, Dst string
+}
+
+// CommBytes returns the bytes delivered between every (source,
+// destination) host pair so far — the raw data of a communication matrix.
+// The returned map is a copy.
+func (e *Engine) CommBytes() map[HostPair]float64 {
+	out := make(map[HostPair]float64, len(e.commBytes))
+	for k, v := range e.commBytes {
+		out[k] = v
+	}
+	return out
+}
+
+func (e *Engine) complete(act *activity) {
+	if act.done {
+		return
+	}
+	act.done = true
+	if act.kind == actComm && act.totalBytes > 0 {
+		e.commBytes[HostPair{Src: act.srcHost, Dst: act.dstHost}] += act.totalBytes
+	}
+	if act.attached {
+		for _, r := range act.resources {
+			delete(r.flows, act)
+			e.dirty[r] = struct{}{}
+		}
+		act.attached = false
+	}
+	for _, w := range act.waiters {
+		e.wake(w)
+	}
+	act.waiters = nil
+}
+
+// startActivity registers a new activity and schedules its first event.
+func (e *Engine) startActivity(act *activity) {
+	act.id = e.nextID
+	e.nextID++
+	act.lastUpdate = e.now
+	if act.category != "" {
+		e.categories[act.category] = true
+	}
+	if act.delay > 0 {
+		// Delay phase first; the flow attaches when it elapses.
+		e.pushEvent(act)
+		return
+	}
+	if act.kind == actSleep || act.remaining <= 0 || len(act.resources) == 0 {
+		// Nothing to do: complete immediately (zero-size transfer with no
+		// latency, zero-flop execution, zero sleep).
+		e.complete(act)
+		return
+	}
+	act.attached = true
+	for _, r := range act.resources {
+		r.flows[act] = struct{}{}
+		e.dirty[r] = struct{}{}
+	}
+}
+
+func (e *Engine) pushEvent(act *activity) {
+	t, ok := act.eventTime()
+	if !ok {
+		return
+	}
+	act.seq++
+	heap.Push(&e.queue, eventEntry{t: t, seq: act.seq, act: act})
+}
+
+func (e *Engine) popEvent() *activity {
+	for e.queue.Len() > 0 {
+		entry := heap.Pop(&e.queue).(eventEntry)
+		if entry.act.done || entry.act.seq != entry.seq {
+			continue // stale
+		}
+		return entry.act
+	}
+	return nil
+}
+
+// recomputeDirty re-solves max-min sharing inside every connected component
+// touched by recent activity changes, settles and re-times the affected
+// flows, and traces resource usage changes.
+func (e *Engine) recomputeDirty() {
+	if len(e.dirty) == 0 {
+		return
+	}
+	if e.fullRecompute {
+		for _, r := range e.hosts {
+			e.dirty[r] = struct{}{}
+		}
+		for _, r := range e.links {
+			e.dirty[r] = struct{}{}
+		}
+	}
+	dirty := make([]*resource, 0, len(e.dirty))
+	for r := range e.dirty {
+		dirty = append(dirty, r)
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].name < dirty[j].name })
+	e.dirty = make(map[*resource]struct{})
+
+	visited := make(map[*resource]bool)
+	for _, root := range dirty {
+		if visited[root] {
+			continue
+		}
+		// BFS over the component of resources connected through flows.
+		var resources []*resource
+		var flows []*activity
+		flowSeen := make(map[*activity]bool)
+		stack := []*resource{root}
+		visited[root] = true
+		for len(stack) > 0 {
+			r := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			resources = append(resources, r)
+			for _, f := range r.sortedFlows() {
+				if flowSeen[f] {
+					continue
+				}
+				flowSeen[f] = true
+				flows = append(flows, f)
+				for _, fr := range f.resources {
+					if !visited[fr] {
+						visited[fr] = true
+						stack = append(stack, fr)
+					}
+				}
+			}
+		}
+		e.Recomputes++
+		// Settle progress under the old rates before changing them.
+		for _, f := range flows {
+			f.settle(e.now)
+		}
+		solveMaxMin(resources, flows)
+		for _, f := range flows {
+			e.pushEvent(f)
+		}
+		for _, r := range resources {
+			e.traceResource(r)
+		}
+	}
+}
+
+// traceResource records the current total usage of a resource (and the
+// per-category split when enabled) if it changed since last traced.
+func (e *Engine) traceResource(r *resource) {
+	if !r.traceUsage || e.tr == nil {
+		return
+	}
+	total := 0.0
+	var byCat map[string]float64
+	if e.traceCats {
+		byCat = make(map[string]float64)
+	}
+	for f := range r.flows {
+		if !f.attached || f.done {
+			continue
+		}
+		total += f.rate
+		if byCat != nil {
+			byCat[f.category] += f.rate
+		}
+	}
+	if total != r.lastUsage {
+		mustSet(e.tr.Set(e.now, r.name, r.usageMetric, total))
+		r.lastUsage = total
+	}
+	if byCat != nil {
+		// Write categories that changed, including ones dropping to zero.
+		cats := make([]string, 0, len(r.lastByCat)+len(byCat))
+		seen := make(map[string]bool)
+		for c := range byCat {
+			cats = append(cats, c)
+			seen[c] = true
+		}
+		for c := range r.lastByCat {
+			if !seen[c] {
+				cats = append(cats, c)
+			}
+		}
+		sort.Strings(cats)
+		for _, c := range cats {
+			if c == "" {
+				continue
+			}
+			v := byCat[c]
+			if v != r.lastByCat[c] {
+				mustSet(e.tr.Set(e.now, r.name, r.usageMetric+":"+c, v))
+				if v == 0 {
+					delete(r.lastByCat, c)
+				} else {
+					r.lastByCat[c] = v
+				}
+			}
+		}
+	}
+}
+
+func mustSet(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// Categories returns the sorted activity categories observed so far.
+func (e *Engine) Categories() []string {
+	out := make([]string, 0, len(e.categories))
+	for c := range e.categories {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,115 @@
+package sim
+
+import "fmt"
+
+// pendingSend is a posted Put waiting for a matching receiver.
+type pendingSend struct {
+	comm     *Comm
+	payload  any
+	size     float64
+	srcHost  string
+	category string
+	label    string
+}
+
+// pendingRecv is a posted Get waiting for a matching sender.
+type pendingRecv struct {
+	comm    *Comm
+	dstHost string
+}
+
+// mailbox matches senders and receivers in FIFO order, like SimGrid
+// mailboxes.
+type mailbox struct {
+	name  string
+	sends []*pendingSend
+	recvs []*pendingRecv
+}
+
+func (e *Engine) mbox(name string) *mailbox {
+	mb, ok := e.mailboxes[name]
+	if !ok {
+		mb = &mailbox{name: name}
+		e.mailboxes[name] = mb
+	}
+	return mb
+}
+
+func (e *Engine) put(a *Actor, mboxName string, payload any, size float64) *Comm {
+	if size < 0 {
+		panic(fmt.Sprintf("sim: negative message size %g", size))
+	}
+	mb := e.mbox(mboxName)
+	comm := &Comm{eng: e, payload: payload}
+	ps := &pendingSend{
+		comm:     comm,
+		payload:  payload,
+		size:     size,
+		srcHost:  a.host.Name,
+		category: a.category,
+		label:    fmt.Sprintf("comm:%s->%s", a.name, mboxName),
+	}
+	if len(mb.recvs) > 0 {
+		pr := mb.recvs[0]
+		mb.recvs = mb.recvs[1:]
+		e.match(ps, pr)
+		return comm
+	}
+	mb.sends = append(mb.sends, ps)
+	return comm
+}
+
+func (e *Engine) get(a *Actor, mboxName string) *Comm {
+	mb := e.mbox(mboxName)
+	comm := &Comm{eng: e}
+	pr := &pendingRecv{comm: comm, dstHost: a.host.Name}
+	if len(mb.sends) > 0 {
+		ps := mb.sends[0]
+		mb.sends = mb.sends[1:]
+		e.match(ps, pr)
+		return comm
+	}
+	mb.recvs = append(mb.recvs, pr)
+	return comm
+}
+
+// match pairs a posted send with a posted receive and starts the transfer
+// over the platform route between their hosts.
+func (e *Engine) match(ps *pendingSend, pr *pendingRecv) {
+	route, err := e.plat.Route(ps.srcHost, pr.dstHost)
+	if err != nil {
+		panic(err) // hosts come from actors, so routes always exist
+	}
+	var links []*resource
+	var latency float64
+	for _, l := range route {
+		links = append(links, e.links[l.Name])
+		latency += l.Latency
+	}
+	act := &activity{
+		kind:       actComm,
+		label:      ps.label,
+		category:   ps.category,
+		resources:  links,
+		remaining:  ps.size,
+		delay:      latency,
+		payload:    ps.payload,
+		srcHost:    ps.srcHost,
+		dstHost:    pr.dstHost,
+		totalBytes: ps.size,
+	}
+	// Same-host transfers have no links and no latency: they complete
+	// instantly, which startActivity handles.
+	ps.comm.act = act
+	pr.comm.act = act
+	pr.comm.payload = ps.payload
+	for _, w := range ps.comm.pendingWaiters {
+		act.addWaiter(w)
+	}
+	for _, w := range pr.comm.pendingWaiters {
+		act.addWaiter(w)
+	}
+	ps.comm.pendingWaiters = nil
+	pr.comm.pendingWaiters = nil
+	e.startActivity(act)
+}

@@ -1,0 +1,80 @@
+package sim
+
+import "sort"
+
+// solveMaxMin assigns max-min fair rates to the given flows over the given
+// resources (all flows are attached and every resource of every flow is in
+// the resource set — the caller passes one connected component).
+//
+// The classic water-filling algorithm: repeatedly find the resource whose
+// equal split among its still-unfixed flows is smallest, fix those flows at
+// that share, remove their consumption everywhere, and iterate. Resources
+// and flows are processed in deterministic order.
+func solveMaxMin(resources []*resource, flows []*activity) {
+	if len(flows) == 0 {
+		return
+	}
+	sort.Slice(resources, func(i, j int) bool { return resources[i].name < resources[j].name })
+	sort.Slice(flows, func(i, j int) bool { return flows[i].id < flows[j].id })
+
+	remCap := make(map[*resource]float64, len(resources))
+	nUnfixed := make(map[*resource]int, len(resources))
+	for _, r := range resources {
+		remCap[r] = r.capacity
+		n := 0
+		for f := range r.flows {
+			if f.attached && !f.done {
+				n++
+			}
+		}
+		nUnfixed[r] = n
+	}
+	fixed := make(map[*activity]bool, len(flows))
+
+	for fixedCount := 0; fixedCount < len(flows); {
+		// Find the bottleneck resource: minimal fair share.
+		var bottleneck *resource
+		best := 0.0
+		for _, r := range resources {
+			if nUnfixed[r] == 0 {
+				continue
+			}
+			share := remCap[r] / float64(nUnfixed[r])
+			if bottleneck == nil || share < best {
+				bottleneck = r
+				best = share
+			}
+		}
+		if bottleneck == nil {
+			// No resource constrains the remaining flows; cannot happen for
+			// attached flows (every flow uses at least one resource), but be
+			// safe and give them effectively unconstrained rate.
+			for _, f := range flows {
+				if !fixed[f] {
+					f.rate = 1e30
+					fixedCount++
+				}
+			}
+			return
+		}
+		if best < 0 {
+			best = 0
+		}
+		// Fix every unfixed flow crossing the bottleneck at the fair share.
+		for _, f := range bottleneck.sortedFlows() {
+			if fixed[f] || !f.attached || f.done {
+				continue
+			}
+			f.rate = best
+			fixed[f] = true
+			fixedCount++
+			for _, r := range f.resources {
+				remCap[r] -= best
+				if remCap[r] < 0 {
+					remCap[r] = 0
+				}
+				nUnfixed[r]--
+			}
+		}
+	}
+}

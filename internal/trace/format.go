@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The text format is a deterministic, Paje-flavoured line format:
+//
+//	# viva trace v1
+//	resource <name> <type> <parent|->
+//	edge <a> <b>
+//	set <time> <resource> <metric> <value>
+//	add <time> <resource> <metric> <delta>
+//	state <time> <resource> <value|->
+//	end <time>
+//
+// Names containing whitespace are not supported (and never produced by the
+// generators); the format favours diffability and streaming over
+// generality.
+
+const formatHeader = "# viva trace v1"
+
+// Write serialises the trace. Resources appear in declaration order;
+// events are written as "set" lines sorted by (time, resource, metric), so
+// equal traces serialise identically.
+func Write(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, formatHeader); err != nil {
+		return err
+	}
+	for _, r := range tr.Resources() {
+		parent := r.Parent
+		if parent == "" {
+			parent = "-"
+		}
+		if _, err := fmt.Fprintf(bw, "resource %s %s %s\n", r.Name, r.Type, parent); err != nil {
+			return err
+		}
+	}
+	for _, e := range tr.Edges() {
+		if _, err := fmt.Fprintf(bw, "edge %s %s\n", e.A, e.B); err != nil {
+			return err
+		}
+	}
+	type event struct {
+		t        float64
+		resource string
+		metric   string
+		v        float64
+	}
+	var events []event
+	for _, k := range tr.varOrder {
+		for _, p := range tr.vars[k].Points() {
+			events = append(events, event{p.T, k.resource, k.metric, p.V})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.t != b.t {
+			return a.t < b.t
+		}
+		if a.resource != b.resource {
+			return a.resource < b.resource
+		}
+		return a.metric < b.metric
+	})
+	for _, e := range events {
+		if _, err := fmt.Fprintf(bw, "set %s %s %s %s\n",
+			formatFloat(e.t), e.resource, e.metric, formatFloat(e.v)); err != nil {
+			return err
+		}
+	}
+	type stateEvent struct {
+		t        float64
+		resource string
+		v        string
+	}
+	var stateEvents []stateEvent
+	for _, name := range tr.order {
+		for _, p := range tr.states[name] {
+			stateEvents = append(stateEvents, stateEvent{p.t, name, p.v})
+		}
+	}
+	sort.Slice(stateEvents, func(i, j int) bool {
+		a, b := stateEvents[i], stateEvents[j]
+		if a.t != b.t {
+			return a.t < b.t
+		}
+		return a.resource < b.resource
+	})
+	for _, e := range stateEvents {
+		v := e.v
+		if v == "" {
+			v = "-"
+		}
+		if _, err := fmt.Fprintf(bw, "state %s %s %s\n", formatFloat(e.t), e.resource, v); err != nil {
+			return err
+		}
+	}
+	_, end := tr.Window()
+	if _, err := fmt.Fprintf(bw, "end %s\n", formatFloat(end)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Read parses a trace previously produced by Write (or hand-written in the
+// same format). It validates the hierarchy before returning.
+func Read(r io.Reader) (*Trace, error) {
+	tr := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "resource":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("trace: line %d: resource wants 3 args", lineno)
+			}
+			parent := fields[3]
+			if parent == "-" {
+				parent = ""
+			}
+			if err := tr.DeclareResource(fields[1], fields[2], parent); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
+			}
+		case "edge":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("trace: line %d: edge wants 2 args", lineno)
+			}
+			if err := tr.DeclareEdge(fields[1], fields[2]); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
+			}
+		case "set", "add":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("trace: line %d: %s wants 4 args", lineno, fields[0])
+			}
+			t, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad time %q", lineno, fields[1])
+			}
+			v, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad value %q", lineno, fields[4])
+			}
+			if fields[0] == "set" {
+				err = tr.Set(t, fields[2], fields[3], v)
+			} else {
+				err = tr.Add(t, fields[2], fields[3], v)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
+			}
+		case "state":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("trace: line %d: state wants 3 args", lineno)
+			}
+			t, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad time %q", lineno, fields[1])
+			}
+			v := fields[3]
+			if v == "-" {
+				v = ""
+			}
+			if err := tr.SetState(t, fields[2], v); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
+			}
+		case "end":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace: line %d: end wants 1 arg", lineno)
+			}
+			t, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad time %q", lineno, fields[1])
+			}
+			tr.SetEnd(t)
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown directive %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is one sample of a piecewise-constant timeline: the value V holds
+// from time T (inclusive) until the time of the next point (exclusive).
+type Point struct {
+	T float64
+	V float64
+}
+
+// Timeline is a piecewise-constant function of time. Before the first
+// point the value is 0. Points are kept sorted by time; setting a value at
+// the time of an existing point overwrites it.
+//
+// The zero value is an empty timeline, identically 0, ready to use.
+type Timeline struct {
+	points []Point
+}
+
+// NewTimeline returns a timeline initialised with the given points, which
+// need not be sorted. Duplicate times keep the last value given.
+func NewTimeline(points ...Point) *Timeline {
+	tl := &Timeline{}
+	sorted := make([]Point, len(points))
+	copy(sorted, points)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].T < sorted[j].T })
+	for _, p := range sorted {
+		tl.Set(p.T, p.V)
+	}
+	return tl
+}
+
+// Set records that the value is v from time t on. Out-of-order sets are
+// accepted (they insert in the middle), but the common fast path is
+// monotonically non-decreasing time.
+func (tl *Timeline) Set(t, v float64) {
+	n := len(tl.points)
+	if n == 0 || t > tl.points[n-1].T {
+		tl.points = append(tl.points, Point{t, v})
+		return
+	}
+	if t == tl.points[n-1].T {
+		tl.points[n-1].V = v
+		return
+	}
+	// Out-of-order insert (rare): binary search for position.
+	i := sort.Search(n, func(i int) bool { return tl.points[i].T >= t })
+	if i < n && tl.points[i].T == t {
+		tl.points[i].V = v
+		return
+	}
+	tl.points = append(tl.points, Point{})
+	copy(tl.points[i+1:], tl.points[i:])
+	tl.points[i] = Point{t, v}
+}
+
+// Add records that from time t on the value is the value just before t
+// plus dv. It is the natural way to trace resource usage counters
+// (flow starts: +rate, flow ends: -rate).
+func (tl *Timeline) Add(t, dv float64) {
+	tl.Set(t, tl.At(t)+dv)
+}
+
+// At returns the value of the timeline at time t.
+func (tl *Timeline) At(t float64) float64 {
+	i := sort.Search(len(tl.points), func(i int) bool { return tl.points[i].T > t })
+	if i == 0 {
+		return 0
+	}
+	return tl.points[i-1].V
+}
+
+// Integrate returns ∫_a^b tl(t) dt computed exactly (the timeline is a
+// step function). It returns 0 when b <= a.
+func (tl *Timeline) Integrate(a, b float64) float64 {
+	if b <= a || len(tl.points) == 0 {
+		return 0
+	}
+	var sum float64
+	// Position of the first point strictly after a.
+	i := sort.Search(len(tl.points), func(i int) bool { return tl.points[i].T > a })
+	cur := a
+	val := 0.0
+	if i > 0 {
+		val = tl.points[i-1].V
+	}
+	for ; i < len(tl.points) && tl.points[i].T < b; i++ {
+		sum += val * (tl.points[i].T - cur)
+		cur = tl.points[i].T
+		val = tl.points[i].V
+	}
+	sum += val * (b - cur)
+	return sum
+}
+
+// Mean returns the time average of the timeline over [a, b]; it is the
+// per-resource temporal aggregation of Equation 1 for a slice of width
+// Δ = b − a. Mean returns 0 when b <= a.
+func (tl *Timeline) Mean(a, b float64) float64 {
+	if b <= a {
+		return 0
+	}
+	return tl.Integrate(a, b) / (b - a)
+}
+
+// Max returns the maximum value the timeline takes anywhere in [a, b].
+func (tl *Timeline) Max(a, b float64) float64 {
+	if b < a {
+		return 0
+	}
+	max := tl.At(a)
+	i := sort.Search(len(tl.points), func(i int) bool { return tl.points[i].T > a })
+	for ; i < len(tl.points) && tl.points[i].T <= b; i++ {
+		if tl.points[i].V > max {
+			max = tl.points[i].V
+		}
+	}
+	return max
+}
+
+// Min returns the minimum value the timeline takes anywhere in [a, b].
+func (tl *Timeline) Min(a, b float64) float64 {
+	if b < a {
+		return 0
+	}
+	min := tl.At(a)
+	i := sort.Search(len(tl.points), func(i int) bool { return tl.points[i].T > a })
+	for ; i < len(tl.points) && tl.points[i].T <= b; i++ {
+		if tl.points[i].V < min {
+			min = tl.points[i].V
+		}
+	}
+	return min
+}
+
+// Len returns the number of stored points.
+func (tl *Timeline) Len() int { return len(tl.points) }
+
+// Points returns a copy of the stored points in time order.
+func (tl *Timeline) Points() []Point {
+	out := make([]Point, len(tl.points))
+	copy(out, tl.points)
+	return out
+}
+
+// FirstTime returns the time of the first point, or 0 for an empty
+// timeline.
+func (tl *Timeline) FirstTime() float64 {
+	if len(tl.points) == 0 {
+		return 0
+	}
+	return tl.points[0].T
+}
+
+// LastTime returns the time of the last point, or 0 for an empty timeline.
+func (tl *Timeline) LastTime() float64 {
+	if len(tl.points) == 0 {
+		return 0
+	}
+	return tl.points[len(tl.points)-1].T
+}
+
+// Clone returns an independent copy of the timeline.
+func (tl *Timeline) Clone() *Timeline {
+	return &Timeline{points: tl.Points()}
+}
+
+// Compact merges consecutive points that carry the same value, preserving
+// the function the timeline denotes while shrinking storage. It returns
+// the receiver for chaining.
+func (tl *Timeline) Compact() *Timeline {
+	if len(tl.points) == 0 {
+		return tl
+	}
+	out := tl.points[:1]
+	for _, p := range tl.points[1:] {
+		if p.V != out[len(out)-1].V {
+			out = append(out, p)
+		}
+	}
+	tl.points = out
+	return tl
+}
+
+// String renders the timeline compactly, mainly for tests and debugging.
+func (tl *Timeline) String() string {
+	s := "["
+	for i, p := range tl.points {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%g:%g", p.T, p.V)
+	}
+	return s + "]"
+}
+
+// validNumber reports whether v is a usable metric value (finite).
+func validNumber(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

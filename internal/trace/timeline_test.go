@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestTimelineEmptyIsZero(t *testing.T) {
+	var tl Timeline
+	if got := tl.At(5); got != 0 {
+		t.Errorf("At(5) = %g, want 0", got)
+	}
+	if got := tl.Integrate(0, 10); got != 0 {
+		t.Errorf("Integrate = %g, want 0", got)
+	}
+	if got := tl.Mean(0, 10); got != 0 {
+		t.Errorf("Mean = %g, want 0", got)
+	}
+}
+
+func TestTimelineAt(t *testing.T) {
+	tl := NewTimeline(Point{1, 10}, Point{3, 20}, Point{5, 0})
+	cases := []struct{ t, want float64 }{
+		{0, 0}, {0.999, 0}, {1, 10}, {2, 10}, {2.999, 10},
+		{3, 20}, {4, 20}, {5, 0}, {100, 0},
+	}
+	for _, c := range cases {
+		if got := tl.At(c.t); got != c.want {
+			t.Errorf("At(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+}
+
+func TestTimelineSetOverwrite(t *testing.T) {
+	var tl Timeline
+	tl.Set(1, 10)
+	tl.Set(1, 20)
+	if tl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tl.Len())
+	}
+	if got := tl.At(1); got != 20 {
+		t.Errorf("At(1) = %g, want 20", got)
+	}
+}
+
+func TestTimelineOutOfOrderSet(t *testing.T) {
+	var tl Timeline
+	tl.Set(5, 50)
+	tl.Set(1, 10)
+	tl.Set(3, 30)
+	if got := tl.At(2); got != 10 {
+		t.Errorf("At(2) = %g, want 10", got)
+	}
+	if got := tl.At(4); got != 30 {
+		t.Errorf("At(4) = %g, want 30", got)
+	}
+	if got := tl.At(6); got != 50 {
+		t.Errorf("At(6) = %g, want 50", got)
+	}
+}
+
+func TestTimelineAdd(t *testing.T) {
+	var tl Timeline
+	tl.Add(0, 5)
+	tl.Add(2, 3)
+	tl.Add(4, -5)
+	if got := tl.At(1); got != 5 {
+		t.Errorf("At(1) = %g, want 5", got)
+	}
+	if got := tl.At(3); got != 8 {
+		t.Errorf("At(3) = %g, want 8", got)
+	}
+	if got := tl.At(5); got != 3 {
+		t.Errorf("At(5) = %g, want 3", got)
+	}
+}
+
+func TestTimelineIntegrate(t *testing.T) {
+	tl := NewTimeline(Point{0, 10}, Point{10, 20}, Point{20, 0})
+	cases := []struct{ a, b, want float64 }{
+		{0, 10, 100},
+		{0, 20, 300},
+		{0, 30, 300},
+		{5, 15, 150},
+		{-10, 0, 0},
+		{-10, 5, 50},
+		{12, 18, 120},
+		{25, 30, 0},
+		{10, 10, 0},
+		{10, 5, 0}, // inverted interval
+	}
+	for _, c := range cases {
+		if got := tl.Integrate(c.a, c.b); !almostEqual(got, c.want) {
+			t.Errorf("Integrate(%g,%g) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTimelineMean(t *testing.T) {
+	tl := NewTimeline(Point{0, 10}, Point{10, 20})
+	if got := tl.Mean(0, 20); !almostEqual(got, 15) {
+		t.Errorf("Mean(0,20) = %g, want 15", got)
+	}
+	if got := tl.Mean(0, 0); got != 0 {
+		t.Errorf("Mean on empty interval = %g, want 0", got)
+	}
+}
+
+func TestTimelineMaxMin(t *testing.T) {
+	tl := NewTimeline(Point{0, 5}, Point{2, 9}, Point{4, 1})
+	if got := tl.Max(0, 10); got != 9 {
+		t.Errorf("Max = %g, want 9", got)
+	}
+	if got := tl.Min(0, 10); got != 1 {
+		t.Errorf("Min = %g, want 1", got)
+	}
+	// Window that excludes the peak.
+	if got := tl.Max(4, 10); got != 1 {
+		t.Errorf("Max(4,10) = %g, want 1", got)
+	}
+	// Window before any point sees the implicit 0.
+	if got := tl.Min(-5, -1); got != 0 {
+		t.Errorf("Min(-5,-1) = %g, want 0", got)
+	}
+}
+
+func TestTimelineCompact(t *testing.T) {
+	tl := NewTimeline(Point{0, 1}, Point{1, 1}, Point{2, 2}, Point{3, 2}, Point{4, 1})
+	tl.Compact()
+	if tl.Len() != 3 {
+		t.Fatalf("Len after Compact = %d, want 3", tl.Len())
+	}
+	for _, tt := range []float64{0.5, 1.5, 2.5, 3.5, 4.5} {
+		want := NewTimeline(Point{0, 1}, Point{2, 2}, Point{4, 1}).At(tt)
+		if got := tl.At(tt); got != want {
+			t.Errorf("At(%g) = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestTimelineClone(t *testing.T) {
+	tl := NewTimeline(Point{0, 1})
+	cl := tl.Clone()
+	cl.Set(5, 9)
+	if tl.Len() != 1 {
+		t.Errorf("clone mutation leaked into original")
+	}
+}
+
+func randomTimeline(r *rand.Rand) *Timeline {
+	var tl Timeline
+	t := 0.0
+	n := 1 + r.Intn(40)
+	for i := 0; i < n; i++ {
+		t += r.Float64() * 10
+		tl.Set(t, math.Floor(r.Float64()*100)/4)
+	}
+	return &tl
+}
+
+// Property: integration is additive over adjacent intervals.
+func TestTimelineIntegralAdditivity(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		tl := randomTimeline(rr)
+		a := rr.Float64() * 100
+		m := a + rr.Float64()*100
+		b := m + rr.Float64()*100
+		whole := tl.Integrate(a, b)
+		split := tl.Integrate(a, m) + tl.Integrate(m, b)
+		return almostEqual(whole, split)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the mean over a window is bounded by min and max over it.
+func TestTimelineMeanBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		tl := randomTimeline(rr)
+		a := rr.Float64() * 100
+		b := a + 0.1 + rr.Float64()*100
+		mean := tl.Mean(a, b)
+		return tl.Min(a, b)-1e-9 <= mean && mean <= tl.Max(a, b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compact preserves the denoted function.
+func TestTimelineCompactPreserves(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		tl := randomTimeline(rr)
+		cl := tl.Clone().Compact()
+		for i := 0; i < 50; i++ {
+			tt := rr.Float64() * 500
+			if tl.At(tt) != cl.At(tt) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: At after a sequence of in-order Sets returns the last value set
+// at or before the query time.
+func TestTimelineAtMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		tl := randomTimeline(rr)
+		pts := tl.Points()
+		q := rr.Float64() * 500
+		want := 0.0
+		for _, p := range pts {
+			if p.T <= q {
+				want = p.V
+			}
+		}
+		return tl.At(q) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}

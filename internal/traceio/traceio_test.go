@@ -1,0 +1,126 @@
+package traceio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"viva/internal/trace"
+)
+
+const nativeSample = `# viva trace v1
+resource h host -
+set 0 h power 5
+end 1
+`
+
+const pajeSample = `%EventDef PajeDefineContainerType 0
+%	Alias string
+%	Type string
+%	Name string
+%EndEventDef
+%EventDef PajeCreateContainer 4
+%	Time date
+%	Alias string
+%	Type string
+%	Container string
+%	Name string
+%EndEventDef
+0 HOST 0 HOST
+4 0 h1 HOST 0 "machine"
+`
+
+func TestReadNative(t *testing.T) {
+	tr, err := Read(strings.NewReader(nativeSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Timeline("h", trace.MetricPower).At(0); got != 5 {
+		t.Errorf("power = %g", got)
+	}
+}
+
+func TestReadPaje(t *testing.T) {
+	tr, err := Read(strings.NewReader(pajeSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Resource("machine") == nil {
+		t.Error("paje container not read")
+	}
+}
+
+func TestReadPajeWithLeadingComment(t *testing.T) {
+	tr, err := Read(strings.NewReader("# produced by simgrid\n" + pajeSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Resource("machine") == nil {
+		t.Error("paje with comment not detected")
+	}
+}
+
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.viva")
+	if err := os.WriteFile(path, []byte(nativeSample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Resource("h") == nil {
+		t.Error("native file not loaded")
+	}
+	if _, err := Load(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadEdges(t *testing.T) {
+	tr, err := Read(strings.NewReader("resource a host -\nresource b host -\nresource c host -\nend 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "edges.txt")
+	if err := os.WriteFile(path, []byte("# topology\na b\nb c\n\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := LoadEdges(path, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || len(tr.Edges()) != 2 {
+		t.Errorf("edges loaded = %d / %d", n, len(tr.Edges()))
+	}
+	// Errors: malformed line, unknown endpoint, missing file.
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("only-one-field\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEdges(bad, tr); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if err := os.WriteFile(bad, []byte("a ghost\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEdges(bad, tr); err == nil {
+		t.Error("unknown endpoint accepted")
+	}
+	if _, err := LoadEdges(filepath.Join(dir, "missing"), tr); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	tr, err := Read(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Resources()) != 0 {
+		t.Error("empty input produced resources")
+	}
+}

@@ -1,0 +1,250 @@
+// Package treemap implements the hierarchical-aggregation treemap view
+// the paper's conclusion relates its contribution to (Schnorr et al.,
+// "A Hierarchical Aggregation Model to Achieve Visualization Scalability",
+// ParCo 2012): the same multi-scale aggregated values, drawn as nested
+// rectangles whose areas are proportional to the aggregated metric —
+// scalable like the topology view, but without topological information,
+// which is precisely the paper's point of comparison.
+//
+// The layout is the squarified algorithm of Bruls, Huizing and van Wijk.
+package treemap
+
+import (
+	"bytes"
+	"fmt"
+	"html"
+	"math"
+	"sort"
+
+	"viva/internal/aggregation"
+)
+
+// Node is one rectangle of the treemap: a hierarchy node with its
+// aggregated value, its utilization fill, and its laid-out geometry.
+type Node struct {
+	Name     string
+	Value    float64 // aggregated size metric (area driver)
+	Fill     float64 // aggregated utilization in [0, 1] (color driver)
+	X, Y     float64
+	W, H     float64
+	Children []*Node
+	Depth    int
+}
+
+// Build computes the treemap tree for the given hierarchy root: every
+// descendant whose subtree carries the size metric (restricted to one
+// resource type) becomes a node, valued by the spatial aggregation over
+// the time slice.
+func Build(ag *aggregation.Aggregator, root, typ, sizeMetric, fillMetric string, s aggregation.TimeSlice) (*Node, error) {
+	tree := ag.Tree()
+	if tree.Node(root) == nil {
+		return nil, fmt.Errorf("treemap: unknown root %q", root)
+	}
+	var build func(name string, depth int) (*Node, error)
+	build = func(name string, depth int) (*Node, error) {
+		st, err := ag.Stats(name, typ, sizeMetric, s)
+		if err != nil {
+			return nil, err
+		}
+		if st.Count == 0 || st.Sum <= 0 {
+			return nil, nil
+		}
+		n := &Node{Name: name, Value: st.Sum, Depth: depth}
+		if fillMetric != "" {
+			u, err := ag.Utilization(name, typ, fillMetric, sizeMetric, s)
+			if err != nil {
+				return nil, err
+			}
+			n.Fill = u
+		}
+		for _, child := range tree.Node(name).Children {
+			c, err := build(child, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			if c != nil {
+				n.Children = append(n.Children, c)
+			}
+		}
+		return n, nil
+	}
+	n, err := build(root, 0)
+	if err != nil {
+		return nil, err
+	}
+	if n == nil {
+		return nil, fmt.Errorf("treemap: no %q values under %q", sizeMetric, root)
+	}
+	return n, nil
+}
+
+// Layout assigns geometry: the root fills (x, y, w, h) and every level is
+// squarified inside its parent (with a small inset so nesting is visible).
+func Layout(n *Node, x, y, w, h float64) {
+	n.X, n.Y, n.W, n.H = x, y, w, h
+	if len(n.Children) == 0 {
+		return
+	}
+	const inset = 2.0
+	ix, iy := x+inset, y+inset
+	iw, ih := w-2*inset, h-2*inset
+	if iw <= 0 || ih <= 0 {
+		iw, ih = 0, 0
+	}
+	squarify(n.Children, ix, iy, iw, ih)
+	for _, c := range n.Children {
+		Layout(c, c.X, c.Y, c.W, c.H)
+	}
+}
+
+// squarify lays the children out inside the rectangle, keeping aspect
+// ratios near 1. Children are processed by decreasing value.
+func squarify(children []*Node, x, y, w, h float64) {
+	items := make([]*Node, len(children))
+	copy(items, children)
+	sort.SliceStable(items, func(i, j int) bool { return items[i].Value > items[j].Value })
+
+	total := 0.0
+	for _, c := range items {
+		total += c.Value
+	}
+	if total <= 0 || w <= 0 || h <= 0 {
+		for _, c := range items {
+			c.X, c.Y, c.W, c.H = x, y, 0, 0
+		}
+		return
+	}
+	area := w * h
+	scale := area / total
+
+	for len(items) > 0 {
+		short := math.Min(w, h)
+		// Grow the row while the worst aspect ratio improves.
+		row := []*Node{items[0]}
+		rowArea := items[0].Value * scale
+		best := worst(row, rowArea, short, scale)
+		for len(row) < len(items) {
+			next := items[len(row)]
+			candidateArea := rowArea + next.Value*scale
+			candidate := append(row, next)
+			if wr := worst(candidate, candidateArea, short, scale); wr <= best {
+				row = candidate
+				rowArea = candidateArea
+				best = wr
+			} else {
+				break
+			}
+		}
+		// Place the row along the short side.
+		if w >= h {
+			rw := rowArea / h
+			cy := y
+			for _, c := range row {
+				ch := c.Value * scale / rw
+				c.X, c.Y, c.W, c.H = x, cy, rw, ch
+				cy += ch
+			}
+			x += rw
+			w -= rw
+		} else {
+			rh := rowArea / w
+			cx := x
+			for _, c := range row {
+				cw := c.Value * scale / rh
+				c.X, c.Y, c.W, c.H = cx, y, cw, rh
+				cx += cw
+			}
+			y += rh
+			h -= rh
+		}
+		items = items[len(row):]
+	}
+}
+
+// worst returns the worst aspect ratio of a row of given total area laid
+// along a side of the given length.
+func worst(row []*Node, rowArea, side float64, scale float64) float64 {
+	if rowArea <= 0 {
+		return math.Inf(1)
+	}
+	thickness := rowArea / side
+	w := 0.0
+	for _, c := range row {
+		length := c.Value * scale / thickness
+		var ar float64
+		if length > thickness {
+			ar = length / thickness
+		} else if length > 0 {
+			ar = thickness / length
+		} else {
+			ar = math.Inf(1)
+		}
+		if ar > w {
+			w = ar
+		}
+	}
+	return w
+}
+
+// SVGOptions tune the rendering.
+type SVGOptions struct {
+	Width, Height int
+	Title         string
+	// MaxDepth limits how deep rectangles are drawn (0: all levels).
+	MaxDepth int
+}
+
+// SVG lays the tree out and renders nested rectangles; leaf cells are
+// colored by their utilization fill (white → red).
+func SVG(root *Node, opts SVGOptions) []byte {
+	if opts.Width <= 0 {
+		opts.Width = 800
+	}
+	if opts.Height <= 0 {
+		opts.Height = 600
+	}
+	top := 0.0
+	if opts.Title != "" {
+		top = 20
+	}
+	Layout(root, 0, top, float64(opts.Width), float64(opts.Height)-top)
+
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		opts.Width, opts.Height, opts.Width, opts.Height)
+	buf.WriteByte('\n')
+	fmt.Fprintf(&buf, `<rect width="%d" height="%d" fill="#ffffff"/>`, opts.Width, opts.Height)
+	buf.WriteByte('\n')
+	if opts.Title != "" {
+		fmt.Fprintf(&buf, `<text x="6" y="14" font-size="12" font-family="sans-serif" fill="#222">%s</text>`,
+			html.EscapeString(opts.Title))
+		buf.WriteByte('\n')
+	}
+	var draw func(n *Node)
+	draw = func(n *Node) {
+		if opts.MaxDepth > 0 && n.Depth > opts.MaxDepth {
+			return
+		}
+		leaf := len(n.Children) == 0 || (opts.MaxDepth > 0 && n.Depth == opts.MaxDepth)
+		fill := "none"
+		if leaf {
+			g := int(235 * (1 - n.Fill))
+			fill = fmt.Sprintf("rgb(255,%d,%d)", g, g)
+		}
+		fmt.Fprintf(&buf, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#666" stroke-width="%.1f"><title>%s: %.4g (fill %.0f%%)</title></rect>`,
+			n.X, n.Y, n.W, n.H, fill, math.Max(0.4, 2-float64(n.Depth)*0.6),
+			html.EscapeString(n.Name), n.Value, 100*n.Fill)
+		buf.WriteByte('\n')
+		if n.W > 60 && n.H > 16 {
+			fmt.Fprintf(&buf, `<text x="%.1f" y="%.1f" font-size="10" font-family="sans-serif" fill="#222">%s</text>`,
+				n.X+3, n.Y+11, html.EscapeString(n.Name))
+			buf.WriteByte('\n')
+		}
+		for _, c := range n.Children {
+			draw(c)
+		}
+	}
+	draw(root)
+	buf.WriteString("</svg>\n")
+	return buf.Bytes()
+}

@@ -1,0 +1,160 @@
+package treemap
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"viva/internal/aggregation"
+	"viva/internal/platform"
+	"viva/internal/trace"
+)
+
+func buildAg(t *testing.T) *aggregation.Aggregator {
+	t.Helper()
+	tr := trace.New()
+	platform.TwoClusters().DeclareInto(tr)
+	ag, err := aggregation.NewAggregator(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ag
+}
+
+func slice() aggregation.TimeSlice { return aggregation.TimeSlice{Start: 0, End: 1} }
+
+func TestBuildTreeStructure(t *testing.T) {
+	ag := buildAg(t)
+	root, err := Build(ag, "grid", trace.TypeHost, trace.MetricPower, trace.MetricUsage, slice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Name != "grid" {
+		t.Errorf("root = %q", root.Name)
+	}
+	// grid -> site -> {adonis, griffon} -> 11 hosts each.
+	if len(root.Children) != 1 {
+		t.Fatalf("root children = %d", len(root.Children))
+	}
+	site := root.Children[0]
+	if len(site.Children) != 2 {
+		t.Fatalf("site children = %d", len(site.Children))
+	}
+	// Values sum up the hierarchy.
+	var sum float64
+	for _, c := range site.Children {
+		sum += c.Value
+		if len(c.Children) != 11 {
+			t.Errorf("cluster %s children = %d, want 11", c.Name, len(c.Children))
+		}
+	}
+	if math.Abs(sum-root.Value) > 1e-9*root.Value {
+		t.Errorf("children sum %g != root %g", sum, root.Value)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	ag := buildAg(t)
+	if _, err := Build(ag, "ghost", trace.TypeHost, trace.MetricPower, "", slice()); err == nil {
+		t.Error("unknown root accepted")
+	}
+	if _, err := Build(ag, "grid", trace.TypeHost, "no-such-metric", "", slice()); err == nil {
+		t.Error("metric-free tree accepted")
+	}
+}
+
+// Layout invariants: areas proportional to values, children inside their
+// parent, siblings disjoint.
+func TestLayoutInvariants(t *testing.T) {
+	ag := buildAg(t)
+	root, err := Build(ag, "grid", trace.TypeHost, trace.MetricPower, "", slice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	Layout(root, 0, 0, 800, 600)
+
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		const inset = 2.0
+		for _, c := range n.Children {
+			// Containment (with the inset tolerance).
+			if c.X < n.X-1e-6 || c.Y < n.Y-1e-6 ||
+				c.X+c.W > n.X+n.W+1e-6 || c.Y+c.H > n.Y+n.H+1e-6 {
+				t.Errorf("child %s escapes parent %s", c.Name, n.Name)
+			}
+		}
+		// Sibling areas proportional to values (within the parent's inset
+		// area).
+		if len(n.Children) >= 2 {
+			a, b := n.Children[0], n.Children[1]
+			ratioArea := (a.W * a.H) / (b.W * b.H)
+			ratioVal := a.Value / b.Value
+			if math.Abs(ratioArea-ratioVal) > 0.01*ratioVal {
+				t.Errorf("areas not proportional under %s: %g vs %g", n.Name, ratioArea, ratioVal)
+			}
+			// Disjoint siblings.
+			for i := 0; i < len(n.Children); i++ {
+				for j := i + 1; j < len(n.Children); j++ {
+					x, y := n.Children[i], n.Children[j]
+					if overlap(x, y) {
+						t.Errorf("siblings %s and %s overlap", x.Name, y.Name)
+					}
+				}
+			}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+}
+
+func overlap(a, b *Node) bool {
+	const eps = 1e-6
+	return a.X+eps < b.X+b.W && b.X+eps < a.X+a.W &&
+		a.Y+eps < b.Y+b.H && b.Y+eps < a.Y+a.H
+}
+
+func TestSquarifiedAspectRatios(t *testing.T) {
+	// Equal-valued children in a square canvas must be near-square.
+	children := make([]*Node, 4)
+	for i := range children {
+		children[i] = &Node{Name: string(rune('a' + i)), Value: 1}
+	}
+	squarify(children, 0, 0, 100, 100)
+	for _, c := range children {
+		ar := c.W / c.H
+		if ar < 1 {
+			ar = 1 / ar
+		}
+		if ar > 2.01 {
+			t.Errorf("%s aspect ratio %g too elongated", c.Name, ar)
+		}
+	}
+}
+
+func TestSVGOutput(t *testing.T) {
+	ag := buildAg(t)
+	root, err := Build(ag, "grid", trace.TypeHost, trace.MetricPower, trace.MetricUsage, slice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := string(SVG(root, SVGOptions{Title: "treemap test"}))
+	for _, want := range []string{"<svg", "treemap test", "adonis", "grid:"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Depth-limited rendering draws clusters but not hosts.
+	svg = string(SVG(root, SVGOptions{MaxDepth: 2}))
+	if strings.Contains(svg, "adonis-1:") {
+		t.Error("MaxDepth=2 still draws hosts")
+	}
+}
+
+func TestDegenerateGeometry(t *testing.T) {
+	n := &Node{Name: "x", Value: 1, Children: []*Node{
+		{Name: "a", Value: 1}, {Name: "b", Value: 0},
+	}}
+	Layout(n, 0, 0, 1, 1) // tiny canvas: insets exceed it; must not panic
+}

@@ -1,0 +1,397 @@
+// Package vizgraph builds the paper's visual graph from aggregated trace
+// data (Section 3.1): monitored entities become nodes drawn with simple
+// geometric shapes — squares for hosts, diamonds for links, circles for
+// routers — whose size follows a capacity metric and whose proportional
+// fill follows a utilization metric. Each resource type gets its own
+// independent size scale so entities of different natures remain
+// comparable (Section 4.1, Figure 4), and the analyst can bias each scale
+// with an interactive factor (the paper's sliders).
+package vizgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"viva/internal/aggregation"
+	"viva/internal/trace"
+)
+
+// Shape is the geometric representation of a node.
+type Shape int
+
+const (
+	Square Shape = iota
+	Diamond
+	Circle
+)
+
+// String names the shape.
+func (s Shape) String() string {
+	switch s {
+	case Square:
+		return "square"
+	case Diamond:
+		return "diamond"
+	case Circle:
+		return "circle"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// TypeMapping maps one resource type to its visual encoding.
+type TypeMapping struct {
+	Type  string
+	Shape Shape
+	// SizeMetric drives the node's area (typically the capacity: power for
+	// hosts, bandwidth for links). Empty means a fixed small size
+	// (structural nodes like routers).
+	SizeMetric string
+	// FillMetric drives the proportional fill (typically the usage:
+	// usage for hosts, traffic for links). Fill = fill/size sums, clamped
+	// to [0, 1]. Empty means no fill.
+	FillMetric string
+	// Scale is the analyst's interactive slider for this type's size
+	// scale; 1 is the automatic scaling (Figure 4 schemes A and B),
+	// other values bias it (scheme C).
+	Scale float64
+	// Color is the CSS color the type's nodes are drawn with.
+	Color string
+	// SegmentCategories splits the fill into per-category segments when
+	// the trace carries "<FillMetric>:<category>" variants (the
+	// simulator's per-application tracing). This is the paper's
+	// future-work "richer graphical objects" feature: one glance at an
+	// aggregated square shows how the competing applications share it.
+	SegmentCategories []string
+	// FillAggregation selects how member utilizations combine in an
+	// aggregated node (FillRatio by default).
+	FillAggregation FillAggregation
+}
+
+// FillAggregation is the semantics of an aggregated node's fill.
+type FillAggregation int
+
+const (
+	// FillRatio is the paper's aggregation: Σ fill-metric / Σ size-metric,
+	// the capacity-weighted mean utilization. Meaningful for independent
+	// resources (hosts), questionable for links — the paper's conclusion
+	// notes that summing non-independent link usage "leads to hardly
+	// explainable values" and hides saturation.
+	FillRatio FillAggregation = iota
+	// FillMaxRatio addresses exactly that: the aggregate shows the most
+	// saturated member's utilization, so a single full link keeps the
+	// group's diamond full — "network saturation and bottlenecks" stay
+	// visible at any aggregation level.
+	FillMaxRatio
+)
+
+// Mapping is the full visual configuration.
+type Mapping struct {
+	Types []TypeMapping
+	// MaxPixel is the pixel size the largest value of each type maps to.
+	MaxPixel float64
+	// MinPixel floors the size of nodes whose value is tiny but non-zero,
+	// keeping them visible.
+	MinPixel float64
+}
+
+// DefaultMapping encodes the paper's convention: hosts are squares sized
+// by computing power and filled by usage; links are diamonds sized by
+// bandwidth and filled by traffic; routers are small circles.
+func DefaultMapping() Mapping {
+	return Mapping{
+		Types: []TypeMapping{
+			{Type: trace.TypeHost, Shape: Square, SizeMetric: trace.MetricPower, FillMetric: trace.MetricUsage, Scale: 1, Color: "#3b7dd8"},
+			{Type: trace.TypeLink, Shape: Diamond, SizeMetric: trace.MetricBandwidth, FillMetric: trace.MetricTraffic, Scale: 1, Color: "#d85c3b"},
+			{Type: "router", Shape: Circle, Scale: 1, Color: "#888888"},
+		},
+		MaxPixel: 60,
+		MinPixel: 4,
+	}
+}
+
+// TypeMapping returns the mapping of a type, or nil.
+func (m *Mapping) TypeMapping(typ string) *TypeMapping {
+	for i := range m.Types {
+		if m.Types[i].Type == typ {
+			return &m.Types[i]
+		}
+	}
+	return nil
+}
+
+// SetScale adjusts the interactive scale factor of one type, returning
+// false if the type has no mapping. Non-positive factors are rejected.
+func (m *Mapping) SetScale(typ string, scale float64) bool {
+	tm := m.TypeMapping(typ)
+	if tm == nil || scale <= 0 {
+		return false
+	}
+	tm.Scale = scale
+	return true
+}
+
+// Node is one visual element: the aggregation of every entity of one type
+// inside one active group of the current cut.
+type Node struct {
+	ID    string // group + "/" + type, unique in the graph
+	Group string // active group of the cut
+	Type  string // resource type aggregated in this node
+	Label string // display label
+
+	Shape Shape
+	Color string  // CSS color inherited from the type mapping
+	Value float64 // aggregated size-metric value (Eq. 1 sum)
+	Size  float64 // pixel size after per-type scaling
+	Fill  float64 // proportional fill in [0, 1]
+	Count int     // entities aggregated in the node
+
+	SizeStats aggregation.Stats // statistical companions of Value
+	FillStats aggregation.Stats
+
+	// Segments split Fill per activity category (empty when the type
+	// mapping requests none or the trace has no per-category data).
+	// Fractions are of the whole node (like Fill), so they sum to at most
+	// Fill.
+	Segments []Segment
+}
+
+// Segment is one category's share of a node's fill.
+type Segment struct {
+	Category string
+	Fraction float64
+	Color    string
+}
+
+// segmentPalette colors categories by their index in SegmentCategories.
+var segmentPalette = []string{
+	"#2e7d32", "#c62828", "#6a1b9a", "#ef6c00", "#283593",
+	"#00838f", "#ad1457", "#558b2f",
+}
+
+// Edge joins two nodes; Multiplicity counts how many base topology edges
+// it bundles.
+type Edge struct {
+	From, To     string
+	Multiplicity int
+}
+
+// Graph is the visual graph for one (cut, time slice, mapping) triple.
+type Graph struct {
+	Nodes []*Node
+	Edges []Edge
+	Slice aggregation.TimeSlice
+
+	index map[string]*Node
+}
+
+// Node returns a node by ID, or nil.
+func (g *Graph) Node(id string) *Node { return g.index[id] }
+
+// NodeID builds the canonical node identifier of a (group, type) pair.
+func NodeID(group, typ string) string { return group + "/" + typ }
+
+// Build assembles the visual graph: for every active group of the cut and
+// every mapped resource type present in it, one node carrying the
+// aggregated metrics over the time slice; plus the projection of the base
+// topology edges onto those nodes.
+func Build(ag *aggregation.Aggregator, cut *aggregation.Cut, m Mapping, slice aggregation.TimeSlice) (*Graph, error) {
+	if m.MaxPixel <= 0 {
+		return nil, fmt.Errorf("vizgraph: mapping needs a positive MaxPixel")
+	}
+	g := &Graph{Slice: slice, index: make(map[string]*Node)}
+	tree := ag.Tree()
+
+	for _, group := range cut.Active() {
+		types, err := tree.TypesUnder(group)
+		if err != nil {
+			return nil, err
+		}
+		groupIsLeaf := tree.Node(group).IsEntity()
+		for _, typ := range types {
+			tm := m.TypeMapping(typ)
+			if tm == nil {
+				continue // unmapped types are not drawn
+			}
+			node := &Node{
+				ID:    NodeID(group, typ),
+				Group: group,
+				Type:  typ,
+				Shape: tm.Shape,
+				Color: tm.Color,
+			}
+			if groupIsLeaf {
+				node.Label = group
+			} else {
+				node.Label = fmt.Sprintf("%s[%s]", group, typ)
+			}
+			if tm.SizeMetric != "" {
+				st, err := ag.Stats(group, typ, tm.SizeMetric, slice)
+				if err != nil {
+					return nil, err
+				}
+				node.SizeStats = st
+				node.Value = st.Sum
+				node.Count = st.Count
+			}
+			if node.Count == 0 {
+				// Count leaves of the type even without the size metric
+				// (structural nodes).
+				leaves, err := tree.LeavesUnder(group)
+				if err != nil {
+					return nil, err
+				}
+				for _, l := range leaves {
+					if tree.Node(l).Type == typ {
+						node.Count++
+					}
+				}
+			}
+			if tm.FillMetric != "" && tm.SizeMetric != "" {
+				fillStats, err := ag.Stats(group, typ, tm.FillMetric, slice)
+				if err != nil {
+					return nil, err
+				}
+				node.FillStats = fillStats
+				if node.SizeStats.Sum > 0 {
+					switch tm.FillAggregation {
+					case FillMaxRatio:
+						u, err := maxMemberRatio(ag, group, typ, tm.FillMetric, tm.SizeMetric, slice)
+						if err != nil {
+							return nil, err
+						}
+						node.Fill = u
+					default:
+						node.Fill = fillStats.Sum / node.SizeStats.Sum
+					}
+					if node.Fill < 0 {
+						node.Fill = 0
+					}
+					if node.Fill > 1 {
+						node.Fill = 1
+					}
+					for i, cat := range tm.SegmentCategories {
+						st, err := ag.Stats(group, typ, tm.FillMetric+":"+cat, slice)
+						if err != nil {
+							return nil, err
+						}
+						if st.Count == 0 || st.Sum <= 0 {
+							continue
+						}
+						frac := st.Sum / node.SizeStats.Sum
+						if frac > 1 {
+							frac = 1
+						}
+						node.Segments = append(node.Segments, Segment{
+							Category: cat,
+							Fraction: frac,
+							Color:    segmentPalette[i%len(segmentPalette)],
+						})
+					}
+				}
+			}
+			g.Nodes = append(g.Nodes, node)
+			g.index[node.ID] = node
+		}
+	}
+
+	g.scaleSizes(m)
+	g.projectEdges(ag, cut)
+	return g, nil
+}
+
+// maxMemberRatio returns the highest member utilization
+// (fill-mean / size-mean) inside a group.
+func maxMemberRatio(ag *aggregation.Aggregator, group, typ, fillMetric, sizeMetric string, slice aggregation.TimeSlice) (float64, error) {
+	sNames, sMeans, err := ag.LeafMeans(group, typ, sizeMetric, slice)
+	if err != nil {
+		return 0, err
+	}
+	fNames, fMeans, err := ag.LeafMeans(group, typ, fillMetric, slice)
+	if err != nil {
+		return 0, err
+	}
+	fillOf := make(map[string]float64, len(fNames))
+	for i, n := range fNames {
+		fillOf[n] = fMeans[i]
+	}
+	var max float64
+	for i, n := range sNames {
+		if sMeans[i] <= 0 {
+			continue
+		}
+		if u := fillOf[n] / sMeans[i]; u > max {
+			max = u
+		}
+	}
+	return max, nil
+}
+
+// scaleSizes implements the independent per-type automatic scaling: the
+// largest size-metric value of each type within the current time slice
+// maps to MaxPixel (times the type's interactive scale factor).
+func (g *Graph) scaleSizes(m Mapping) {
+	maxByType := make(map[string]float64)
+	for _, n := range g.Nodes {
+		if n.Value > maxByType[n.Type] {
+			maxByType[n.Type] = n.Value
+		}
+	}
+	for _, n := range g.Nodes {
+		tm := m.TypeMapping(n.Type)
+		scale := 1.0
+		if tm != nil {
+			scale = tm.Scale
+		}
+		switch {
+		case tm != nil && tm.SizeMetric == "":
+			// Structural node: fixed small footprint.
+			n.Size = m.MaxPixel * 0.25 * scale
+		case maxByType[n.Type] <= 0:
+			n.Size = m.MinPixel
+		default:
+			n.Size = n.Value / maxByType[n.Type] * m.MaxPixel * scale
+			if n.Size < m.MinPixel && n.Value > 0 {
+				n.Size = m.MinPixel
+			}
+		}
+	}
+}
+
+// projectEdges maps the base topology edges onto (group, type) nodes.
+func (g *Graph) projectEdges(ag *aggregation.Aggregator, cut *aggregation.Cut) {
+	tree := ag.Tree()
+	type key struct{ a, b string }
+	counts := make(map[key]int)
+	for _, e := range ag.Trace().Edges() {
+		na, nb := tree.Node(e.A), tree.Node(e.B)
+		if na == nil || nb == nil {
+			continue
+		}
+		ida := NodeID(cut.Owner(e.A), na.Type)
+		idb := NodeID(cut.Owner(e.B), nb.Type)
+		if ida == idb {
+			continue
+		}
+		if g.index[ida] == nil || g.index[idb] == nil {
+			continue // endpoint type not drawn
+		}
+		if ida > idb {
+			ida, idb = idb, ida
+		}
+		counts[key{ida, idb}]++
+	}
+	keys := make([]key, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, k := range keys {
+		g.Edges = append(g.Edges, Edge{From: k.a, To: k.b, Multiplicity: counts[k]})
+	}
+}
