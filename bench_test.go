@@ -260,6 +260,7 @@ func BenchmarkLayoutNaive(b *testing.B) {
 	for _, n := range []int{64, 256, 1024} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			l := buildLayout(b, n)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				l.Step(layout.Naive)
@@ -268,16 +269,52 @@ func BenchmarkLayoutNaive(b *testing.B) {
 	}
 }
 
-// BenchmarkLayoutBarnesHut is the paper's O(n log n) choice.
+// BenchmarkLayoutBarnesHut is the paper's O(n log n) choice, swept over
+// size × worker count: p=1 is the serial baseline (arena-reused, so
+// allocs/op sits near zero after the first step), p=4/p=8 exercise the
+// sharded force passes. Output positions are identical at every p.
 func BenchmarkLayoutBarnesHut(b *testing.B) {
-	for _, n := range []int{64, 256, 1024, 4096} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			l := buildLayout(b, n)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				l.Step(layout.BarnesHut)
+	for _, n := range []int{64, 256, 1024, 5000, 20000} {
+		for _, par := range []int{1, 4, 8} {
+			if par > 1 && n < 1024 {
+				continue // below the parallel grain: same code path as p=1
 			}
-		})
+			b.Run(fmt.Sprintf("n=%d/p=%d", n, par), func(b *testing.B) {
+				l := buildLayout(b, n)
+				p := l.Params()
+				p.Parallelism = par
+				l.SetParams(p)
+				l.Step(layout.BarnesHut) // warm the arena and worker stacks
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					l.Step(layout.BarnesHut)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkLayoutNaiveParallel compares the sharded all-pairs engine
+// against the serial i<j loop on graphs big enough to shard. The parallel
+// path does every pair twice (once per body), so its single-core cost is
+// ~2× serial; the win appears at ≥2 workers on real cores.
+func BenchmarkLayoutNaiveParallel(b *testing.B) {
+	for _, n := range []int{1000, 5000} {
+		for _, par := range []int{1, 4} {
+			b.Run(fmt.Sprintf("n=%d/p=%d", n, par), func(b *testing.B) {
+				l := buildLayout(b, n)
+				p := l.Params()
+				p.Parallelism = par
+				l.SetParams(p)
+				l.Step(layout.Naive)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					l.Step(layout.Naive)
+				}
+			})
+		}
 	}
 }
 

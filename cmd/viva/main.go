@@ -40,6 +40,7 @@ func main() {
 	info := flag.Bool("info", false, "print a trace summary instead of rendering")
 	naive := flag.Bool("naive", false, "use the O(n^2) layout instead of Barnes-Hut")
 	steps := flag.Int("steps", 3000, "maximum layout iterations")
+	parallel := flag.Int("parallel", 0, "layout worker goroutines (0: GOMAXPROCS, 1: serial; same output either way)")
 	ganttOut := flag.String("gantt", "", "also render a Gantt timeline of process states to this file")
 	treemapOut := flag.String("treemap", "", "also render a host-utilization treemap to this file")
 	edges := flag.String("edges", "", "connection configuration file (one \"a b\" pair per line), for traces without topology edges")
@@ -72,6 +73,7 @@ func main() {
 	if *naive {
 		v.SetAlgorithm(layout.Naive)
 	}
+	v.SetParallelism(*parallel)
 	if *level >= 0 {
 		if err := v.SetLevel(*level); err != nil {
 			fatal(err)

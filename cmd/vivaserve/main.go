@@ -24,6 +24,7 @@ func main() {
 	addr := flag.String("addr", ":8844", "listen address")
 	level := flag.Int("level", -1, "initial aggregation depth (-1: leaves)")
 	edges := flag.String("edges", "", "connection configuration file for traces without topology edges")
+	parallel := flag.Int("parallel", 0, "layout worker goroutines (0: GOMAXPROCS, 1: serial; same output either way)")
 	flag.Parse()
 
 	if *tracePath == "" {
@@ -45,6 +46,7 @@ func main() {
 			fatal(err)
 		}
 	}
+	v.SetParallelism(*parallel)
 	fmt.Printf("serving %s on http://localhost%s\n", *tracePath, *addr)
 	if err := server.New(v).ListenAndServe(*addr); err != nil {
 		fatal(err)

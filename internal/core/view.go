@@ -194,8 +194,12 @@ func (v *View) syncLayout(g *vizgraph.Graph) {
 			}
 		}
 	}
-	for _, b := range vanishing {
-		v.lay.RemoveBody(b.ID)
+	if len(vanishing) > 0 {
+		ids := make([]string, len(vanishing))
+		for i, b := range vanishing {
+			ids[i] = b.ID
+		}
+		v.lay.RemoveBodies(ids)
 	}
 
 	springs := make([]layout.Spring, 0, len(g.Edges))
@@ -300,6 +304,15 @@ func (v *View) SetFillAggregation(typ string, mode vizgraph.FillAggregation) err
 
 // SetLayoutParams replaces the charge/spring/damping sliders.
 func (v *View) SetLayoutParams(p layout.Params) { v.lay.SetParams(p) }
+
+// SetParallelism bounds the worker goroutines the layout step may use
+// (0 = GOMAXPROCS, 1 = serial). Positions are bit-for-bit identical at
+// every setting, so this is purely a throughput knob.
+func (v *View) SetParallelism(n int) {
+	p := v.lay.Params()
+	p.Parallelism = n
+	v.lay.SetParams(p)
+}
 
 // StepLayout advances the force simulation n steps and returns the last
 // step's maximum displacement.

@@ -1,0 +1,94 @@
+package layout
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The concurrency contract of the force engine: Parallelism is purely a
+// throughput knob. Serial and 8-way parallel runs must produce identical
+// (bit-for-bit, not merely close) snapshots, because per-body accumulation
+// order is a fixed function of the body and spring indices — never of the
+// worker count. This is the regression test for that invariant.
+func TestStepDeterministicAcrossParallelism(t *testing.T) {
+	run := func(algo Algorithm, n, steps, parallelism int) map[string]Point {
+		p := DefaultParams()
+		p.Parallelism = parallelism
+		l := New(p)
+		addScatter(t, l, n, "d")
+		for i := 0; i < steps; i++ {
+			l.Step(algo)
+		}
+		return l.Snapshot()
+	}
+
+	cases := []struct {
+		name     string
+		algo     Algorithm
+		n, steps int
+	}{
+		// 2k bodies exceeds the parallel grain at 8 workers, so the
+		// parallel run genuinely shards the force passes.
+		{"barneshut/2k", BarnesHut, 2000, 100},
+		// Naive is O(n²); a smaller graph keeps the race-instrumented CI
+		// run fast while still exercising the sharded all-pairs path.
+		{"naive/600", Naive, 600, 25},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := run(tc.algo, tc.n, tc.steps, 1)
+			parallel := run(tc.algo, tc.n, tc.steps, 8)
+			if len(serial) != len(parallel) {
+				t.Fatalf("snapshot sizes differ: %d vs %d", len(serial), len(parallel))
+			}
+			diverged := 0
+			for id, p := range serial {
+				if q := parallel[id]; p != q {
+					diverged++
+					if diverged <= 3 {
+						t.Errorf("body %s diverged: serial %v parallel %v", id, p, q)
+					}
+				}
+			}
+			if diverged > 0 {
+				t.Fatalf("%d of %d bodies diverged between Parallelism 1 and 8", diverged, len(serial))
+			}
+		})
+	}
+}
+
+// Mid-run mutations (the interactive aggregate/disaggregate churn) must
+// not break the parallel/serial equivalence: remove a slab of bodies,
+// rewire springs, keep stepping.
+func TestDeterminismSurvivesMutation(t *testing.T) {
+	run := func(parallelism int) map[string]Point {
+		p := DefaultParams()
+		p.Parallelism = parallelism
+		l := New(p)
+		addScatter(t, l, 900, "m")
+		for i := 0; i < 10; i++ {
+			l.Step(BarnesHut)
+		}
+		var doomed []string
+		for i := 100; i < 250; i++ {
+			doomed = append(doomed, fmt.Sprintf("m%d", i))
+		}
+		l.RemoveBodies(doomed)
+		if _, err := l.AddBody("agg", Point{1, 2}, 150); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.SetSprings([]Spring{{A: "m0", B: "agg", Strength: 2}}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			l.Step(BarnesHut)
+		}
+		return l.Snapshot()
+	}
+	serial, parallel := run(1), run(8)
+	for id, p := range serial {
+		if q := parallel[id]; p != q {
+			t.Fatalf("body %s diverged after mutation: %v vs %v", id, p, q)
+		}
+	}
+}

@@ -15,7 +15,9 @@ package layout
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Point is a position or vector in the 2D layout plane.
@@ -57,6 +59,13 @@ type Params struct {
 	// MaxVelocity caps per-step motion, keeping the integration stable
 	// when charges collide.
 	MaxVelocity float64
+	// Parallelism is the maximum number of worker goroutines a Step may
+	// use for the force passes. 0 (the default) means GOMAXPROCS; 1 forces
+	// the serial path. The effective worker count is further capped so
+	// each worker gets at least parallelGrain bodies — tiny layouts never
+	// pay goroutine overhead. Results are bit-for-bit identical at every
+	// setting (see DESIGN.md, "Concurrency model & determinism").
+	Parallelism int
 }
 
 // DefaultParams returns a stable, middle-of-the-sliders configuration.
@@ -83,6 +92,7 @@ type Body struct {
 	Pinned bool
 
 	force Point
+	idx   int // position in Layout.bodies, kept current by add/remove
 }
 
 // Spring connects two bodies.
@@ -99,6 +109,13 @@ type Layout struct {
 	bodies  []*Body
 	index   map[string]*Body
 	springs []Spring
+
+	// Reused per-step scratch state (see quadtree.go and the spring
+	// adjacency below): none of it escapes a Step call.
+	arena    quadArena
+	stacks   [][]int32 // one traversal stack per worker
+	adj      [][]int32 // body idx -> springs touching it, ±(spring index+1)
+	adjDirty bool
 }
 
 // New creates an empty layout.
@@ -129,7 +146,7 @@ func (l *Layout) AddBody(id string, pos Point, charge float64) (*Body, error) {
 	if _, ok := l.index[id]; ok {
 		return nil, fmt.Errorf("layout: body %q already exists", id)
 	}
-	b := &Body{ID: id, Pos: pos, Charge: charge}
+	b := &Body{ID: id, Pos: pos, Charge: charge, idx: len(l.bodies)}
 	l.bodies = append(l.bodies, b)
 	l.index[id] = b
 	return b, nil
@@ -149,15 +166,16 @@ func (l *Layout) AddBodyAuto(id string, charge float64) (*Body, error) {
 // RemoveBody deletes a body and every spring touching it. Removing an
 // unknown ID is a no-op returning false.
 func (l *Layout) RemoveBody(id string) bool {
-	if _, ok := l.index[id]; !ok {
+	b, ok := l.index[id]
+	if !ok {
 		return false
 	}
 	delete(l.index, id)
-	for i, b := range l.bodies {
-		if b.ID == id {
-			l.bodies = append(l.bodies[:i], l.bodies[i+1:]...)
-			break
-		}
+	i := b.idx
+	copy(l.bodies[i:], l.bodies[i+1:])
+	l.bodies = l.bodies[:len(l.bodies)-1]
+	for ; i < len(l.bodies); i++ {
+		l.bodies[i].idx = i
 	}
 	springs := l.springs[:0]
 	for _, s := range l.springs {
@@ -166,7 +184,48 @@ func (l *Layout) RemoveBody(id string) bool {
 		}
 	}
 	l.springs = springs
+	l.adjDirty = true
 	return true
+}
+
+// RemoveBodies deletes a batch of bodies and every spring touching any of
+// them in one pass over the body and spring slices — the aggregation
+// transitions of core.View remove whole groups at once, and per-ID
+// RemoveBody calls would make that quadratic. Insertion order of the
+// survivors is preserved. Returns how many of the IDs existed.
+func (l *Layout) RemoveBodies(ids []string) int {
+	doomed := make(map[string]bool, len(ids))
+	removed := 0
+	for _, id := range ids {
+		if _, ok := l.index[id]; ok && !doomed[id] {
+			doomed[id] = true
+			removed++
+			delete(l.index, id)
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+	bodies := l.bodies[:0]
+	for _, b := range l.bodies {
+		if !doomed[b.ID] {
+			b.idx = len(bodies)
+			bodies = append(bodies, b)
+		}
+	}
+	for i := len(bodies); i < len(l.bodies); i++ {
+		l.bodies[i] = nil // release the removed tail for GC
+	}
+	l.bodies = bodies
+	springs := l.springs[:0]
+	for _, s := range l.springs {
+		if !doomed[s.A] && !doomed[s.B] {
+			springs = append(springs, s)
+		}
+	}
+	l.springs = springs
+	l.adjDirty = true
+	return removed
 }
 
 // SetSprings replaces the edge set. Unknown endpoints are rejected.
@@ -177,6 +236,7 @@ func (l *Layout) SetSprings(springs []Spring) error {
 		}
 	}
 	l.springs = append(l.springs[:0:0], springs...)
+	l.adjDirty = true
 	return nil
 }
 
@@ -261,15 +321,87 @@ func (l *Layout) Run(algo Algorithm, maxSteps int, eps float64) int {
 	return maxSteps
 }
 
+// parallelGrain is the minimum number of bodies per worker: below it the
+// goroutine fan-out costs more than the force arithmetic it spreads.
+const parallelGrain = 128
+
+// workerCount returns the number of goroutines the force passes use:
+// min(Parallelism or GOMAXPROCS, n/parallelGrain), at least 1.
+func (l *Layout) workerCount() int {
+	p := l.params.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if max := len(l.bodies) / parallelGrain; p > max {
+		p = max
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// forBodies runs fn over contiguous shards of the body slice, one shard
+// per worker, and guarantees l.stacks[w] exists for each worker. With a
+// single worker fn runs inline on the caller's goroutine. fn must only
+// write state owned by its own bodies (or its own worker slot), which is
+// what makes the fan-out race-free.
+func (l *Layout) forBodies(fn func(worker, lo, hi int)) {
+	n := len(l.bodies)
+	w := l.workerCount()
+	for len(l.stacks) < w {
+		l.stacks = append(l.stacks, nil)
+	}
+	if w == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func(k int) {
+			defer wg.Done()
+			fn(k, k*n/w, (k+1)*n/w)
+		}(k)
+	}
+	wg.Wait()
+}
+
+// repelNaive computes the exact all-pairs repulsion. The serial path uses
+// the classic i<j symmetric loop (each pair once); the parallel path has
+// every body accumulate over all partners, with the pair force always
+// evaluated from the lower-index side. Both orderings apply bitwise-equal
+// terms to each body in the same (ascending index) sequence, so every
+// Parallelism setting produces identical floating-point results.
 func (l *Layout) repelNaive() {
 	c := l.params.Charge
-	for i, a := range l.bodies {
-		for _, b := range l.bodies[i+1:] {
-			f := coulomb(a, b, c)
-			a.force = a.force.Add(f)
-			b.force = b.force.Sub(f)
+	if l.workerCount() == 1 {
+		for i, a := range l.bodies {
+			for _, b := range l.bodies[i+1:] {
+				f := coulomb(a, b, c)
+				a.force = a.force.Add(f)
+				b.force = b.force.Sub(f)
+			}
 		}
+		return
 	}
+	l.forBodies(func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a := l.bodies[i]
+			f := a.force
+			for j, b := range l.bodies {
+				if j == i {
+					continue
+				}
+				if i < j {
+					f = f.Add(coulomb(a, b, c))
+				} else {
+					f = f.Sub(coulomb(b, a, c))
+				}
+			}
+			a.force = f
+		}
+	})
 }
 
 // coulomb returns the force pushing a away from b.
@@ -287,28 +419,96 @@ func coulomb(a, b *Body, c float64) Point {
 	return d.Scale(mag / dist)
 }
 
-func (l *Layout) applySprings() {
-	k := l.params.Spring
-	rest := l.params.SpringLength
-	for _, s := range l.springs {
+// springForce returns the Hooke force on spring s's A endpoint (B receives
+// the exact negation). Zero for degenerate springs.
+func (l *Layout) springForce(s *Spring, k, rest float64) (Point, bool) {
+	a, b := l.index[s.A], l.index[s.B]
+	if a == nil || b == nil {
+		return Point{}, false
+	}
+	d := b.Pos.Sub(a.Pos)
+	dist := d.Norm()
+	if dist < 1e-6 {
+		return Point{}, false
+	}
+	strength := s.Strength
+	if strength <= 0 {
+		strength = 1
+	}
+	mag := k * strength * (dist - rest)
+	return d.Scale(mag / dist), true
+}
+
+// buildAdjacency rebuilds the spring→body adjacency: for each body, the
+// springs touching it in ascending spring order, encoded ±(index+1) for
+// the A/B endpoint. Rebuilt only when SetSprings/RemoveBody(-ies) changed
+// the edge set or bodies were added since the last build.
+func (l *Layout) buildAdjacency() {
+	for i := range l.adj {
+		l.adj[i] = l.adj[i][:0]
+	}
+	for len(l.adj) < len(l.bodies) {
+		l.adj = append(l.adj, nil)
+	}
+	l.adj = l.adj[:len(l.bodies)]
+	for si := range l.springs {
+		s := &l.springs[si]
 		a, b := l.index[s.A], l.index[s.B]
 		if a == nil || b == nil {
 			continue
 		}
-		d := b.Pos.Sub(a.Pos)
-		dist := d.Norm()
-		if dist < 1e-6 {
-			continue
-		}
-		strength := s.Strength
-		if strength <= 0 {
-			strength = 1
-		}
-		mag := k * strength * (dist - rest)
-		f := d.Scale(mag / dist)
-		a.force = a.force.Add(f)
-		b.force = b.force.Sub(f)
+		l.adj[a.idx] = append(l.adj[a.idx], int32(si+1))
+		l.adj[b.idx] = append(l.adj[b.idx], int32(-(si + 1)))
 	}
+	l.adjDirty = false
+}
+
+// applySprings accumulates the Hooke attractions. The serial path walks
+// the spring list once; the parallel path has each body pull its own
+// incident springs from the prebuilt adjacency, so every write stays on
+// the worker's own shard. Per body, both paths apply bitwise-equal terms
+// in ascending spring order — results are identical at every Parallelism.
+func (l *Layout) applySprings() {
+	k := l.params.Spring
+	rest := l.params.SpringLength
+	if l.workerCount() == 1 || len(l.springs) == 0 {
+		for si := range l.springs {
+			s := &l.springs[si]
+			f, ok := l.springForce(s, k, rest)
+			if !ok {
+				continue
+			}
+			a, b := l.index[s.A], l.index[s.B]
+			a.force = a.force.Add(f)
+			b.force = b.force.Sub(f)
+		}
+		return
+	}
+	if l.adjDirty || len(l.adj) != len(l.bodies) {
+		l.buildAdjacency()
+	}
+	l.forBodies(func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b := l.bodies[i]
+			f := b.force
+			for _, e := range l.adj[i] {
+				si := e
+				if si < 0 {
+					si = -si
+				}
+				sf, ok := l.springForce(&l.springs[si-1], k, rest)
+				if !ok {
+					continue
+				}
+				if e > 0 {
+					f = f.Add(sf)
+				} else {
+					f = f.Sub(sf)
+				}
+			}
+			b.force = f
+		}
+	})
 }
 
 func (l *Layout) integrate() float64 {

@@ -6,22 +6,50 @@ import "math"
 // aggregate charge at their centre of charge, turning the O(n²) all-pairs
 // repulsion into O(n log n) [Barnes & Hut 1986], which is what lets the
 // layout scale to thousands of nodes.
+//
+// The tree lives in a flat arena (a []quadNode slab addressed by index,
+// reused across steps) instead of individually heap-allocated nodes: the
+// interactive hot path rebuilds the tree every Step, and the arena turns
+// ~2n allocations per step into zero once the slab has grown to its
+// steady-state size. Child quadrants are allocated four at a time, so a
+// node's children occupy indices children..children+3. Traversal is
+// iterative over an explicit stack (one reusable stack per worker), which
+// both avoids recursion overhead and lets the force pass run on several
+// goroutines without any shared mutable state.
+
+const (
+	// maxQuadDepth bounds subdivision so coincident bodies cannot recurse
+	// forever; a node at the limit keeps its bodies aggregated.
+	maxQuadDepth = 64
+	// noNode marks an absent body or child-block index.
+	noNode = int32(-1)
+)
 
 type quadNode struct {
 	// Square region [x, x+size) × [y, y+size).
 	x, y, size float64
 
-	charge   float64 // total charge of contained bodies
-	cx, cy   float64 // centre of charge
-	body     *Body   // non-nil for leaf with exactly one body
-	children *[4]*quadNode
-	count    int
+	charge float64 // total charge of contained bodies
+	cx, cy float64 // centre of charge
+	body   int32   // body index for a leaf with exactly one body, else noNode
+	// children is the arena index of the first of four consecutive child
+	// nodes (quadrant k at children+k), or noNode for a leaf.
+	children int32
+	count    int32
 }
 
-// buildQuadtree constructs the tree over the current bodies.
-func buildQuadtree(bodies []*Body) *quadNode {
+// quadArena is the reusable slab the tree is built into. The zero value is
+// ready to use.
+type quadArena struct {
+	nodes []quadNode
+}
+
+// build constructs the tree over the bodies, reusing the slab from the
+// previous step, and returns the root index (noNode for no bodies).
+func (a *quadArena) build(bodies []*Body) int32 {
+	a.nodes = a.nodes[:0]
 	if len(bodies) == 0 {
-		return nil
+		return noNode
 	}
 	minX, minY := bodies[0].Pos.X, bodies[0].Pos.Y
 	maxX, maxY := minX, minY
@@ -47,127 +75,164 @@ func buildQuadtree(bodies []*Body) *quadNode {
 		size = 1
 	}
 	size *= 1.0001 // keep the max coordinate strictly inside
-	root := &quadNode{x: minX, y: minY, size: size}
-	for _, b := range bodies {
-		root.insert(b, 0)
+	root := a.alloc(minX, minY, size)
+	for i := range bodies {
+		a.insert(root, bodies, int32(i), 0)
 	}
 	return root
 }
 
-const maxQuadDepth = 64
+// alloc appends one node. The returned index stays valid across later
+// appends; interior pointers do not, so every code path re-derives
+// &a.nodes[i] after any possible growth.
+func (a *quadArena) alloc(x, y, size float64) int32 {
+	a.nodes = append(a.nodes, quadNode{x: x, y: y, size: size, body: noNode, children: noNode})
+	return int32(len(a.nodes) - 1)
+}
 
-func (q *quadNode) insert(b *Body, depth int) {
-	// Update aggregate charge and centre of charge.
+// allocChildren appends the four quadrants of node n as one consecutive
+// block and returns the index of the first.
+func (a *quadArena) allocChildren(n int32) int32 {
+	nd := a.nodes[n]
+	half := nd.size / 2
+	first := a.alloc(nd.x, nd.y, half)
+	a.alloc(nd.x+half, nd.y, half)
+	a.alloc(nd.x, nd.y+half, half)
+	a.alloc(nd.x+half, nd.y+half, half)
+	return first
+}
+
+// childFor returns the child of n covering p (the quadrants are laid out
+// row-major: -x-y, +x-y, -x+y, +x+y).
+func (a *quadArena) childFor(n int32, p Point) int32 {
+	nd := &a.nodes[n]
+	half := nd.size / 2
+	idx := int32(0)
+	if p.X >= nd.x+half {
+		idx++
+	}
+	if p.Y >= nd.y+half {
+		idx += 2
+	}
+	return nd.children + idx
+}
+
+// insert descends from node n adding body bi, updating every aggregate on
+// the path. Iterative along the main descent; pushing a resident body down
+// on subdivision recurses (bounded by maxQuadDepth).
+func (a *quadArena) insert(n int32, bodies []*Body, bi int32, depth int) {
+	b := bodies[bi]
 	c := b.Charge
 	if c <= 0 {
 		c = 1
 	}
-	total := q.charge + c
-	q.cx = (q.cx*q.charge + b.Pos.X*c) / total
-	q.cy = (q.cy*q.charge + b.Pos.Y*c) / total
-	q.charge = total
-	q.count++
+	for {
+		nd := &a.nodes[n]
+		// Update aggregate charge and centre of charge.
+		total := nd.charge + c
+		nd.cx = (nd.cx*nd.charge + b.Pos.X*c) / total
+		nd.cy = (nd.cy*nd.charge + b.Pos.Y*c) / total
+		nd.charge = total
+		nd.count++
 
-	if q.count == 1 {
-		q.body = b
-		return
-	}
-	if q.children == nil {
-		q.children = &[4]*quadNode{}
-		// Push the resident body down, unless we hit the depth limit
-		// (coincident bodies): then the node simply stays aggregated.
-		if q.body != nil && depth < maxQuadDepth {
-			old := q.body
-			q.body = nil
-			q.childFor(old.Pos).insertShallow(old, depth+1)
+		if nd.count == 1 {
+			nd.body = bi
+			return
 		}
-	}
-	if depth < maxQuadDepth {
-		q.childFor(b.Pos).insertShallow(b, depth+1)
-	}
-}
-
-// insertShallow inserts into a child subtree (recursing through insert).
-func (q *quadNode) insertShallow(b *Body, depth int) { q.insert(b, depth) }
-
-func (q *quadNode) childFor(p Point) *quadNode {
-	half := q.size / 2
-	ix, iy := 0, 0
-	x, y := q.x, q.y
-	if p.X >= q.x+half {
-		ix = 1
-		x += half
-	}
-	if p.Y >= q.y+half {
-		iy = 1
-		y += half
-	}
-	idx := iy*2 + ix
-	if q.children[idx] == nil {
-		q.children[idx] = &quadNode{x: x, y: y, size: half}
-	}
-	return q.children[idx]
-}
-
-// forceOn accumulates the Barnes-Hut approximated repulsion on body b.
-func (q *quadNode) forceOn(b *Body, theta, chargeK float64, out *Point) {
-	if q == nil || q.count == 0 {
-		return
-	}
-	if q.body == b && q.count == 1 {
-		return
-	}
-	dx := b.Pos.X - q.cx
-	dy := b.Pos.Y - q.cy
-	dist := dx*dx + dy*dy
-	// Opening criterion: size/dist < theta, or the cell is a single body.
-	if q.body != nil || q.children == nil || q.size*q.size < theta*theta*dist {
-		if dist < 1e-6 {
-			// Coincident with the cell's centre: nudge deterministically.
-			h := fnv64(b.ID)
-			dx = float64(h%1000)/1000 - 0.5
-			dy = float64((h/1000)%1000)/1000 - 0.5
-			dist = dx*dx + dy*dy
+		if depth >= maxQuadDepth {
+			// Coincident pile-up: the node stays aggregated.
+			return
 		}
-		d := math.Sqrt(dist)
-		bc := b.Charge
-		if bc <= 0 {
-			bc = 1
-		}
-		// Exclude b's own contribution when it is inside this aggregate.
-		charge := q.charge
-		if q.contains(b.Pos) {
-			charge -= bc
-			if charge <= 0 {
-				return
+		if nd.children == noNode {
+			ci := a.allocChildren(n)
+			nd = &a.nodes[n] // re-derive: allocChildren may have grown the slab
+			nd.children = ci
+			// Push the resident body down.
+			if nd.body != noNode {
+				old := nd.body
+				nd.body = noNode
+				a.insert(a.childFor(n, bodies[old].Pos), bodies, old, depth+1)
 			}
 		}
-		mag := chargeK * bc * charge / dist
-		out.X += dx / d * mag
-		out.Y += dy / d * mag
-		return
-	}
-	for _, c := range q.children {
-		c.forceOn(b, theta, chargeK, out)
+		n = a.childFor(n, b.Pos)
+		depth++
 	}
 }
 
-func (q *quadNode) contains(p Point) bool {
-	return p.X >= q.x && p.X < q.x+q.size && p.Y >= q.y && p.Y < q.y+q.size
+// forceOn accumulates the Barnes-Hut approximated repulsion on body bi by
+// an iterative traversal from root, using (and returning, possibly grown)
+// the caller's stack. Children are pushed in reverse so quadrants are
+// visited in 0..3 order — the accumulation order is a fixed function of
+// the tree, independent of how bodies are sharded across workers, which
+// is what keeps parallel runs bit-for-bit equal to serial ones.
+func (a *quadArena) forceOn(root int32, bodies []*Body, bi int32, theta, chargeK float64, stack []int32) (Point, []int32) {
+	var out Point
+	b := bodies[bi]
+	bc := b.Charge
+	if bc <= 0 {
+		bc = 1
+	}
+	stack = append(stack[:0], root)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := &a.nodes[n]
+		if nd.count == 0 {
+			continue
+		}
+		if nd.body == bi && nd.count == 1 {
+			continue
+		}
+		dx := b.Pos.X - nd.cx
+		dy := b.Pos.Y - nd.cy
+		dist := dx*dx + dy*dy
+		// Opening criterion: size/dist < theta, or the cell holds a single
+		// body (or a coincident pile at the depth limit).
+		if nd.body != noNode || nd.children == noNode || nd.size*nd.size < theta*theta*dist {
+			if dist < 1e-6 {
+				// Coincident with the cell's centre: nudge deterministically.
+				h := fnv64(b.ID)
+				dx = float64(h%1000)/1000 - 0.5
+				dy = float64((h/1000)%1000)/1000 - 0.5
+				dist = dx*dx + dy*dy
+			}
+			d := math.Sqrt(dist)
+			// Exclude b's own contribution when it is inside this aggregate.
+			charge := nd.charge
+			if b.Pos.X >= nd.x && b.Pos.X < nd.x+nd.size && b.Pos.Y >= nd.y && b.Pos.Y < nd.y+nd.size {
+				charge -= bc
+				if charge <= 0 {
+					continue
+				}
+			}
+			mag := chargeK * bc * charge / dist
+			out.X += dx / d * mag
+			out.Y += dy / d * mag
+			continue
+		}
+		stack = append(stack, nd.children+3, nd.children+2, nd.children+1, nd.children)
+	}
+	return out, stack
 }
 
 func (l *Layout) repelBarnesHut() {
-	root := buildQuadtree(l.bodies)
-	if root == nil {
+	root := l.arena.build(l.bodies)
+	if root == noNode {
 		return
 	}
 	theta := l.params.Theta
 	if theta <= 0 {
 		theta = 0.7
 	}
-	for _, b := range l.bodies {
-		var f Point
-		root.forceOn(b, theta, l.params.Charge, &f)
-		b.force = b.force.Add(f)
-	}
+	chargeK := l.params.Charge
+	l.forBodies(func(w, lo, hi int) {
+		stack := l.stacks[w]
+		for i := lo; i < hi; i++ {
+			b := l.bodies[i]
+			var f Point
+			f, stack = l.arena.forceOn(root, l.bodies, int32(i), theta, chargeK, stack)
+			b.force = b.force.Add(f)
+		}
+		l.stacks[w] = stack // keep the grown capacity for the next step
+	})
 }

@@ -400,7 +400,7 @@ func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	if p.Damping < 0 || p.Damping >= 1 || p.Charge < 0 || p.Spring < 0 {
+	if p.Damping < 0 || p.Damping >= 1 || p.Charge < 0 || p.Spring < 0 || p.Parallelism < 0 {
 		writeErr(w, fmt.Errorf("invalid parameters"))
 		return
 	}

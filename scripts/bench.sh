@@ -1,0 +1,45 @@
+#!/bin/sh
+# bench.sh — run the layout/aggregation benchmark suite and record the
+# results as BENCH_layout.json (name, ns/op, allocs/op, bytes/op), the
+# perf trajectory future PRs compare against.
+#
+# Usage:
+#   scripts/bench.sh [benchtime] [pattern]
+#
+#   benchtime  go test -benchtime value (default 1x: one iteration per
+#              benchmark, a smoke run; use e.g. 2s for stable numbers)
+#   pattern    -bench regexp (default: layout + aggregation hot paths)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-1x}"
+PATTERN="${2:-BenchmarkLayout|BenchmarkAggregateDisaggregate|BenchmarkAblationTheta}"
+OUT="BENCH_layout.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "running benchmarks (-benchtime=$BENCHTIME, -bench='$PATTERN') ..." >&2
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
+
+# Benchmark lines:
+#   BenchmarkFoo/n=1024/p=4-8   123   456789 ns/op   10 B/op   2 allocs/op
+awk '
+BEGIN { print "{"; printf "  \"benchmarks\": [\n"; first = 1 }
+/^Benchmark/ && /ns\/op/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = "null"; allocs = "null"
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs
+}
+END { printf "\n  ]\n}\n" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)" >&2
