@@ -234,6 +234,74 @@ func BenchmarkFig9Animation(b *testing.B) {
 	}
 }
 
+// BenchmarkSliceScrub measures the Eq. 1 hot loop of interactive
+// time-slice scrubbing: the slice sweeps back and forth over the window
+// at the site scale of the 2170-host Grid'5000 trace, and the visual
+// graph is rebuilt every frame (aggregation + mapping + layout sync).
+// The 64 scrub positions repeat, so this is the repeated-slice workload
+// the aggregation index and memoized member lists target.
+func BenchmarkSliceScrub(b *testing.B) {
+	v, err := core.NewView(gridTrace(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := v.SetLevel(1); err != nil {
+		b.Fatal(err)
+	}
+	_, end := v.Trace().Window()
+	width := end / 8
+	step := end / 128
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pos := float64(i%64) * step
+		if err := v.SetTimeSlice(pos, pos+width); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := v.Graph(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVizgraphBuild measures one full visual-graph build at the
+// finest scale: every host and link of the Grid'5000 trace is its own
+// node. This is the worst-case frame the interactivity claim rests on.
+// "cold" evaluates a never-seen slice every iteration (the aggregation
+// caches never hit); "revisit" cycles 4 slices with the per-view build
+// cache, the steady state of interactive scrubbing.
+func BenchmarkVizgraphBuild(b *testing.B) {
+	tr := gridTrace(b)
+	ag, err := aggregation.NewAggregator(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cut := aggregation.NewLeafCut(ag.Tree())
+	m := vizgraph.DefaultMapping()
+	_, end := tr.Window()
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// A strictly new End each iteration defeats every result cache.
+			slice := aggregation.TimeSlice{Start: 0, End: end * float64(i+1) / float64(b.N+i+1)}
+			if _, err := vizgraph.Build(ag, cut, m, slice); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("revisit", func(b *testing.B) {
+		cache := &vizgraph.BuildCache{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			slice := aggregation.TimeSlice{Start: 0, End: end * float64(1+i%4) / 4}
+			if _, err := vizgraph.BuildOpts(ag, cut, m, slice, vizgraph.Options{Cache: cache}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // buildLayout creates an n-body tree-shaped layout for the scalability
 // series.
 func buildLayout(b *testing.B, n int) *layout.Layout {

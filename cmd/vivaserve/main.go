@@ -24,7 +24,7 @@ func main() {
 	addr := flag.String("addr", ":8844", "listen address")
 	level := flag.Int("level", -1, "initial aggregation depth (-1: leaves)")
 	edges := flag.String("edges", "", "connection configuration file for traces without topology edges")
-	parallel := flag.Int("parallel", 0, "layout worker goroutines (0: GOMAXPROCS, 1: serial; same output either way)")
+	parallel := flag.Int("parallel", 0, "worker goroutines for the layout step and the aggregation graph build (0: GOMAXPROCS, 1: serial; same output either way)")
 	flag.Parse()
 
 	if *tracePath == "" {

@@ -1,0 +1,169 @@
+package aggregation
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"viva/internal/trace"
+)
+
+// TestSummariseMedianMatchesSort is the quickselect-vs-sort property: the
+// median is a pure order statistic, so it must equal the sorted
+// reference exactly, and Summarise must leave its input untouched.
+func TestSummariseMedianMatchesSort(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := rr.Intn(200)
+		values := make([]float64, n)
+		for i := range values {
+			// Quantised values make ties common — the hard case for
+			// selection code.
+			values[i] = float64(rr.Intn(40)-20) / 4
+		}
+		input := append([]float64(nil), values...)
+		st := Summarise(values)
+		for i := range values {
+			if values[i] != input[i] {
+				t.Log("Summarise modified its input")
+				return false
+			}
+		}
+		if n == 0 {
+			return st.Median == 0
+		}
+		sorted := append([]float64(nil), values...)
+		sort.Float64s(sorted)
+		want := sorted[n/2]
+		if n%2 == 0 {
+			want = (sorted[n/2-1] + sorted[n/2]) / 2
+		}
+		if st.Median != want {
+			t.Logf("Median(%v) = %g, want %g", values, st.Median, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAggregatorStatsCache pins the per-slice result cache: repeated
+// queries hit it, moving the slice flushes it, timeline mutations reach
+// through it (the per-timeline index self-invalidates), and Invalidate
+// flushes the member lists after a brand-new metric appears.
+func TestAggregatorStatsCache(t *testing.T) {
+	tr := sampleTrace(t)
+	ag, err := NewAggregator(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := TimeSlice{0, 10}
+	first, err := ag.Stats("grid", trace.TypeHost, trace.MetricPower, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ag.Stats("grid", trace.TypeHost, trace.MetricPower, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Fatalf("repeated query differs: %+v vs %+v", first, again)
+	}
+
+	// Timeline mutation: a never-queried slice computes fresh; the
+	// already-cached slice serves the stale aggregate until Invalidate
+	// (the documented frozen-trace contract).
+	if err := tr.Set(5, "h1", trace.MetricPower, 500); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ag.Stats("grid", trace.TypeHost, trace.MetricPower, TimeSlice{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "fresh slice after timeline mutation", st.Sum, 500+200+300)
+	stale, err := ag.Stats("grid", trace.TypeHost, trace.MetricPower, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale != first {
+		t.Fatalf("cached slice recomputed without Invalidate: %+v vs %+v", stale, first)
+	}
+	ag.Invalidate()
+	st, err = ag.Stats("grid", trace.TypeHost, trace.MetricPower, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "cached slice after Invalidate", st.Sum, (100*5+500*5)/10.0+200+300)
+
+	// A metric the resource never carried needs Invalidate: the memoized
+	// member list for (grid, host, usage) was resolved as empty.
+	if st, _ := ag.Stats("grid", trace.TypeHost, trace.MetricUsage, s1); st.Count != 0 {
+		t.Fatalf("usage Count before tracing = %d, want 0", st.Count)
+	}
+	if err := tr.Set(0, "h1", trace.MetricUsage, 42); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := ag.Stats("grid", trace.TypeHost, trace.MetricUsage, s1); st.Count != 0 {
+		t.Fatalf("stale member list should still be served, got Count %d", st.Count)
+	}
+	ag.Invalidate()
+	st, err = ag.Stats("grid", trace.TypeHost, trace.MetricUsage, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != 1 || st.Sum != 42 {
+		t.Fatalf("after Invalidate: Count %d Sum %g, want 1 and 42", st.Count, st.Sum)
+	}
+}
+
+// TestAggregatorConcurrentQueries hammers one aggregator from many
+// goroutines mixing groups and slices; under -race this pins the lock
+// discipline of the member, count, type and stats caches.
+func TestAggregatorConcurrentQueries(t *testing.T) {
+	tr := sampleTrace(t)
+	ag, err := NewAggregator(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := []string{"grid", "site1", "c1", "c2"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				group := groups[(g+i)%len(groups)]
+				s := TimeSlice{0, float64(1 + i%10)}
+				if _, err := ag.Stats(group, trace.TypeHost, trace.MetricPower, s); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := ag.TypeCount(group, trace.TypeHost); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := ag.TypesUnder(group); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := ag.MaxMemberRatio(group, trace.TypeHost, trace.MetricPower, trace.MetricPower, s); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Sanity: after the storm the caches still answer correctly.
+	st, err := ag.Stats("grid", trace.TypeHost, trace.MetricPower, TimeSlice{0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "post-storm sum", st.Sum, 600)
+}

@@ -3,6 +3,7 @@ package aggregation
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"viva/internal/trace"
 )
@@ -17,13 +18,35 @@ type Cut struct {
 	active map[string]bool
 	// leafOwner caches each leaf's active ancestor, rebuilt lazily.
 	leafOwner map[string]string
+	// activeOrder caches Active() in declaration order, rebuilt lazily.
+	activeOrder []string
+	// gen identifies the cut's current state; callers use it as a cache
+	// key for anything derived from the cut.
+	gen uint64
+}
+
+// cutGen issues globally unique cut generations, so a generation seen on
+// one Cut instance can never collide with another instance's (a view
+// swaps whole cuts on level jumps).
+var cutGen atomic.Uint64
+
+// Generation returns an identifier for the cut's current state: unique
+// across cut instances and changed by every successful Aggregate or
+// Disaggregate — the cache key for cut-derived results.
+func (c *Cut) Generation() uint64 { return c.gen }
+
+// bump invalidates the lazily derived state after a cut mutation.
+func (c *Cut) bump() {
+	c.gen = cutGen.Add(1)
+	c.leafOwner = nil
+	c.activeOrder = nil
 }
 
 // NewLeafCut returns the finest cut: every atomic entity is its own
 // group. Behavioural children of entities (processes under a host) never
 // appear in cuts.
 func NewLeafCut(t *Tree) *Cut {
-	c := &Cut{tree: t, active: make(map[string]bool)}
+	c := &Cut{tree: t, active: make(map[string]bool), gen: cutGen.Add(1)}
 	var walk func(name string)
 	walk = func(name string) {
 		n := t.Node(name)
@@ -46,7 +69,7 @@ func NewLeafCut(t *Tree) *Cut {
 // themselves. Depth 0 aggregates everything into the roots; passing
 // MaxDepth (or more) yields the leaf cut.
 func NewLevelCut(t *Tree, depth int) *Cut {
-	c := &Cut{tree: t, active: make(map[string]bool)}
+	c := &Cut{tree: t, active: make(map[string]bool), gen: cutGen.Add(1)}
 	var walk func(name string)
 	walk = func(name string) {
 		n := t.Node(name)
@@ -64,15 +87,37 @@ func NewLevelCut(t *Tree, depth int) *Cut {
 	return c
 }
 
-// Active returns the active node names in declaration order.
+// Active returns the active node names in declaration order. The result
+// is a fresh copy; the per-frame hot path uses Groups.
 func (c *Cut) Active() []string {
-	var out []string
-	for _, name := range c.tree.order {
-		if c.active[name] {
-			out = append(out, name)
+	groups := c.Groups()
+	out := make([]string, len(groups))
+	copy(out, groups)
+	return out
+}
+
+// Groups returns the active node names in declaration order, memoized
+// until the cut changes. The returned slice is shared: callers must not
+// modify it.
+func (c *Cut) Groups() []string {
+	if c.activeOrder == nil {
+		c.activeOrder = make([]string, 0, len(c.active))
+		for _, name := range c.tree.order {
+			if c.active[name] {
+				c.activeOrder = append(c.activeOrder, name)
+			}
 		}
 	}
-	return out
+	return c.activeOrder
+}
+
+// OwnerIndex returns the memoized map from every atomic entity to its
+// active group (Owner for the whole tree at once). The returned map is
+// shared: callers must not modify it. Interior nodes are not keys; use
+// Owner for them.
+func (c *Cut) OwnerIndex() map[string]string {
+	c.ensureOwners()
+	return c.leafOwner
 }
 
 // IsActive reports whether a node is part of the cut.
@@ -96,7 +141,7 @@ func (c *Cut) Aggregate(name string) error {
 	// Every leaf under name must currently be owned by a group strictly
 	// below name; otherwise aggregating name would swallow a sibling group.
 	c.ensureOwners()
-	leaves, err := c.tree.LeavesUnder(name)
+	leaves, err := c.tree.leavesUnder(name)
 	if err != nil {
 		return err
 	}
@@ -119,7 +164,7 @@ func (c *Cut) Aggregate(name string) error {
 		delete(c.active, g)
 	}
 	c.active[name] = true
-	c.leafOwner = nil
+	c.bump()
 	return nil
 }
 
@@ -140,7 +185,7 @@ func (c *Cut) Disaggregate(name string) error {
 	for _, child := range n.Children {
 		c.active[child] = true
 	}
-	c.leafOwner = nil
+	c.bump()
 	return nil
 }
 
@@ -165,8 +210,8 @@ func (c *Cut) Owner(name string) string {
 // declaration order.
 func (c *Cut) entityLeaves() []string {
 	var out []string
-	for _, root := range c.tree.Roots() {
-		leaves, err := c.tree.LeavesUnder(root)
+	for _, root := range c.tree.roots {
+		leaves, err := c.tree.leavesUnder(root)
 		if err == nil {
 			out = append(out, leaves...)
 		}

@@ -2,7 +2,7 @@ package aggregation
 
 import (
 	"math"
-	"sort"
+	"sync"
 
 	"viva/internal/trace"
 )
@@ -20,7 +20,10 @@ func (s TimeSlice) Width() float64 { return s.End - s.Start }
 func (s TimeSlice) Valid() bool { return s.End > s.Start }
 
 // TimeAggregate is the per-resource temporal half of Equation 1: the
-// integral and the time average of ρ(r, ·) over the slice.
+// integral and the time average of ρ(r, ·) over the slice. Degenerate or
+// inverted slices yield (0, 0) — unlike Timeline.Mean, a slice is a
+// selection the analyst makes, and an invalid selection aggregates to
+// nothing.
 func TimeAggregate(tl *trace.Timeline, s TimeSlice) (integral, mean float64) {
 	integral = tl.Integrate(s.Start, s.End)
 	if s.Valid() {
@@ -43,12 +46,62 @@ type Stats struct {
 	Median   float64
 }
 
+// memberKey identifies one memoized member list: the entities of one
+// resource type under one group that carry one metric.
+type memberKey struct {
+	group, typ, metric string
+}
+
+// memberList is the resolved membership of a (group, type, metric)
+// query: entity names in declaration order and their timelines, so the
+// per-frame hot loop touches neither the hierarchy nor the trace's
+// variable map.
+type memberList struct {
+	names []string
+	tls   []*trace.Timeline
+}
+
 // Aggregator evaluates F_{Γ,Δ} over a trace: spatial groups from the
-// trace hierarchy × a time slice.
+// trace hierarchy × a time slice. It is the aggregation query engine of
+// the interactive loop, so it memoizes aggressively:
+//
+//   - member lists per (group, type, metric) are resolved once per tree
+//     and reused, replacing the per-call hierarchy walks;
+//   - Stats results are cached per (members, slice), so repeated queries
+//     within one frame (Utilization asks for the same Stats twice; the
+//     vizgraph build asks per segment category) and revisited slices
+//     (scrubbing sweeps back and forth over the same positions) are
+//     O(1). The cache is bounded: it is flushed wholesale when it
+//     outgrows maxStatsEntries.
+//
+// Queries are safe for concurrent use (the parallel vizgraph build
+// shards groups across goroutines). The caches assume the trace is
+// frozen while the aggregator serves queries, which is the library's
+// model (simulators hand the trace over when done). If the trace does
+// change afterwards — new values on an existing timeline, or a brand-new
+// (resource, metric) pair — call Invalidate to flush cached results;
+// newly declared resources need a new Aggregator (the hierarchy itself
+// is built once).
 type Aggregator struct {
 	tr   *trace.Trace
 	tree *Tree
+
+	mu      sync.RWMutex
+	members map[memberKey]*memberList
+	counts  map[[2]string]int // (group, type) → entity count
+	stats   map[statsKey]Stats
 }
+
+// statsKey identifies one cached Stats result: a member list evaluated
+// over one time slice.
+type statsKey struct {
+	mk    memberKey
+	slice TimeSlice
+}
+
+// maxStatsEntries bounds the stats cache; one entry is ~100 bytes, so the
+// worst case is a few MB before a wholesale flush.
+const maxStatsEntries = 1 << 16
 
 // NewAggregator builds an aggregator for a trace.
 func NewAggregator(tr *trace.Trace) (*Aggregator, error) {
@@ -56,7 +109,13 @@ func NewAggregator(tr *trace.Trace) (*Aggregator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Aggregator{tr: tr, tree: tree}, nil
+	return &Aggregator{
+		tr:      tr,
+		tree:    tree,
+		members: make(map[memberKey]*memberList),
+		counts:  make(map[[2]string]int),
+		stats:   make(map[statsKey]Stats),
+	}, nil
 }
 
 // Tree returns the hierarchy the aggregator works on.
@@ -65,17 +124,36 @@ func (ag *Aggregator) Tree() *Tree { return ag.tree }
 // Trace returns the underlying trace.
 func (ag *Aggregator) Trace() *trace.Trace { return ag.tr }
 
-// LeafMeans returns, for every atomic entity of the given resource type
-// under group that carries the metric, the entity name and its time-mean
-// over the slice. typ == "" accepts every type. Order follows declaration
-// order.
-func (ag *Aggregator) LeafMeans(group, typ, metric string, s TimeSlice) ([]string, []float64, error) {
-	leaves, err := ag.tree.LeavesUnder(group)
-	if err != nil {
-		return nil, nil, err
+// Invalidate drops every memoized member list and cached result. Call it
+// after mutating the trace in any way: new values on an existing
+// timeline (previously cached slices would otherwise keep serving the
+// old aggregate) or a metric a resource did not previously carry. Newly
+// declared resources need a new Aggregator (the hierarchy itself is
+// built once).
+func (ag *Aggregator) Invalidate() {
+	ag.mu.Lock()
+	ag.members = make(map[memberKey]*memberList)
+	ag.counts = make(map[[2]string]int)
+	ag.stats = make(map[statsKey]Stats)
+	ag.mu.Unlock()
+	ag.tree.invalidate()
+}
+
+// resolveMembers returns the memoized member list of a (group, type,
+// metric) query, computing it on first use.
+func (ag *Aggregator) resolveMembers(group, typ, metric string) (*memberList, error) {
+	key := memberKey{group, typ, metric}
+	ag.mu.RLock()
+	ml := ag.members[key]
+	ag.mu.RUnlock()
+	if ml != nil {
+		return ml, nil
 	}
-	var names []string
-	var means []float64
+	leaves, err := ag.tree.leavesUnder(group)
+	if err != nil {
+		return nil, err
+	}
+	ml = &memberList{}
 	for _, l := range leaves {
 		if typ != "" && ag.tree.Node(l).Type != typ {
 			continue
@@ -83,22 +161,109 @@ func (ag *Aggregator) LeafMeans(group, typ, metric string, s TimeSlice) ([]strin
 		if !ag.tr.HasMetric(l, metric) {
 			continue
 		}
-		_, mean := TimeAggregate(ag.tr.Timeline(l, metric), s)
-		names = append(names, l)
-		means = append(means, mean)
+		ml.names = append(ml.names, l)
+		ml.tls = append(ml.tls, ag.tr.Timeline(l, metric))
+	}
+	ag.mu.Lock()
+	// A racing goroutine may have resolved the same key; keep one copy so
+	// every caller shares the same backing arrays.
+	if prev := ag.members[key]; prev != nil {
+		ml = prev
+	} else {
+		ag.members[key] = ml
+	}
+	ag.mu.Unlock()
+	return ml, nil
+}
+
+// TypesUnder returns the sorted leaf resource types under a group,
+// memoized. The returned slice is shared: callers must not modify it.
+func (ag *Aggregator) TypesUnder(group string) ([]string, error) {
+	return ag.tree.typesUnder(group)
+}
+
+// TypeCount returns how many atomic entities of the given type live under
+// the group (regardless of which metrics they carry), memoized.
+func (ag *Aggregator) TypeCount(group, typ string) (int, error) {
+	key := [2]string{group, typ}
+	ag.mu.RLock()
+	n, ok := ag.counts[key]
+	ag.mu.RUnlock()
+	if ok {
+		return n, nil
+	}
+	leaves, err := ag.tree.leavesUnder(group)
+	if err != nil {
+		return 0, err
+	}
+	n = 0
+	for _, l := range leaves {
+		if ag.tree.Node(l).Type == typ {
+			n++
+		}
+	}
+	ag.mu.Lock()
+	ag.counts[key] = n
+	ag.mu.Unlock()
+	return n, nil
+}
+
+// LeafMeans returns, for every atomic entity of the given resource type
+// under group that carries the metric, the entity name and its time-mean
+// over the slice. typ == "" accepts every type. Order follows declaration
+// order. The returned slices are fresh copies the caller may keep.
+func (ag *Aggregator) LeafMeans(group, typ, metric string, s TimeSlice) ([]string, []float64, error) {
+	ml, err := ag.resolveMembers(group, typ, metric)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(ml.names) == 0 {
+		return nil, nil, nil
+	}
+	names := make([]string, len(ml.names))
+	copy(names, ml.names)
+	means := make([]float64, len(ml.tls))
+	for i, tl := range ml.tls {
+		_, means[i] = TimeAggregate(tl, s)
 	}
 	return names, means, nil
 }
 
 // Stats computes the spatial aggregation of a metric over a group for the
 // slice. Only leaves of the given type carrying the metric participate
-// (typ == "" accepts all).
+// (typ == "" accepts all). Results are cached per (query, slice), so a
+// repeated query — within one frame or when scrubbing revisits a slice —
+// costs two map operations.
 func (ag *Aggregator) Stats(group, typ, metric string, s TimeSlice) (Stats, error) {
-	_, means, err := ag.LeafMeans(group, typ, metric, s)
+	key := statsKey{memberKey{group, typ, metric}, s}
+	ag.mu.RLock()
+	st, ok := ag.stats[key]
+	ag.mu.RUnlock()
+	if ok {
+		return st, nil
+	}
+
+	ml, err := ag.resolveMembers(group, typ, metric)
 	if err != nil {
 		return Stats{}, err
 	}
-	return Summarise(means), nil
+	buf := scratchPool.Get().(*[]float64)
+	means := (*buf)[:0]
+	for _, tl := range ml.tls {
+		_, mean := TimeAggregate(tl, s)
+		means = append(means, mean)
+	}
+	st = Summarise(means)
+	*buf = means
+	scratchPool.Put(buf)
+
+	ag.mu.Lock()
+	if len(ag.stats) >= maxStatsEntries {
+		clear(ag.stats) // wholesale flush keeps the cache bounded
+	}
+	ag.stats[key] = st
+	ag.mu.Unlock()
+	return st, nil
 }
 
 // Sum is shorthand for Stats(...).Sum: the group's aggregated value.
@@ -130,7 +295,49 @@ func (ag *Aggregator) Utilization(group, typ, usageMetric, capacityMetric string
 	return u, nil
 }
 
-// Summarise computes the Stats of a sample of member values.
+// MaxMemberRatio returns the highest member utilization (fill-metric mean
+// over size-metric mean) inside a group — the saturation-preserving
+// aggregation of vizgraph's FillMaxRatio. Members carrying only one of
+// the two metrics contribute nothing.
+func (ag *Aggregator) MaxMemberRatio(group, typ, fillMetric, sizeMetric string, s TimeSlice) (float64, error) {
+	sizes, err := ag.resolveMembers(group, typ, sizeMetric)
+	if err != nil {
+		return 0, err
+	}
+	fills, err := ag.resolveMembers(group, typ, fillMetric)
+	if err != nil {
+		return 0, err
+	}
+	// Both lists follow declaration order, so a merge walk pairs them
+	// without any allocation.
+	var max float64
+	j := 0
+	for i, name := range sizes.names {
+		for j < len(fills.names) && fills.names[j] != name {
+			j++
+		}
+		if j == len(fills.names) {
+			break
+		}
+		_, sMean := TimeAggregate(sizes.tls[i], s)
+		if sMean <= 0 {
+			continue
+		}
+		_, fMean := TimeAggregate(fills.tls[j], s)
+		if u := fMean / sMean; u > max {
+			max = u
+		}
+	}
+	return max, nil
+}
+
+// scratchPool recycles the float buffers of Stats and Summarise so the
+// per-frame aggregation loop stays allocation-free.
+var scratchPool = sync.Pool{New: func() any { s := make([]float64, 0, 64); return &s }}
+
+// Summarise computes the Stats of a sample of member values. The input is
+// not modified; the median comes from an expected-O(n) quickselect over a
+// pooled scratch copy instead of a full sort.
 func Summarise(values []float64) Stats {
 	st := Stats{Count: len(values)}
 	if st.Count == 0 {
@@ -154,14 +361,82 @@ func Summarise(values []float64) Stats {
 		ss += d * d
 	}
 	st.Variance = ss / float64(st.Count)
-	sorted := make([]float64, len(values))
-	copy(sorted, values)
-	sort.Float64s(sorted)
-	mid := len(sorted) / 2
-	if len(sorted)%2 == 1 {
-		st.Median = sorted[mid]
-	} else {
-		st.Median = (sorted[mid-1] + sorted[mid]) / 2
-	}
+
+	buf := scratchPool.Get().(*[]float64)
+	scratch := append((*buf)[:0], values...)
+	st.Median = medianSelect(scratch)
+	*buf = scratch
+	scratchPool.Put(buf)
 	return st
+}
+
+// medianSelect returns the median of s, reordering s in place.
+func medianSelect(s []float64) float64 {
+	mid := len(s) / 2
+	quickselect(s, mid)
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	// Even count: the lower middle is the maximum of the left partition
+	// (quickselect left everything <= s[mid] before index mid).
+	lo := s[0]
+	for _, v := range s[1:mid] {
+		if v > lo {
+			lo = v
+		}
+	}
+	return (lo + s[mid]) / 2
+}
+
+// quickselect partially orders s so that s[k] holds the k-th smallest
+// value, everything before it is <= s[k], and everything after is >=
+// s[k]. Median-of-three pivoting keeps adversarial inputs rare; the
+// selected value is a pure order statistic, so the result does not
+// depend on pivot choices.
+func quickselect(s []float64, k int) {
+	lo, hi := 0, len(s)-1
+	for hi > lo {
+		if hi-lo < 12 {
+			// Insertion sort for small ranges.
+			for i := lo + 1; i <= hi; i++ {
+				for j := i; j > lo && s[j] < s[j-1]; j-- {
+					s[j], s[j-1] = s[j-1], s[j]
+				}
+			}
+			return
+		}
+		// Median-of-three pivot, parked at lo.
+		mid := lo + (hi-lo)/2
+		if s[mid] < s[lo] {
+			s[mid], s[lo] = s[lo], s[mid]
+		}
+		if s[hi] < s[lo] {
+			s[hi], s[lo] = s[lo], s[hi]
+		}
+		if s[hi] < s[mid] {
+			s[hi], s[mid] = s[mid], s[hi]
+		}
+		s[lo], s[mid] = s[mid], s[lo]
+		pivot := s[lo]
+		i, j := lo, hi+1
+		for {
+			for i++; i <= hi && s[i] < pivot; i++ {
+			}
+			for j--; s[j] > pivot; j-- {
+			}
+			if i >= j {
+				break
+			}
+			s[i], s[j] = s[j], s[i]
+		}
+		s[lo], s[j] = s[j], s[lo]
+		switch {
+		case j == k:
+			return
+		case j > k:
+			hi = j - 1
+		default:
+			lo = j + 1
+		}
+	}
 }

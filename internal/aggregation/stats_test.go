@@ -1,6 +1,7 @@
 package aggregation
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -194,6 +195,26 @@ func TestCutConservation(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)
+	}
+}
+
+// BenchmarkSummarise measures the statistical summary of one aggregated
+// node at a realistic member count (a full Grid'5000 site is ~500 hosts).
+// The quickselect median on a pooled scratch buffer keeps the hot loop
+// allocation-free; the seed copied and fully sorted the sample per call.
+func BenchmarkSummarise(b *testing.B) {
+	for _, n := range []int{16, 512, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			values := make([]float64, n)
+			for i := range values {
+				values[i] = float64((i * 2654435761) % 1000)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Summarise(values)
+			}
+		})
 	}
 }
 

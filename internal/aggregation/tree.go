@@ -3,17 +3,24 @@ package aggregation
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"viva/internal/trace"
 )
 
 // Tree is the containment hierarchy of a trace's resources, indexed for
-// aggregation queries.
+// aggregation queries. The structure is immutable after BuildTree; the
+// per-node leaf and type resolutions are memoized under a lock, so
+// concurrent aggregation queries share one walk per node.
 type Tree struct {
 	nodes    map[string]*TreeNode
 	order    []string // declaration order
 	roots    []string
 	maxDepth int
+
+	mu     sync.RWMutex
+	leaves map[string][]string // node → entities under it, shared slices
+	types  map[string][]string // node → sorted leaf types, shared slices
 }
 
 // TreeNode is one resource in the hierarchy.
@@ -105,10 +112,29 @@ func (t *Tree) Names() []string {
 
 // LeavesUnder returns the atomic entities contained in (or equal to) the
 // named node, in declaration order. Descent stops at entities: a host's
-// behavioural children (processes) are not returned.
+// behavioural children (processes) are not returned. The result is a
+// fresh copy; hot paths inside the package use the memoized leavesUnder.
 func (t *Tree) LeavesUnder(name string) ([]string, error) {
-	n, ok := t.nodes[name]
-	if !ok {
+	cached, err := t.leavesUnder(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(cached))
+	copy(out, cached)
+	return out, nil
+}
+
+// leavesUnder is LeavesUnder without the defensive copy: the returned
+// slice is memoized and shared, and must not be modified.
+func (t *Tree) leavesUnder(name string) ([]string, error) {
+	t.mu.RLock()
+	cached, ok := t.leaves[name]
+	t.mu.RUnlock()
+	if ok {
+		return cached, nil
+	}
+	n, found := t.nodes[name]
+	if !found {
 		return nil, fmt.Errorf("aggregation: unknown node %q", name)
 	}
 	var out []string
@@ -123,7 +149,25 @@ func (t *Tree) LeavesUnder(name string) ([]string, error) {
 		}
 	}
 	walk(n)
+	t.mu.Lock()
+	if t.leaves == nil {
+		t.leaves = make(map[string][]string)
+	}
+	if prev, ok := t.leaves[name]; ok {
+		out = prev // racing resolver won; share its slice
+	} else {
+		t.leaves[name] = out
+	}
+	t.mu.Unlock()
 	return out, nil
+}
+
+// invalidate drops the memoized resolutions (Aggregator.Invalidate).
+func (t *Tree) invalidate() {
+	t.mu.Lock()
+	t.leaves = nil
+	t.types = nil
+	t.mu.Unlock()
 }
 
 // IsAncestorOrSelf reports whether a is b or one of b's ancestors.
@@ -153,8 +197,27 @@ func (t *Tree) AncestorAtDepth(name string, depth int) (string, error) {
 }
 
 // TypesUnder returns the sorted set of leaf resource types under a node.
+// The result is a fresh copy; hot paths use the memoized typesUnder.
 func (t *Tree) TypesUnder(name string) ([]string, error) {
-	leaves, err := t.LeavesUnder(name)
+	cached, err := t.typesUnder(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(cached))
+	copy(out, cached)
+	return out, nil
+}
+
+// typesUnder is TypesUnder without the defensive copy: the returned
+// slice is memoized and shared, and must not be modified.
+func (t *Tree) typesUnder(name string) ([]string, error) {
+	t.mu.RLock()
+	cached, ok := t.types[name]
+	t.mu.RUnlock()
+	if ok {
+		return cached, nil
+	}
+	leaves, err := t.leavesUnder(name)
 	if err != nil {
 		return nil, err
 	}
@@ -167,5 +230,15 @@ func (t *Tree) TypesUnder(name string) ([]string, error) {
 		out = append(out, typ)
 	}
 	sort.Strings(out)
+	t.mu.Lock()
+	if t.types == nil {
+		t.types = make(map[string][]string)
+	}
+	if prev, ok := t.types[name]; ok {
+		out = prev
+	} else {
+		t.types[name] = out
+	}
+	t.mu.Unlock()
 	return out, nil
 }

@@ -42,7 +42,24 @@ type View struct {
 
 	graph *vizgraph.Graph
 	dirty bool
+	par    int    // worker bound shared by layout steps and graph builds
+	gen    uint64 // input-mutation counter, see Generation
+	bcache vizgraph.BuildCache
+
+	// lastSprings is the spring set of the last sync, so unchanged
+	// topologies (every slice scrub) skip the layout's adjacency rebuild.
+	lastSprings []layout.Spring
 }
+
+// Generation counts the mutations of the view's inputs: time slice, cut,
+// visual mapping, layout parameters and drags. Layout *stepping* is
+// deliberately not counted — a server can pair Generation with the
+// layout's settledness to decide whether a cached rendering of the view
+// is still current.
+func (v *View) Generation() uint64 { return v.gen }
+
+// touch records an input mutation.
+func (v *View) touch() { v.gen++ }
 
 // NewView opens a view on a trace: leaf-level cut, default mapping, the
 // whole observation window as time slice, Barnes-Hut layout.
@@ -100,6 +117,7 @@ func (v *View) SetTimeSlice(start, end float64) error {
 	}
 	v.slice = aggregation.TimeSlice{Start: start, End: end}
 	v.dirty = true
+	v.touch()
 	return nil
 }
 
@@ -109,11 +127,12 @@ func (v *View) ShiftTimeSlice(dt float64) {
 	v.slice.Start += dt
 	v.slice.End += dt
 	v.dirty = true
+	v.touch()
 }
 
 // SetAlgorithm selects the repulsion engine (Naive for small graphs,
 // BarnesHut — the default — for large ones).
-func (v *View) SetAlgorithm(a layout.Algorithm) { v.algo = a }
+func (v *View) SetAlgorithm(a layout.Algorithm) { v.algo = a; v.touch() }
 
 // Graph returns the visual graph for the current cut, slice and mapping,
 // rebuilding it if anything changed and synchronising the layout bodies.
@@ -121,7 +140,7 @@ func (v *View) Graph() (*vizgraph.Graph, error) {
 	if !v.dirty {
 		return v.graph, nil
 	}
-	g, err := vizgraph.Build(v.ag, v.cut, v.mapping, v.slice)
+	g, err := vizgraph.BuildOpts(v.ag, v.cut, v.mapping, v.slice, vizgraph.Options{Parallelism: v.par, Cache: &v.bcache})
 	if err != nil {
 		return nil, err
 	}
@@ -209,9 +228,28 @@ func (v *View) syncLayout(g *vizgraph.Graph) {
 			Strength: 1 + math.Log10(float64(e.Multiplicity)),
 		})
 	}
+	// Slice scrubbing changes sizes and fills but not the topology: when
+	// the spring set is unchanged, skip SetSprings and its adjacency
+	// rebuild in the layout.
+	if springsEqual(springs, v.lastSprings) {
+		return
+	}
 	if err := v.lay.SetSprings(springs); err != nil {
 		panic(err) // nodes and edges come from the same graph
 	}
+	v.lastSprings = springs
+}
+
+func springsEqual(a, b []layout.Spring) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func mustBody(b *layout.Body, err error) {
@@ -236,6 +274,7 @@ func (v *View) Aggregate(group string) error {
 		return err
 	}
 	v.dirty = true
+	v.touch()
 	_, err := v.Graph()
 	return err
 }
@@ -246,6 +285,7 @@ func (v *View) Disaggregate(group string) error {
 		return err
 	}
 	v.dirty = true
+	v.touch()
 	_, err := v.Graph()
 	return err
 }
@@ -258,6 +298,7 @@ func (v *View) SetLevel(depth int) error {
 	}
 	v.cut = aggregation.NewLevelCut(v.ag.Tree(), depth)
 	v.dirty = true
+	v.touch()
 	_, err := v.Graph()
 	return err
 }
@@ -268,6 +309,7 @@ func (v *View) SetScale(typ string, factor float64) error {
 		return fmt.Errorf("core: no mapped type %q or invalid factor %g", typ, factor)
 	}
 	v.dirty = true
+	v.touch()
 	_, err := v.Graph()
 	return err
 }
@@ -283,6 +325,7 @@ func (v *View) SetSegments(typ string, categories []string) error {
 	}
 	tm.SegmentCategories = append([]string(nil), categories...)
 	v.dirty = true
+	v.touch()
 	_, err := v.Graph()
 	return err
 }
@@ -298,20 +341,24 @@ func (v *View) SetFillAggregation(typ string, mode vizgraph.FillAggregation) err
 	}
 	tm.FillAggregation = mode
 	v.dirty = true
+	v.touch()
 	_, err := v.Graph()
 	return err
 }
 
 // SetLayoutParams replaces the charge/spring/damping sliders.
-func (v *View) SetLayoutParams(p layout.Params) { v.lay.SetParams(p) }
+func (v *View) SetLayoutParams(p layout.Params) { v.lay.SetParams(p); v.touch() }
 
-// SetParallelism bounds the worker goroutines the layout step may use
-// (0 = GOMAXPROCS, 1 = serial). Positions are bit-for-bit identical at
-// every setting, so this is purely a throughput knob.
+// SetParallelism bounds the worker goroutines both the layout step and
+// the graph build may use (0 = GOMAXPROCS, 1 = serial). Results are
+// bit-for-bit identical at every setting, so this is purely a throughput
+// knob.
 func (v *View) SetParallelism(n int) {
 	p := v.lay.Params()
 	p.Parallelism = n
 	v.lay.SetParams(p)
+	v.par = n
+	v.touch()
 }
 
 // StepLayout advances the force simulation n steps and returns the last
@@ -341,6 +388,7 @@ func (v *View) MoveNode(id string, x, y float64, pin bool) error {
 	} else {
 		v.lay.Move(id, layout.Point{X: x, Y: y})
 	}
+	v.touch()
 	return nil
 }
 
@@ -349,5 +397,6 @@ func (v *View) UnpinNode(id string) error {
 	if !v.lay.Unpin(id) {
 		return fmt.Errorf("core: unknown node %q", id)
 	}
+	v.touch()
 	return nil
 }

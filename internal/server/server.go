@@ -8,6 +8,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"net/http"
 	"sync"
@@ -23,7 +24,19 @@ import (
 type Server struct {
 	mu   sync.Mutex
 	view *core.View
+
+	// Graph-payload cache: once the layout has settled, successive polls
+	// re-serve the encoded /api/graph bytes until a mutation bumps the
+	// view's generation, so an idle client costs neither an aggregation
+	// pass nor an encode. The ETag lets the client skip the body too.
+	cache    []byte
+	cacheGen uint64
+	cacheTag string
 }
+
+// settleEps is the per-step displacement below which the layout counts as
+// settled and the encoded payload becomes cacheable.
+const settleEps = 0.05
 
 // New creates a server over a view.
 func New(view *core.View) *Server { return &Server{view: view} }
@@ -122,6 +135,19 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.cache != nil && s.cacheGen == s.view.Generation() {
+		// Nothing changed since a settled rendering was cached: serve it
+		// without stepping, rebuilding or re-encoding anything.
+		w.Header().Set("ETag", s.cacheTag)
+		if r.Header.Get("If-None-Match") == s.cacheTag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(s.cache)
+		return
+	}
+	gen := s.view.Generation()
 	g, err := s.view.Graph()
 	if err != nil {
 		writeErr(w, err)
@@ -153,7 +179,22 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	for _, e := range g.Edges {
 		out.Edges = append(out.Edges, edgeJSON{From: e.From, To: e.To, Mult: e.Multiplicity})
 	}
-	writeJSON(w, http.StatusOK, out)
+	body, err := json.Marshal(out)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if moving < settleEps {
+		// The picture is stationary: cache the bytes for this generation.
+		h := fnv.New64a()
+		_, _ = h.Write(body)
+		s.cache = body
+		s.cacheGen = gen
+		s.cacheTag = fmt.Sprintf("%q", fmt.Sprintf("%016x", h.Sum64()))
+		w.Header().Set("ETag", s.cacheTag)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
 }
 
 type metaJSON struct {

@@ -310,3 +310,64 @@ func TestMalformedJSONRejected(t *testing.T) {
 		}
 	}
 }
+
+// TestGraphCacheETag pins the settled-payload cache: with the layout held
+// still (steps=0), two polls return identical bytes and the same ETag,
+// If-None-Match collapses to 304, and any mutation invalidates the cache.
+func TestGraphCacheETag(t *testing.T) {
+	srv := testServer(t)
+	url := srv.URL + "/api/graph?steps=0"
+
+	get := func(etag string) (int, string, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if etag != "" {
+			req.Header.Set("If-None-Match", etag)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, resp.Header.Get("ETag"), body
+	}
+
+	code1, tag1, body1 := get("")
+	if code1 != http.StatusOK || tag1 == "" {
+		t.Fatalf("first poll: code %d, etag %q", code1, tag1)
+	}
+	code2, tag2, body2 := get("")
+	if code2 != http.StatusOK || tag2 != tag1 || !bytes.Equal(body1, body2) {
+		t.Fatalf("second poll not served from cache: code %d, etag %q vs %q", code2, tag2, tag1)
+	}
+	if code3, _, _ := get(tag1); code3 != http.StatusNotModified {
+		t.Fatalf("If-None-Match poll: code %d, want 304", code3)
+	}
+
+	// A mutation must invalidate the cached payload.
+	resp, err := http.Post(srv.URL+"/api/shift", "application/json", strings.NewReader(`{"dt":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	code4, _, body4 := get(tag1)
+	if code4 != http.StatusOK {
+		t.Fatalf("poll after shift: code %d, want 200", code4)
+	}
+	var g struct {
+		Slice [2]float64 `json:"slice"`
+	}
+	if err := json.Unmarshal(body4, &g); err != nil {
+		t.Fatal(err)
+	}
+	if g.Slice[0] != 1 {
+		t.Errorf("slice after shift = %v, want start 1", g.Slice)
+	}
+}

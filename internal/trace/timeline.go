@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Point is one sample of a piecewise-constant timeline: the value V holds
@@ -18,8 +19,35 @@ type Point struct {
 // the time of an existing point overwrites it.
 //
 // The zero value is an empty timeline, identically 0, ready to use.
+//
+// # Window semantics
+//
+// Every windowed query (Integrate, Mean, Max, Min) shares one convention:
+// an inverted window (b < a) is empty and yields 0; the degenerate window
+// [a, a] contains the single instant a, so Mean, Max and Min return the
+// instantaneous value At(a) while Integrate returns 0 (zero measure).
+//
+// # Concurrency
+//
+// A timeline is safe for concurrent reads (the aggregation index is
+// published atomically) but, like the Trace that owns it, not for
+// mutation concurrent with anything else.
 type Timeline struct {
 	points []Point
+	// idx is the lazily built aggregation index; nil after any mutation.
+	idx atomic.Pointer[timelineIndex]
+}
+
+// index returns the aggregation index, building it if a mutation (or
+// nothing yet) invalidated it. Concurrent readers may build redundantly;
+// the results are identical, so the last store wins harmlessly.
+func (tl *Timeline) index() *timelineIndex {
+	if ix := tl.idx.Load(); ix != nil {
+		return ix
+	}
+	ix := buildTimelineIndex(tl.points)
+	tl.idx.Store(ix)
+	return ix
 }
 
 // NewTimeline returns a timeline initialised with the given points, which
@@ -37,8 +65,10 @@ func NewTimeline(points ...Point) *Timeline {
 
 // Set records that the value is v from time t on. Out-of-order sets are
 // accepted (they insert in the middle), but the common fast path is
-// monotonically non-decreasing time.
+// monotonically non-decreasing time. Any mutation invalidates the
+// aggregation index; the next windowed query rebuilds it.
 func (tl *Timeline) Set(t, v float64) {
+	tl.idx.Store(nil)
 	n := len(tl.points)
 	if n == 0 || t > tl.points[n-1].T {
 		tl.points = append(tl.points, Point{t, v})
@@ -76,8 +106,78 @@ func (tl *Timeline) At(t float64) float64 {
 }
 
 // Integrate returns ∫_a^b tl(t) dt computed exactly (the timeline is a
-// step function). It returns 0 when b <= a.
+// step function). An empty or degenerate window (b <= a) has measure 0.
+// The query costs two binary searches over the cumulative-integral index,
+// O(log n), independent of how many points the window spans.
 func (tl *Timeline) Integrate(a, b float64) float64 {
+	if b <= a || len(tl.points) == 0 {
+		return 0
+	}
+	ix := tl.index()
+	return ix.integrateTo(tl.points, b) - ix.integrateTo(tl.points, a)
+}
+
+// Mean returns the time average of the timeline over [a, b]; it is the
+// per-resource temporal aggregation of Equation 1 for a slice of width
+// Δ = b − a. An inverted window (b < a) is empty and yields 0; the
+// degenerate window [a, a] yields the instantaneous value At(a), the
+// limit of the mean as the width goes to 0.
+func (tl *Timeline) Mean(a, b float64) float64 {
+	if b < a {
+		return 0
+	}
+	if b == a {
+		return tl.At(a)
+	}
+	return tl.Integrate(a, b) / (b - a)
+}
+
+// Max returns the maximum value the timeline takes anywhere in [a, b],
+// including the implicit 0 before the first point when the window starts
+// there. An inverted window (b < a) is empty and yields 0; [a, a] yields
+// At(a). The extrema come from the segment index in O(log n).
+func (tl *Timeline) Max(a, b float64) float64 {
+	if b < a {
+		return 0
+	}
+	v := tl.At(a)
+	l, r := tl.windowPoints(a, b)
+	if l < r {
+		if mm := tl.index().extrema(l, r); mm.max > v {
+			v = mm.max
+		}
+	}
+	return v
+}
+
+// Min returns the minimum value the timeline takes anywhere in [a, b],
+// with the same window semantics as Max.
+func (tl *Timeline) Min(a, b float64) float64 {
+	if b < a {
+		return 0
+	}
+	v := tl.At(a)
+	l, r := tl.windowPoints(a, b)
+	if l < r {
+		if mm := tl.index().extrema(l, r); mm.min < v {
+			v = mm.min
+		}
+	}
+	return v
+}
+
+// windowPoints returns the half-open index range [l, r) of points with
+// a < T <= b — the points whose values appear inside the window beyond
+// the initial segment At(a) covers.
+func (tl *Timeline) windowPoints(a, b float64) (l, r int) {
+	l = sort.Search(len(tl.points), func(i int) bool { return tl.points[i].T > a })
+	r = sort.Search(len(tl.points), func(i int) bool { return tl.points[i].T > b })
+	return l, r
+}
+
+// integrateScan is the direct O(n) reference implementation of Integrate,
+// kept for the indexed-vs-scan equivalence property tests.
+func (tl *Timeline) integrateScan(a, b float64) float64 {
 	if b <= a || len(tl.points) == 0 {
 		return 0
 	}
@@ -98,18 +198,8 @@ func (tl *Timeline) Integrate(a, b float64) float64 {
 	return sum
 }
 
-// Mean returns the time average of the timeline over [a, b]; it is the
-// per-resource temporal aggregation of Equation 1 for a slice of width
-// Δ = b − a. Mean returns 0 when b <= a.
-func (tl *Timeline) Mean(a, b float64) float64 {
-	if b <= a {
-		return 0
-	}
-	return tl.Integrate(a, b) / (b - a)
-}
-
-// Max returns the maximum value the timeline takes anywhere in [a, b].
-func (tl *Timeline) Max(a, b float64) float64 {
+// maxScan and minScan are the direct O(n) references for Max and Min.
+func (tl *Timeline) maxScan(a, b float64) float64 {
 	if b < a {
 		return 0
 	}
@@ -123,8 +213,7 @@ func (tl *Timeline) Max(a, b float64) float64 {
 	return max
 }
 
-// Min returns the minimum value the timeline takes anywhere in [a, b].
-func (tl *Timeline) Min(a, b float64) float64 {
+func (tl *Timeline) minScan(a, b float64) float64 {
 	if b < a {
 		return 0
 	}
@@ -174,6 +263,7 @@ func (tl *Timeline) Clone() *Timeline {
 // the function the timeline denotes while shrinking storage. It returns
 // the receiver for chaining.
 func (tl *Timeline) Compact() *Timeline {
+	tl.idx.Store(nil)
 	if len(tl.points) == 0 {
 		return tl
 	}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"math"
+	"sort"
+)
+
+// timelineIndex is the aggregation index of a Timeline: a cumulative
+// integral (prefix sums of the step function) and a min/max segment tree
+// over the point values. It turns Integrate/Mean into two binary searches
+// plus O(1) arithmetic and Max/Min into an O(log n) range-extrema query,
+// instead of the O(n) scans the interactive time-slice scrubbing loop
+// cannot afford.
+//
+// An index is immutable once built; Timeline builds it lazily on the
+// first indexed query and drops it on every mutation (Set/Add/Compact).
+// Because the stored pointer is atomic, concurrent *readers* of an
+// unmutated timeline are safe: they may race to build the index, but
+// every build produces identical contents, so whichever store wins is
+// correct. Mutation remains single-writer, like the rest of Trace.
+type timelineIndex struct {
+	// prefix[i] = ∫ from points[0].T to points[i].T of the step function;
+	// prefix[0] = 0.
+	prefix []float64
+	// seg is an iterative segment tree of n leaves over the point values:
+	// seg[n+i] holds points[i].V, seg[j] = combine(seg[2j], seg[2j+1]).
+	seg []minmax
+	n   int
+}
+
+type minmax struct{ min, max float64 }
+
+func buildTimelineIndex(points []Point) *timelineIndex {
+	n := len(points)
+	ix := &timelineIndex{n: n}
+	if n == 0 {
+		return ix
+	}
+	ix.prefix = make([]float64, n)
+	for i := 1; i < n; i++ {
+		ix.prefix[i] = ix.prefix[i-1] + points[i-1].V*(points[i].T-points[i-1].T)
+	}
+	ix.seg = make([]minmax, 2*n)
+	for i, p := range points {
+		ix.seg[n+i] = minmax{p.V, p.V}
+	}
+	for i := n - 1; i >= 1; i-- {
+		l, r := ix.seg[2*i], ix.seg[2*i+1]
+		ix.seg[i] = minmax{math.Min(l.min, r.min), math.Max(l.max, r.max)}
+	}
+	return ix
+}
+
+// integrateTo returns ∫ from −∞ to t (the timeline is 0 before its first
+// point, so this is the cumulative integral at t).
+func (ix *timelineIndex) integrateTo(points []Point, t float64) float64 {
+	i := sort.Search(len(points), func(i int) bool { return points[i].T > t })
+	if i == 0 {
+		return 0
+	}
+	return ix.prefix[i-1] + points[i-1].V*(t-points[i-1].T)
+}
+
+// extrema returns the min and max point value over the index range [l, r).
+// The range must be non-empty.
+func (ix *timelineIndex) extrema(l, r int) minmax {
+	out := minmax{math.Inf(1), math.Inf(-1)}
+	for l, r = l+ix.n, r+ix.n; l < r; l, r = l>>1, r>>1 {
+		if l&1 == 1 {
+			if ix.seg[l].min < out.min {
+				out.min = ix.seg[l].min
+			}
+			if ix.seg[l].max > out.max {
+				out.max = ix.seg[l].max
+			}
+			l++
+		}
+		if r&1 == 1 {
+			r--
+			if ix.seg[r].min < out.min {
+				out.min = ix.seg[r].min
+			}
+			if ix.seg[r].max > out.max {
+				out.max = ix.seg[r].max
+			}
+		}
+	}
+	return out
+}

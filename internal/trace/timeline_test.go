@@ -107,8 +107,11 @@ func TestTimelineMean(t *testing.T) {
 	if got := tl.Mean(0, 20); !almostEqual(got, 15) {
 		t.Errorf("Mean(0,20) = %g, want 15", got)
 	}
-	if got := tl.Mean(0, 0); got != 0 {
-		t.Errorf("Mean on empty interval = %g, want 0", got)
+	if got := tl.Mean(0, 0); got != 10 {
+		t.Errorf("Mean on degenerate interval = %g, want At(0) = 10", got)
+	}
+	if got := tl.Mean(5, 0); got != 0 {
+		t.Errorf("Mean on inverted interval = %g, want 0", got)
 	}
 }
 

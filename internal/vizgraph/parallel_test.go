@@ -1,0 +1,134 @@
+package vizgraph
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"viva/internal/aggregation"
+	"viva/internal/trace"
+)
+
+// clusterTrace builds a platform large enough to engage the parallel
+// build path: clusters × hosts-per-cluster leaf groups with deterministic
+// but varied metric values, per-category usage variants, and a chain of
+// links so edge projection has work to do.
+func clusterTrace(t testing.TB, clusters, hostsPer int) *trace.Trace {
+	t.Helper()
+	tr := trace.New()
+	set := func(tt float64, r, m string, v float64) {
+		if err := tr.Set(tt, r, m, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.MustDeclareResource("grid", trace.TypeGroup, "")
+	prevHost := ""
+	for c := 0; c < clusters; c++ {
+		cl := fmt.Sprintf("cluster%02d", c)
+		tr.MustDeclareResource(cl, trace.TypeGroup, "grid")
+		for h := 0; h < hostsPer; h++ {
+			host := fmt.Sprintf("%s.host%03d", cl, h)
+			tr.MustDeclareResource(host, trace.TypeHost, cl)
+			i := c*hostsPer + h
+			power := float64(50 + (i*37)%100)
+			set(0, host, trace.MetricPower, power)
+			for k := 0; k < 6; k++ {
+				tt := float64(k) * 3.5
+				use := float64((i*13+k*29)%101) / 100 * power
+				set(tt, host, trace.MetricUsage, use)
+				set(tt, host, trace.MetricUsage+":app0", use*0.6)
+				set(tt, host, trace.MetricUsage+":app1", use*0.4)
+			}
+			if prevHost != "" {
+				link := fmt.Sprintf("link%04d", i)
+				tr.MustDeclareResource(link, trace.TypeLink, cl)
+				set(0, link, trace.MetricBandwidth, 1000+float64((i*7)%500))
+				set(0, link, trace.MetricTraffic, float64((i*11)%1000))
+				tr.MustDeclareEdge(prevHost, link)
+				tr.MustDeclareEdge(link, host)
+			}
+			prevHost = host
+		}
+	}
+	tr.SetEnd(21)
+	return tr
+}
+
+// encodeGraph serialises the deterministic parts of a graph for
+// byte-equality comparison.
+func encodeGraph(t *testing.T, g *Graph) []byte {
+	t.Helper()
+	b, err := json.Marshal(struct {
+		Nodes []*Node
+		Edges []Edge
+	}{g.Nodes, g.Edges})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestBuildParallelDeterminism pins the determinism contract: the graph is
+// byte-identical whether built serially, by 8 workers on a fresh
+// aggregator, or by 8 workers on a cache-warm aggregator.
+func TestBuildParallelDeterminism(t *testing.T) {
+	tr := clusterTrace(t, 4, 64)
+	m := DefaultMapping()
+	m.Types[0].SegmentCategories = []string{"app0", "app1"}
+	m.Types[1].FillAggregation = FillMaxRatio
+	slice := aggregation.TimeSlice{Start: 2, End: 17}
+
+	newCut := func() (*aggregation.Aggregator, *aggregation.Cut) {
+		ag, err := aggregation.NewAggregator(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ag, aggregation.NewLeafCut(ag.Tree())
+	}
+
+	ag1, cut1 := newCut()
+	serial, err := BuildOpts(ag1, cut1, m, slice, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := encodeGraph(t, serial)
+
+	ag8, cut8 := newCut()
+	cache := &BuildCache{}
+	for name, opts := range map[string]Options{
+		"parallel 8, cold caches": {Parallelism: 8},
+		"parallel 8, warm caches": {Parallelism: 8},
+		"auto":                    {},
+		"edge cache, first build": {Parallelism: 8, Cache: cache},
+		"edge cache, cached hit":  {Parallelism: 8, Cache: cache},
+	} {
+		g, err := BuildOpts(ag8, cut8, m, slice, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := encodeGraph(t, g); !bytes.Equal(got, want) {
+			t.Errorf("%s: graph differs from the serial build (%d vs %d bytes)", name, len(got), len(want))
+		}
+	}
+
+	if len(serial.Nodes) < 4*64 {
+		t.Fatalf("fixture too small to engage the parallel path: %d nodes", len(serial.Nodes))
+	}
+	// Also pin a coarser cut (interior groups mix types per node).
+	agA, _ := newCut()
+	cutA := aggregation.NewLevelCut(agA.Tree(), 1)
+	coarseSerial, err := BuildOpts(agA, cutA, m, slice, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agB, _ := newCut()
+	cutB := aggregation.NewLevelCut(agB.Tree(), 1)
+	coarsePar, err := BuildOpts(agB, cutB, m, slice, Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeGraph(t, coarseSerial), encodeGraph(t, coarsePar)) {
+		t.Error("coarse cut: parallel graph differs from the serial build")
+	}
+}

@@ -10,7 +10,9 @@ package vizgraph
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"viva/internal/aggregation"
 	"viva/internal/trace"
@@ -191,140 +193,221 @@ func (g *Graph) Node(id string) *Node { return g.index[id] }
 // NodeID builds the canonical node identifier of a (group, type) pair.
 func NodeID(group, typ string) string { return group + "/" + typ }
 
+// Options tunes the graph construction.
+type Options struct {
+	// Parallelism is the number of worker goroutines sharding the cut's
+	// groups: 0 picks GOMAXPROCS, 1 forces the serial path. It mirrors the
+	// layout engine's knob and shares its determinism contract: the output
+	// is byte-identical at any worker count, because each group's nodes are
+	// computed independently (a cut partitions the entities, so workers
+	// touch disjoint timelines) and reassembled in cut order.
+	Parallelism int
+	// Cache, when non-nil, carries slice-invariant intermediate results
+	// between successive builds of one view. Pass the same pointer on
+	// every frame; the cache checks its own validity (cut generation and
+	// drawn-type set), so any caller mistake costs recomputation, never
+	// wrong output.
+	Cache *BuildCache
+}
+
+// BuildCache holds the slice-invariant part of a build: the projected
+// edge bundles, which depend on the cut and the set of mapped types but
+// not on the time slice — so a scrubbing analyst pays the per-edge owner
+// resolution once per cut, not once per frame.
+type BuildCache struct {
+	valid   bool
+	gen     uint64
+	typeSig string
+	edges   []Edge
+}
+
+// typeSignature fingerprints the mapping's drawn-type set (which decides
+// node existence, hence edge endpoints).
+func typeSignature(m Mapping) string {
+	sig := ""
+	for _, tm := range m.Types {
+		sig += tm.Type + "\x00"
+	}
+	return sig
+}
+
+// parallelGrain is the minimum number of groups per worker; below it the
+// goroutine hand-off costs more than the aggregation it parallelises.
+const parallelGrain = 16
+
+// workerCount resolves Parallelism against the group count.
+func (o Options) workerCount(groups int) int {
+	w := o.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if max := groups / parallelGrain; w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // Build assembles the visual graph: for every active group of the cut and
 // every mapped resource type present in it, one node carrying the
 // aggregated metrics over the time slice; plus the projection of the base
-// topology edges onto those nodes.
+// topology edges onto those nodes. It is BuildOpts with default options
+// (parallel across GOMAXPROCS workers when the cut is large enough).
 func Build(ag *aggregation.Aggregator, cut *aggregation.Cut, m Mapping, slice aggregation.TimeSlice) (*Graph, error) {
+	return BuildOpts(ag, cut, m, slice, Options{})
+}
+
+// BuildOpts is Build with explicit options.
+func BuildOpts(ag *aggregation.Aggregator, cut *aggregation.Cut, m Mapping, slice aggregation.TimeSlice, opts Options) (*Graph, error) {
 	if m.MaxPixel <= 0 {
 		return nil, fmt.Errorf("vizgraph: mapping needs a positive MaxPixel")
 	}
 	g := &Graph{Slice: slice, index: make(map[string]*Node)}
-	tree := ag.Tree()
+	groups := cut.Groups()
 
-	for _, group := range cut.Active() {
-		types, err := tree.TypesUnder(group)
+	// Per-group result slots keep the output order equal to cut order
+	// whatever the worker count; the first error in group order wins.
+	perGroup := make([][]*Node, len(groups))
+	errs := make([]error, len(groups))
+	if w := opts.workerCount(len(groups)); w == 1 {
+		for gi, group := range groups {
+			perGroup[gi], errs[gi] = buildGroup(ag, group, m, slice)
+		}
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for k := 0; k < w; k++ {
+			lo, hi := k*len(groups)/w, (k+1)*len(groups)/w
+			go func(lo, hi int) {
+				defer wg.Done()
+				for gi := lo; gi < hi; gi++ {
+					perGroup[gi], errs[gi] = buildGroup(ag, groups[gi], m, slice)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	for gi, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		groupIsLeaf := tree.Node(group).IsEntity()
-		for _, typ := range types {
-			tm := m.TypeMapping(typ)
-			if tm == nil {
-				continue // unmapped types are not drawn
-			}
-			node := &Node{
-				ID:    NodeID(group, typ),
-				Group: group,
-				Type:  typ,
-				Shape: tm.Shape,
-				Color: tm.Color,
-			}
-			if groupIsLeaf {
-				node.Label = group
-			} else {
-				node.Label = fmt.Sprintf("%s[%s]", group, typ)
-			}
-			if tm.SizeMetric != "" {
-				st, err := ag.Stats(group, typ, tm.SizeMetric, slice)
-				if err != nil {
-					return nil, err
-				}
-				node.SizeStats = st
-				node.Value = st.Sum
-				node.Count = st.Count
-			}
-			if node.Count == 0 {
-				// Count leaves of the type even without the size metric
-				// (structural nodes).
-				leaves, err := tree.LeavesUnder(group)
-				if err != nil {
-					return nil, err
-				}
-				for _, l := range leaves {
-					if tree.Node(l).Type == typ {
-						node.Count++
-					}
-				}
-			}
-			if tm.FillMetric != "" && tm.SizeMetric != "" {
-				fillStats, err := ag.Stats(group, typ, tm.FillMetric, slice)
-				if err != nil {
-					return nil, err
-				}
-				node.FillStats = fillStats
-				if node.SizeStats.Sum > 0 {
-					switch tm.FillAggregation {
-					case FillMaxRatio:
-						u, err := maxMemberRatio(ag, group, typ, tm.FillMetric, tm.SizeMetric, slice)
-						if err != nil {
-							return nil, err
-						}
-						node.Fill = u
-					default:
-						node.Fill = fillStats.Sum / node.SizeStats.Sum
-					}
-					if node.Fill < 0 {
-						node.Fill = 0
-					}
-					if node.Fill > 1 {
-						node.Fill = 1
-					}
-					for i, cat := range tm.SegmentCategories {
-						st, err := ag.Stats(group, typ, tm.FillMetric+":"+cat, slice)
-						if err != nil {
-							return nil, err
-						}
-						if st.Count == 0 || st.Sum <= 0 {
-							continue
-						}
-						frac := st.Sum / node.SizeStats.Sum
-						if frac > 1 {
-							frac = 1
-						}
-						node.Segments = append(node.Segments, Segment{
-							Category: cat,
-							Fraction: frac,
-							Color:    segmentPalette[i%len(segmentPalette)],
-						})
-					}
-				}
-			}
+		for _, node := range perGroup[gi] {
 			g.Nodes = append(g.Nodes, node)
 			g.index[node.ID] = node
 		}
 	}
 
 	g.scaleSizes(m)
-	g.projectEdges(ag, cut)
+	if c := opts.Cache; c != nil && c.valid && c.gen == cut.Generation() && c.typeSig == typeSignature(m) {
+		g.Edges = append([]Edge(nil), c.edges...)
+	} else {
+		g.projectEdges(ag, cut)
+		if c != nil {
+			*c = BuildCache{
+				valid:   true,
+				gen:     cut.Generation(),
+				typeSig: typeSignature(m),
+				edges:   append([]Edge(nil), g.Edges...),
+			}
+		}
+	}
 	return g, nil
 }
 
-// maxMemberRatio returns the highest member utilization
-// (fill-mean / size-mean) inside a group.
-func maxMemberRatio(ag *aggregation.Aggregator, group, typ, fillMetric, sizeMetric string, slice aggregation.TimeSlice) (float64, error) {
-	sNames, sMeans, err := ag.LeafMeans(group, typ, sizeMetric, slice)
+// buildGroup assembles the nodes of one active group, one per mapped
+// resource type present under it. It only calls the aggregator's
+// concurrency-safe query methods, so group builds run in parallel.
+func buildGroup(ag *aggregation.Aggregator, group string, m Mapping, slice aggregation.TimeSlice) ([]*Node, error) {
+	tree := ag.Tree()
+	types, err := ag.TypesUnder(group)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	fNames, fMeans, err := ag.LeafMeans(group, typ, fillMetric, slice)
-	if err != nil {
-		return 0, err
-	}
-	fillOf := make(map[string]float64, len(fNames))
-	for i, n := range fNames {
-		fillOf[n] = fMeans[i]
-	}
-	var max float64
-	for i, n := range sNames {
-		if sMeans[i] <= 0 {
-			continue
+	groupIsLeaf := tree.Node(group).IsEntity()
+	var nodes []*Node
+	for _, typ := range types {
+		tm := m.TypeMapping(typ)
+		if tm == nil {
+			continue // unmapped types are not drawn
 		}
-		if u := fillOf[n] / sMeans[i]; u > max {
-			max = u
+		node := &Node{
+			ID:    NodeID(group, typ),
+			Group: group,
+			Type:  typ,
+			Shape: tm.Shape,
+			Color: tm.Color,
 		}
+		if groupIsLeaf {
+			node.Label = group
+		} else {
+			node.Label = fmt.Sprintf("%s[%s]", group, typ)
+		}
+		if tm.SizeMetric != "" {
+			st, err := ag.Stats(group, typ, tm.SizeMetric, slice)
+			if err != nil {
+				return nil, err
+			}
+			node.SizeStats = st
+			node.Value = st.Sum
+			node.Count = st.Count
+		}
+		if node.Count == 0 {
+			// Count leaves of the type even without the size metric
+			// (structural nodes).
+			n, err := ag.TypeCount(group, typ)
+			if err != nil {
+				return nil, err
+			}
+			node.Count = n
+		}
+		if tm.FillMetric != "" && tm.SizeMetric != "" {
+			fillStats, err := ag.Stats(group, typ, tm.FillMetric, slice)
+			if err != nil {
+				return nil, err
+			}
+			node.FillStats = fillStats
+			if node.SizeStats.Sum > 0 {
+				switch tm.FillAggregation {
+				case FillMaxRatio:
+					u, err := ag.MaxMemberRatio(group, typ, tm.FillMetric, tm.SizeMetric, slice)
+					if err != nil {
+						return nil, err
+					}
+					node.Fill = u
+				default:
+					node.Fill = fillStats.Sum / node.SizeStats.Sum
+				}
+				if node.Fill < 0 {
+					node.Fill = 0
+				}
+				if node.Fill > 1 {
+					node.Fill = 1
+				}
+				for i, cat := range tm.SegmentCategories {
+					st, err := ag.Stats(group, typ, tm.FillMetric+":"+cat, slice)
+					if err != nil {
+						return nil, err
+					}
+					if st.Count == 0 || st.Sum <= 0 {
+						continue
+					}
+					frac := st.Sum / node.SizeStats.Sum
+					if frac > 1 {
+						frac = 1
+					}
+					node.Segments = append(node.Segments, Segment{
+						Category: cat,
+						Fraction: frac,
+						Color:    segmentPalette[i%len(segmentPalette)],
+					})
+				}
+			}
+		}
+		nodes = append(nodes, node)
 	}
-	return max, nil
+	return nodes, nil
 }
 
 // scaleSizes implements the independent per-type automatic scaling: the
@@ -358,9 +441,18 @@ func (g *Graph) scaleSizes(m Mapping) {
 	}
 }
 
-// projectEdges maps the base topology edges onto (group, type) nodes.
+// projectEdges maps the base topology edges onto (group, type) nodes. The
+// memoized owner index replaces the per-endpoint ancestor walks; interior
+// endpoints (not in the index) fall back to the walking Owner.
 func (g *Graph) projectEdges(ag *aggregation.Aggregator, cut *aggregation.Cut) {
 	tree := ag.Tree()
+	owners := cut.OwnerIndex()
+	ownerOf := func(name string) string {
+		if o, ok := owners[name]; ok {
+			return o
+		}
+		return cut.Owner(name)
+	}
 	type key struct{ a, b string }
 	counts := make(map[key]int)
 	for _, e := range ag.Trace().Edges() {
@@ -368,8 +460,8 @@ func (g *Graph) projectEdges(ag *aggregation.Aggregator, cut *aggregation.Cut) {
 		if na == nil || nb == nil {
 			continue
 		}
-		ida := NodeID(cut.Owner(e.A), na.Type)
-		idb := NodeID(cut.Owner(e.B), nb.Type)
+		ida := NodeID(ownerOf(e.A), na.Type)
+		idb := NodeID(ownerOf(e.B), nb.Type)
 		if ida == idb {
 			continue
 		}

@@ -1,30 +1,29 @@
 #!/bin/sh
-# bench.sh — run the layout/aggregation benchmark suite and record the
-# results as BENCH_layout.json (name, ns/op, allocs/op, bytes/op), the
-# perf trajectory future PRs compare against.
+# bench.sh — run the layout and aggregation benchmark suites and record
+# the results as BENCH_layout.json and BENCH_aggregation.json (name,
+# ns/op, allocs/op, bytes/op), the perf trajectories future PRs compare
+# against.
 #
 # Usage:
 #   scripts/bench.sh [benchtime] [pattern]
 #
 #   benchtime  go test -benchtime value (default 1x: one iteration per
 #              benchmark, a smoke run; use e.g. 2s for stable numbers)
-#   pattern    -bench regexp (default: layout + aggregation hot paths)
+#   pattern    -bench regexp overriding BOTH suites' defaults (the output
+#              still lands in both files, filtered by where it ran)
 set -eu
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1x}"
-PATTERN="${2:-BenchmarkLayout|BenchmarkAggregateDisaggregate|BenchmarkAblationTheta}"
-OUT="BENCH_layout.json"
-RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+LAYOUT_PATTERN="${2:-BenchmarkLayout|BenchmarkAggregateDisaggregate|BenchmarkAblationTheta}"
+AGG_PATTERN="${2:-BenchmarkSliceScrub|BenchmarkVizgraphBuild|BenchmarkFig2TemporalAggregation|BenchmarkFig3SpatialAggregation|BenchmarkFig9Animation|BenchmarkSummarise}"
 
-echo "running benchmarks (-benchtime=$BENCHTIME, -bench='$PATTERN') ..." >&2
-go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
-
-# Benchmark lines:
+# to_json RAW OUT — convert `go test -bench` output lines like
 #   BenchmarkFoo/n=1024/p=4-8   123   456789 ns/op   10 B/op   2 allocs/op
-awk '
+# into the committed JSON trajectory format.
+to_json() {
+    awk '
 BEGIN { print "{"; printf "  \"benchmarks\": [\n"; first = 1 }
 /^Benchmark/ && /ns\/op/ {
     name = $1; sub(/-[0-9]+$/, "", name)
@@ -40,6 +39,17 @@ BEGIN { print "{"; printf "  \"benchmarks\": [\n"; first = 1 }
     printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs
 }
 END { printf "\n  ]\n}\n" }
-' "$RAW" > "$OUT"
+' "$1" > "$2"
+    echo "wrote $2 ($(grep -c '"name"' "$2") benchmarks)" >&2
+}
 
-echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)" >&2
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "running layout suite (-benchtime=$BENCHTIME, -bench='$LAYOUT_PATTERN') ..." >&2
+go test -run '^$' -bench "$LAYOUT_PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
+to_json "$RAW" BENCH_layout.json
+
+echo "running aggregation suite (-benchtime=$BENCHTIME, -bench='$AGG_PATTERN') ..." >&2
+go test -run '^$' -bench "$AGG_PATTERN" -benchmem -benchtime "$BENCHTIME" . ./internal/aggregation | tee "$RAW" >&2
+to_json "$RAW" BENCH_aggregation.json
