@@ -13,6 +13,7 @@ import (
 
 	"viva/internal/aggregation"
 	"viva/internal/core"
+	"viva/internal/fault"
 	"viva/internal/gantt"
 	"viva/internal/layout"
 	"viva/internal/masterworker"
@@ -588,4 +589,54 @@ func BenchmarkTraceRoundTrip(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEngineWithFaults measures what fault awareness costs the
+// engine's hot path. The healthy sub-benchmark is the exact Fig6
+// workload and must stay within noise of BenchmarkFig6NASDTSequential:
+// a simulation that injects nothing pays (next to) nothing. armed-idle
+// carries a schedule whose only outage fires long after the workload
+// finishes; churn rides out real host and link outages on the
+// fault-tolerant messaging path.
+func BenchmarkEngineWithFaults(b *testing.B) {
+	g := nasdt.MustBuild(nasdt.WH, 'A')
+	p := platform.TwoClusters()
+	hf := nasdt.SequentialHostfile(nasdt.ClusterHosts(p, "adonis", "griffon"), g.NumNodes())
+	run := func(b *testing.B, sched *fault.Schedule, cfg nasdt.Config) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e := sim.New(platform.TwoClusters(), nil)
+			if sched != nil {
+				if err := e.InjectFaults(sched); err != nil {
+					b.Fatal(err)
+				}
+			}
+			nasdt.Run(e, g, hf, cfg)
+			if err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("healthy", func(b *testing.B) { run(b, nil, nasdt.DefaultConfig()) })
+	b.Run("armed-idle", func(b *testing.B) {
+		sched := fault.MustSchedule(
+			fault.Event{Time: 1e6, Kind: fault.HostDown, Target: "adonis-1"},
+			fault.Event{Time: 1e6 + 1, Kind: fault.HostUp, Target: "adonis-1"},
+		)
+		run(b, sched, nasdt.DefaultConfig())
+	})
+	b.Run("churn", func(b *testing.B) {
+		var hosts, links []string
+		for _, h := range p.Hosts() {
+			hosts = append(hosts, h.Name)
+			links = append(links, p.HostLink(h.Name))
+		}
+		sched := fault.Churn(1, fault.ChurnConfig{
+			Hosts: hosts, Links: links,
+			HostChurn: 0.1, LinkChurn: 0.1, Horizon: 80, MeanDowntime: 8,
+		})
+		cfg := nasdt.DefaultConfig()
+		cfg.RecvTimeout = 5
+		run(b, sched, cfg)
+	})
 }

@@ -9,6 +9,12 @@
 // -states additionally records per-process behavioural states (compute,
 // send, recv, …) so the trace also feeds the Gantt timeline baseline
 // (viva -gantt).
+//
+// Faults can be injected into any scenario: -faults loads an explicit
+// schedule file (see internal/fault for the format), -churn generates a
+// seeded random host/link churn scenario (-churn-seed makes it
+// reproducible). The NAS-DT scenarios switch to their fault-tolerant
+// messaging path when faults are active, so they ride out the outages.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"fmt"
 	"os"
 
+	"viva/internal/fault"
 	"viva/internal/masterworker"
 	"viva/internal/nasdt"
 	"viva/internal/platform"
@@ -28,9 +35,13 @@ func main() {
 	out := flag.String("o", "trace.viva", "output trace file")
 	states := flag.Bool("states", false, "also record per-process behavioural states")
 	platformXML := flag.String("platform", "", "SimGrid platform XML (required by -scenario mw)")
+	faultsFile := flag.String("faults", "", "fault schedule file to inject into the run")
+	churn := flag.Float64("churn", 0, "fraction of hosts and links that fail at least once (0: no churn)")
+	churnSeed := flag.Int64("churn-seed", 1, "seed for -churn; the same seed always yields the same schedule")
 	flag.Parse()
 
-	tr, err := generate(*scenario, *states, *platformXML)
+	faults := faultFlags{file: *faultsFile, churn: *churn, seed: *churnSeed}
+	tr, err := generate(*scenario, *states, *platformXML, faults)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -50,10 +61,46 @@ func main() {
 		*scenario, len(tr.Resources()), tr.NumVariables(), start, end, *out)
 }
 
-func generate(scenario string, states bool, platformXML string) (*trace.Trace, error) {
+// faultFlags carries the fault-injection command line. inject resolves
+// it against a platform — an explicit schedule file wins over generated
+// churn — and arms the engine.
+type faultFlags struct {
+	file  string
+	churn float64
+	seed  int64
+}
+
+func (ff faultFlags) active() bool { return ff.file != "" || ff.churn > 0 }
+
+func (ff faultFlags) inject(e *sim.Engine, p *platform.Platform) error {
+	var sched *fault.Schedule
+	switch {
+	case ff.file != "":
+		var err error
+		sched, err = fault.ParseFile(ff.file)
+		if err != nil {
+			return err
+		}
+	case ff.churn > 0:
+		var hosts, links []string
+		for _, h := range p.Hosts() {
+			hosts = append(hosts, h.Name)
+			links = append(links, p.HostLink(h.Name))
+		}
+		sched = fault.Churn(ff.seed, fault.ChurnConfig{
+			Hosts: hosts, Links: links,
+			HostChurn: ff.churn, LinkChurn: ff.churn,
+		})
+	default:
+		return nil
+	}
+	return e.InjectFaults(sched)
+}
+
+func generate(scenario string, states bool, platformXML string, faults faultFlags) (*trace.Trace, error) {
 	switch scenario {
 	case "demo":
-		return demo(states)
+		return demo(states, faults)
 	case "mw":
 		// A generic master-worker run over a user-supplied SimGrid
 		// platform: the first host is the master, every host a worker.
@@ -73,6 +120,9 @@ func generate(scenario string, states bool, platformXML string) (*trace.Trace, e
 		e := sim.New(p, tr)
 		e.TraceCategories(true)
 		e.TraceStates(states)
+		if err := faults.inject(e, p); err != nil {
+			return nil, err
+		}
 		var hosts []string
 		for _, h := range p.Hosts() {
 			hosts = append(hosts, h.Name)
@@ -95,6 +145,9 @@ func generate(scenario string, states bool, platformXML string) (*trace.Trace, e
 		tr := trace.New()
 		e := sim.New(p, tr)
 		e.TraceStates(states)
+		if err := faults.inject(e, p); err != nil {
+			return nil, err
+		}
 		g := nasdt.MustBuild(nasdt.WH, 'A')
 		var hf []string
 		if scenario == "nasdt-seq" {
@@ -102,9 +155,18 @@ func generate(scenario string, states bool, platformXML string) (*trace.Trace, e
 		} else {
 			hf = nasdt.LocalityHostfile(g, p.HostsOfCluster("adonis"), p.HostsOfCluster("griffon"))
 		}
-		nasdt.Run(e, g, hf, nasdt.DefaultConfig())
+		cfg := nasdt.DefaultConfig()
+		if faults.active() {
+			// Under faults, arm the fault-tolerant messaging path so
+			// ranks retry around outages instead of dying with them.
+			cfg.RecvTimeout = 5
+		}
+		rep := nasdt.Run(e, g, hf, cfg)
 		if err := e.Run(); err != nil {
 			return nil, err
+		}
+		for _, f := range rep.Failed {
+			fmt.Fprintf(os.Stderr, "tracegen: rank %d failed at t=%g: %v\n", f.Rank, f.Time, f.Err)
 		}
 		return tr, nil
 	case "gridmw", "gridmw-fifo":
@@ -117,6 +179,9 @@ func generate(scenario string, states bool, platformXML string) (*trace.Trace, e
 		e := sim.New(p, tr)
 		e.TraceCategories(true)
 		e.TraceStates(states)
+		if err := faults.inject(e, p); err != nil {
+			return nil, err
+		}
 		var hosts []string
 		for _, h := range p.Hosts() {
 			hosts = append(hosts, h.Name)
@@ -149,11 +214,14 @@ func generate(scenario string, states bool, platformXML string) (*trace.Trace, e
 
 // demo is a tiny hand-made workload on a two-cluster platform, handy for
 // poking at the interactive UI.
-func demo(states bool) (*trace.Trace, error) {
+func demo(states bool, faults faultFlags) (*trace.Trace, error) {
 	p := platform.TwoClusters()
 	tr := trace.New()
 	e := sim.New(p, tr)
 	e.TraceStates(states)
+	if err := faults.inject(e, p); err != nil {
+		return nil, err
+	}
 	for i := 1; i <= 11; i++ {
 		host := fmt.Sprintf("adonis-%d", i)
 		peer := fmt.Sprintf("griffon-%d", i)

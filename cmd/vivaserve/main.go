@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"viva/internal/core"
 	"viva/internal/server"
@@ -48,7 +51,11 @@ func main() {
 	}
 	v.SetParallelism(*parallel)
 	fmt.Printf("serving %s on http://localhost%s\n", *tracePath, *addr)
-	if err := server.New(v).ListenAndServe(*addr); err != nil {
+	// SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests are
+	// drained before the process exits.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := server.New(v).Run(ctx, *addr); err != nil {
 		fatal(err)
 	}
 }

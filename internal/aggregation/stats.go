@@ -295,6 +295,30 @@ func (ag *Aggregator) Utilization(group, typ, usageMetric, capacityMetric string
 	return u, nil
 }
 
+// Availability returns the mean availability of a group's entities of
+// the given type over the slice: 1 when every member was up for the
+// whole window, 0 when all were down throughout, and the time-weighted
+// fraction in between (a degraded member contributes its degrade
+// factor). Traces recorded without fault injection carry no
+// availability metric; such groups report fully available. Results ride
+// the Stats cache, so the per-frame cost is two map operations.
+func (ag *Aggregator) Availability(group, typ string, s TimeSlice) (float64, error) {
+	st, err := ag.Stats(group, typ, trace.MetricAvailability, s)
+	if err != nil {
+		return 0, err
+	}
+	if st.Count == 0 {
+		return 1, nil
+	}
+	a := st.Mean
+	if a < 0 {
+		a = 0
+	} else if a > 1 {
+		a = 1
+	}
+	return a, nil
+}
+
 // MaxMemberRatio returns the highest member utilization (fill-metric mean
 // over size-metric mean) inside a group — the saturation-preserving
 // aggregation of vizgraph's FillMaxRatio. Members carrying only one of

@@ -239,3 +239,54 @@ func TestSummariseBounds(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAvailabilityDefaultsToFullWithoutFaults(t *testing.T) {
+	ag, err := NewAggregator(sampleTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ag.Availability("grid", trace.TypeHost, TimeSlice{Start: 0, End: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 1 {
+		t.Errorf("availability without the metric = %g, want 1", a)
+	}
+}
+
+func TestAvailabilityAveragesMembers(t *testing.T) {
+	tr := sampleTrace(t)
+	// h1 down for the whole slice, h2 down for half of it, h3 untouched.
+	for _, h := range []string{"h1", "h2", "h3"} {
+		if err := tr.Set(0, h, trace.MetricAvailability, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Set(0, "h1", trace.MetricAvailability, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Set(5, "h2", trace.MetricAvailability, 0); err != nil {
+		t.Fatal(err)
+	}
+	ag, err := NewAggregator(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := TimeSlice{Start: 0, End: 10}
+	// Members: 0, 0.5, 1 → mean 0.5.
+	a, err := ag.Availability("grid", trace.TypeHost, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-0.5) > 1e-9 {
+		t.Errorf("grid host availability = %g, want 0.5", a)
+	}
+	// c1 holds h1 (0) and h2 (0.5) → 0.25.
+	a, err = ag.Availability("c1", trace.TypeHost, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-0.25) > 1e-9 {
+		t.Errorf("c1 host availability = %g, want 0.25", a)
+	}
+}

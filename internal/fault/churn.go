@@ -1,0 +1,114 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ChurnConfig parameterises the seeded churn generator. Zero-valued
+// fields take the documented defaults.
+type ChurnConfig struct {
+	// Hosts and Links are the candidate targets. Either may be empty.
+	Hosts []string
+	Links []string
+	// Horizon bounds event times to [0, Horizon). Default 100.
+	Horizon float64
+	// HostChurn is the fraction of hosts that crash at least once
+	// (rounded up when positive). Default 0.05.
+	HostChurn float64
+	// LinkChurn is the fraction of links that fail or degrade at least
+	// once. Default 0.
+	LinkChurn float64
+	// MeanDowntime is the average outage length; actual outages draw
+	// uniformly from [0.5, 1.5]× the mean. Default Horizon/10.
+	MeanDowntime float64
+	// DegradeProb is the probability a chosen link degrades instead of
+	// going fully down. Default 0.5.
+	DegradeProb float64
+	// MinFactor is the lowest degradation factor drawn; factors are
+	// uniform in [MinFactor, 1). Default 0.1.
+	MinFactor float64
+}
+
+func (cfg *ChurnConfig) fillDefaults() {
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 100
+	}
+	if cfg.HostChurn <= 0 {
+		cfg.HostChurn = 0.05
+	}
+	if cfg.MeanDowntime <= 0 {
+		cfg.MeanDowntime = cfg.Horizon / 10
+	}
+	if cfg.DegradeProb <= 0 {
+		cfg.DegradeProb = 0.5
+	}
+	if cfg.MinFactor <= 0 {
+		cfg.MinFactor = 0.1
+	}
+}
+
+// Churn generates a reproducible random fault scenario: the same seed
+// and config always yield the same schedule, independent of map
+// iteration order or host architecture. Each selected host gets one
+// crash/recover pair; each selected link either flaps down/up or
+// degrades and later recovers to full speed.
+func Churn(seed int64, cfg ChurnConfig) *Schedule {
+	cfg.fillDefaults()
+	rng := rand.New(rand.NewSource(seed))
+
+	hosts := append([]string(nil), cfg.Hosts...)
+	links := append([]string(nil), cfg.Links...)
+	sort.Strings(hosts)
+	sort.Strings(links)
+
+	var events []Event
+	for _, h := range pickTargets(rng, hosts, cfg.HostChurn) {
+		start, end := outage(rng, cfg)
+		events = append(events,
+			Event{Time: start, Kind: HostDown, Target: h},
+			Event{Time: end, Kind: HostUp, Target: h})
+	}
+	for _, l := range pickTargets(rng, links, cfg.LinkChurn) {
+		start, end := outage(rng, cfg)
+		if rng.Float64() < cfg.DegradeProb {
+			factor := cfg.MinFactor + rng.Float64()*(1-cfg.MinFactor)
+			events = append(events,
+				Event{Time: start, Kind: LinkDegrade, Target: l, Factor: factor},
+				Event{Time: end, Kind: LinkDegrade, Target: l, Factor: 1})
+		} else {
+			events = append(events,
+				Event{Time: start, Kind: LinkDown, Target: l},
+				Event{Time: end, Kind: LinkUp, Target: l})
+		}
+	}
+	return MustSchedule(events...)
+}
+
+// pickTargets chooses ceil(churn × len(pool)) distinct names from the
+// (pre-sorted) pool via a partial Fisher-Yates shuffle.
+func pickTargets(rng *rand.Rand, pool []string, churn float64) []string {
+	if len(pool) == 0 || churn <= 0 {
+		return nil
+	}
+	n := int(math.Ceil(churn * float64(len(pool))))
+	if n > len(pool) {
+		n = len(pool)
+	}
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+	return pool[:n]
+}
+
+// outage draws one downtime interval inside the horizon.
+func outage(rng *rand.Rand, cfg ChurnConfig) (start, end float64) {
+	dur := cfg.MeanDowntime * (0.5 + rng.Float64())
+	if dur >= cfg.Horizon {
+		dur = cfg.Horizon / 2
+	}
+	start = rng.Float64() * (cfg.Horizon - dur)
+	return start, start + dur
+}

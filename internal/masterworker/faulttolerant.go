@@ -1,0 +1,286 @@
+package masterworker
+
+import (
+	"sort"
+
+	"viva/internal/platform"
+	"viva/internal/sim"
+)
+
+// Fault-tolerant master-worker, the tentpole demonstration of running a
+// workload through a fault schedule: workers die cleanly with their
+// hosts, the master detects the deaths and re-dispatches the lost tasks
+// to the survivors, and the application completes as long as one worker
+// remains.
+
+// patienceRounds bounds how many consecutive no-progress detection
+// periods the master tolerates before giving up with partial stats, so
+// a fully partitioned run terminates instead of spinning.
+const patienceRounds = 8
+
+// initialBandwidth evaluates every worker's effective bandwidth to the
+// master ("every time a master communicates a task to a worker, it
+// evaluates the worker's effective bandwidth"): the uncontended transfer
+// rate of the route including latency.
+func initialBandwidth(plat *platform.Platform, app *App) []float64 {
+	effBW := make([]float64, len(app.Workers))
+	for i, w := range app.Workers {
+		bw, err := plat.Bottleneck(app.MasterHost, w)
+		if err != nil {
+			panic(err)
+		}
+		lat, err := plat.Latency(app.MasterHost, w)
+		if err != nil {
+			panic(err)
+		}
+		if app.TaskBytes > 0 {
+			effBW[i] = app.TaskBytes / (lat + app.TaskBytes/bw)
+		} else {
+			effBW[i] = bw
+		}
+	}
+	return effBW
+}
+
+// runWorkerFT is runWorker surviving faults: a severed task stream or a
+// host death mid-compute ends the worker cleanly instead of killing the
+// run, and the master's re-dispatch covers whatever it was holding.
+func runWorkerFT(c *sim.Ctx, app *App, idx int) {
+	c.SetCategory(app.Name)
+	mbox := app.workerMbox(idx)
+	pending := make([]*sim.Comm, 0, app.Prefetch)
+	for len(pending) < app.Prefetch {
+		pending = append(pending, c.Get(mbox))
+	}
+	for {
+		payload, err := pending[0].TryWait(c)
+		if err != nil {
+			return // severed from the master
+		}
+		pending = append(pending[1:], c.Get(mbox))
+		if payload == nil {
+			return // stop sentinel
+		}
+		task := payload.(taskMsg)
+		if err := c.TryExecute(app.TaskFlops); err != nil {
+			return // host died mid-compute; the task will be re-dispatched
+		}
+		c.Put(app.masterMbox(), resultMsg{worker: idx, seq: task.seq}, app.ResultBytes)
+	}
+}
+
+// runMasterFT distributes tasks like runMaster but tracks which task is
+// outstanding at which worker, probes liveness when progress stalls, and
+// re-dispatches the tasks of dead workers. Completion is per task seq,
+// deduplicated, so a task raced between a presumed-dead worker and its
+// re-dispatch counts once.
+func runMasterFT(c *sim.Ctx, plat *platform.Platform, app *App, stats *Stats) {
+	c.SetCategory(app.Name)
+	effBW := initialBandwidth(plat, app)
+
+	alive := make([]bool, len(app.Workers))
+	for i := range alive {
+		alive[i] = true
+	}
+	liveCount := len(app.Workers)
+
+	var queue []request
+	arrival := 0
+	for round := 0; round < app.Prefetch; round++ {
+		for w := range app.Workers {
+			queue = append(queue, request{worker: w, arrival: arrival})
+			arrival++
+		}
+	}
+	pick := func() request {
+		best := 0
+		if app.Strategy == BandwidthCentric {
+			for i := 1; i < len(queue); i++ {
+				q, b := queue[i], queue[best]
+				if effBW[q.worker] > effBW[b.worker] ||
+					(effBW[q.worker] == effBW[b.worker] && q.arrival < b.arrival) {
+					best = i
+				}
+			}
+		}
+		r := queue[best]
+		queue = append(queue[:best], queue[best+1:]...)
+		return r
+	}
+
+	completed := make([]bool, app.TaskCount)
+	outstanding := make(map[int]int) // task seq -> worker holding it
+	var retry []int                  // seqs to re-dispatch, FIFO
+	nextSeq, doneCount := 0, 0
+
+	// nextTask hands out re-dispatches before fresh work.
+	nextTask := func() (int, bool) {
+		for len(retry) > 0 {
+			seq := retry[0]
+			retry = retry[1:]
+			if !completed[seq] {
+				return seq, true
+			}
+		}
+		if nextSeq < app.TaskCount {
+			seq := nextSeq
+			nextSeq++
+			return seq, true
+		}
+		return 0, false
+	}
+
+	// markDead declares a worker lost: purge its demand, requeue its
+	// outstanding tasks (sorted, for determinism), and re-create demand
+	// on the survivors so the retries get pulled.
+	markDead := func(w int) {
+		if !alive[w] {
+			return
+		}
+		alive[w] = false
+		liveCount--
+		stats.FailedWorkers = append(stats.FailedWorkers, w)
+		kept := queue[:0]
+		for _, r := range queue {
+			if r.worker != w {
+				kept = append(kept, r)
+			}
+		}
+		queue = kept
+		var lost []int
+		for seq, holder := range outstanding {
+			if holder == w {
+				lost = append(lost, seq)
+			}
+		}
+		sort.Ints(lost)
+		for _, seq := range lost {
+			delete(outstanding, seq)
+			retry = append(retry, seq)
+			stats.Requeued++
+		}
+		if liveCount > 0 {
+			for i := range lost {
+				// Round-robin replacement demand over the survivors.
+				for off := 0; off < len(app.Workers); off++ {
+					cand := (w + 1 + i + off) % len(app.Workers)
+					if alive[cand] {
+						queue = append(queue, request{worker: cand, arrival: arrival})
+						arrival++
+						break
+					}
+				}
+			}
+		}
+	}
+
+	type outSend struct {
+		comm   *sim.Comm
+		worker int
+		seq    int
+		start  float64
+	}
+	var sends []outSend
+	resultGet := c.Get(app.masterMbox())
+	idle, failStreak := 0, 0
+
+	for doneCount < app.TaskCount && liveCount > 0 && idle < patienceRounds {
+		for len(sends) < app.SendWindow && len(queue) > 0 {
+			seq, ok := nextTask()
+			if !ok {
+				break
+			}
+			r := pick()
+			comm := c.Put(app.workerMbox(r.worker), taskMsg{seq: seq}, app.TaskBytes)
+			outstanding[seq] = r.worker
+			sends = append(sends, outSend{comm: comm, worker: r.worker, seq: seq, start: c.Now()})
+		}
+		waits := make([]*sim.Comm, 0, len(sends)+1)
+		waits = append(waits, resultGet)
+		for _, s := range sends {
+			waits = append(waits, s.comm)
+		}
+		idx, ok := c.WaitAnyTimeout(waits, app.DetectTimeout)
+		if !ok {
+			// No progress for a whole detection period: probe liveness.
+			idle++
+			for w := range app.Workers {
+				if alive[w] && !c.HostAvailable(app.Workers[w]) {
+					markDead(w)
+					idle = 0 // a diagnosis is progress
+				}
+			}
+			continue
+		}
+		if idx == 0 {
+			res, err := resultGet.TryWait(c)
+			resultGet = c.Get(app.masterMbox())
+			if err != nil {
+				continue // the result transfer died; re-dispatch will cover it
+			}
+			r := res.(resultMsg)
+			delete(outstanding, r.seq)
+			if !completed[r.seq] {
+				completed[r.seq] = true
+				doneCount++
+				stats.PerWorker[r.worker]++
+				idle, failStreak = 0, 0
+				if doneCount < app.TaskCount && alive[r.worker] {
+					queue = append(queue, request{worker: r.worker, arrival: arrival})
+					arrival++
+				}
+			}
+			continue
+		}
+		s := sends[idx-1]
+		sends = append(sends[:idx-1], sends[idx:]...)
+		if err := s.comm.Err(); err != nil {
+			// The task never reached the worker: requeue — unless a
+			// liveness probe already re-dispatched it elsewhere.
+			if holder, held := outstanding[s.seq]; held && holder == s.worker {
+				delete(outstanding, s.seq)
+				retry = append(retry, s.seq)
+				stats.Requeued++
+			}
+			if !c.HostAvailable(app.Workers[s.worker]) {
+				markDead(s.worker)
+			} else if alive[s.worker] {
+				queue = append(queue, request{worker: s.worker, arrival: arrival})
+				arrival++
+			}
+			failStreak++
+			if failStreak >= app.SendWindow {
+				// Every transfer is failing instantly (for example the
+				// master's own link is cut): back off so simulated time
+				// advances and the patience budget can run out.
+				c.Sleep(app.DetectTimeout / 2)
+				idle++
+				failStreak = 0
+			}
+			continue
+		}
+		failStreak = 0
+		if d := c.Now() - s.start; app.MeasuredBandwidth && d > 0 && app.TaskBytes > 0 {
+			effBW[s.worker] = app.TaskBytes / d
+		}
+	}
+
+	stats.Makespan = c.Now()
+	stats.TasksDone = doneCount
+	for i, n := range stats.PerWorker {
+		if n > 0 {
+			stats.ByHost[app.Workers[i]] += n
+		}
+	}
+	sort.Ints(stats.FailedWorkers)
+	// Stop the workers. Dead ones left ghost receives behind, which the
+	// zero-byte sentinels may pair with — waits are bounded and errors
+	// ignored, so shutdown cannot hang the master.
+	stops := make([]*sim.Comm, len(app.Workers))
+	for i := range app.Workers {
+		stops[i] = c.Put(app.workerMbox(i), nil, 0)
+	}
+	for _, s := range stops {
+		s.WaitTimeout(c, app.DetectTimeout)
+	}
+}

@@ -54,6 +54,17 @@ type App struct {
 	// which tends to equalize them — useful as an ablation of the
 	// locality phenomena of Section 5.2.
 	MeasuredBandwidth bool
+	// FaultTolerant arms the failure protocol for running under a fault
+	// schedule: workers exit cleanly when their host dies, and the
+	// master detects dead workers (no progress for DetectTimeout, then a
+	// liveness probe), re-dispatches their outstanding tasks to the
+	// survivors, and deduplicates late results, so the application
+	// completes as long as one worker remains.
+	FaultTolerant bool
+	// DetectTimeout is how long the fault-tolerant master waits without
+	// progress before probing worker liveness (default 10 simulated
+	// seconds).
+	DetectTimeout float64
 }
 
 // Stats reports one application's execution, filled in by the master when
@@ -64,6 +75,10 @@ type Stats struct {
 	TasksDone int
 	PerWorker []int          // tasks completed per worker index
 	ByHost    map[string]int // tasks completed per host name
+
+	// Fault-tolerant runs only.
+	Requeued      int   // tasks re-dispatched after a worker death
+	FailedWorkers []int // worker indices declared dead, ascending
 }
 
 // CommRatio returns the application's communication-to-computation ratio
@@ -95,6 +110,9 @@ func (a *App) validate() error {
 	if a.SendWindow <= 0 {
 		a.SendWindow = 8
 	}
+	if a.DetectTimeout <= 0 {
+		a.DetectTimeout = 10
+	}
 	return nil
 }
 
@@ -104,8 +122,13 @@ func (a *App) masterMbox() string      { return fmt.Sprintf("mw:%s:m", a.Name) }
 // taskMsg is a unit of work; a nil payload is the stop sentinel.
 type taskMsg struct{ seq int }
 
-// resultMsg is a worker's completion notice, doubling as its next request.
-type resultMsg struct{ worker int }
+// resultMsg is a worker's completion notice, doubling as its next
+// request. seq identifies the completed task so a fault-tolerant master
+// can deduplicate results of re-dispatched work.
+type resultMsg struct {
+	worker int
+	seq    int
+}
 
 // Deploy spawns the application's master and workers on the engine. The
 // returned Stats is filled when the master terminates (after e.Run()).
@@ -125,11 +148,19 @@ func Deploy(e *sim.Engine, app *App) (*Stats, error) {
 	for i := range app.Workers {
 		i := i
 		e.Spawn(fmt.Sprintf("%s.w%d", app.Name, i), app.Workers[i], func(c *sim.Ctx) {
-			runWorker(c, app, i)
+			if app.FaultTolerant {
+				runWorkerFT(c, app, i)
+			} else {
+				runWorker(c, app, i)
+			}
 		})
 	}
 	e.Spawn(app.Name+".master", app.MasterHost, func(c *sim.Ctx) {
-		runMaster(c, e.Platform(), app, stats)
+		if app.FaultTolerant {
+			runMasterFT(c, e.Platform(), app, stats)
+		} else {
+			runMaster(c, e.Platform(), app, stats)
+		}
 	})
 	return stats, nil
 }
@@ -167,28 +198,7 @@ type request struct {
 // collects the remaining results and stops the workers.
 func runMaster(c *sim.Ctx, plat *platform.Platform, app *App, stats *Stats) {
 	c.SetCategory(app.Name)
-
-	// Effective bandwidth of every worker ("every time a master
-	// communicates a task to a worker, it evaluates the worker's
-	// effective bandwidth"): the uncontended transfer rate of the route,
-	// optionally refreshed from measured transfers.
-	effBW := make([]float64, len(app.Workers))
-	for i, w := range app.Workers {
-		bw, err := plat.Bottleneck(app.MasterHost, w)
-		if err != nil {
-			panic(err)
-		}
-		lat, err := plat.Latency(app.MasterHost, w)
-		if err != nil {
-			panic(err)
-		}
-		// Initial estimate: uncontended transfer rate including latency.
-		if app.TaskBytes > 0 {
-			effBW[i] = app.TaskBytes / (lat + app.TaskBytes/bw)
-		} else {
-			effBW[i] = bw
-		}
-	}
+	effBW := initialBandwidth(plat, app)
 
 	// Initial demand: every worker asks for Prefetch tasks, in prefetch
 	// rounds so FIFO interleaves workers instead of batching per worker.

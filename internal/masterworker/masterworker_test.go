@@ -3,6 +3,7 @@ package masterworker
 import (
 	"testing"
 
+	"viva/internal/fault"
 	"viva/internal/platform"
 	"viva/internal/sim"
 	"viva/internal/trace"
@@ -282,5 +283,101 @@ func TestDeterministic(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("non-deterministic distribution: %v vs %v", a, b)
 		}
+	}
+}
+
+// A worker host crashing mid-run must not lose tasks: the fault-tolerant
+// master re-dispatches the dead worker's work and every task completes
+// on the survivors.
+func TestFaultTolerantRedispatch(t *testing.T) {
+	p := twoSites()
+	e := sim.New(p, nil)
+	app := baseApp(p)
+	app.FaultTolerant = true
+	app.DetectTimeout = 2
+	// Kill one worker early, while it holds prefetched tasks.
+	sched := fault.MustSchedule(fault.Event{Time: 0.3, Kind: fault.HostDown, Target: "c1-2"})
+	if err := e.InjectFaults(sched); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Deploy(e, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.TasksDone != app.TaskCount {
+		t.Fatalf("TasksDone = %d, want %d", stats.TasksDone, app.TaskCount)
+	}
+	deadIdx := -1
+	for i, w := range app.Workers {
+		if w == "c1-2" {
+			deadIdx = i
+		}
+	}
+	if len(stats.FailedWorkers) != 1 || stats.FailedWorkers[0] != deadIdx {
+		t.Errorf("FailedWorkers = %v, want [%d]", stats.FailedWorkers, deadIdx)
+	}
+	if stats.Requeued == 0 {
+		t.Error("no tasks requeued despite a worker death")
+	}
+	total := 0
+	for _, n := range stats.PerWorker {
+		total += n
+	}
+	if total != app.TaskCount {
+		t.Errorf("PerWorker sums to %d, want %d", total, app.TaskCount)
+	}
+}
+
+// With every worker dead the fault-tolerant master gives up with partial
+// stats instead of hanging the simulation.
+func TestFaultTolerantAllWorkersDead(t *testing.T) {
+	p := twoSites()
+	e := sim.New(p, nil)
+	app := baseApp(p)
+	app.FaultTolerant = true
+	app.DetectTimeout = 1
+	app.Workers = []string{"c1-2", "c1-3"}
+	sched := fault.MustSchedule(
+		fault.Event{Time: 0.1, Kind: fault.HostDown, Target: "c1-2"},
+		fault.Event{Time: 0.1, Kind: fault.HostDown, Target: "c1-3"},
+	)
+	if err := e.InjectFaults(sched); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Deploy(e, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.TasksDone >= app.TaskCount {
+		t.Errorf("TasksDone = %d with every worker dead", stats.TasksDone)
+	}
+	if len(stats.FailedWorkers) != 2 {
+		t.Errorf("FailedWorkers = %v, want both workers", stats.FailedWorkers)
+	}
+}
+
+// The fault-tolerant protocol under a healthy platform behaves like the
+// plain one: all tasks complete, nothing requeued, nobody declared dead.
+func TestFaultTolerantHealthyRun(t *testing.T) {
+	p := twoSites()
+	e := sim.New(p, nil)
+	app := baseApp(p)
+	app.FaultTolerant = true
+	stats, err := Deploy(e, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.TasksDone != app.TaskCount || stats.Requeued != 0 || len(stats.FailedWorkers) != 0 {
+		t.Errorf("healthy FT run: done=%d requeued=%d failed=%v",
+			stats.TasksDone, stats.Requeued, stats.FailedWorkers)
 	}
 }

@@ -91,6 +91,59 @@ func (r *Rank) WaitAll(comms []*sim.Comm) {
 	}
 }
 
+// TryCompute is Compute returning an error instead of killing the rank
+// when the local host fails mid-work.
+func (r *Rank) TryCompute(flops float64) error {
+	return r.ctx.TryExecute(flops)
+}
+
+// SendTimeout transfers bytes to rank dst, waiting at most timeout
+// seconds of simulated time for the receiver to show up. It returns
+// sim.ErrTimeout when the receiver never arrived (the posted send is
+// withdrawn so a retry starts clean) and the fault error when a resource
+// on the route died mid-transfer; a transfer that matched in time is
+// always carried to completion.
+func (r *Rank) SendTimeout(dst int, payload any, bytes, timeout float64) error {
+	r.checkPeer(dst)
+	cm := r.ctx.Put(r.mbox(r.rank, dst), payload, bytes)
+	_, err := cm.WaitTimeout(r.ctx, timeout)
+	return err
+}
+
+// RecvTimeout waits at most timeout seconds of simulated time for the
+// message from rank src. On sim.ErrTimeout the posted receive is
+// withdrawn, so retrying cannot leave ghost receives queued on the
+// mailbox.
+func (r *Rank) RecvTimeout(src int, timeout float64) (any, error) {
+	r.checkPeer(src)
+	cm := r.ctx.Get(r.mbox(src, r.rank))
+	return cm.WaitTimeout(r.ctx, timeout)
+}
+
+// HostAvailable reports whether a host is currently up (see
+// sim.Ctx.HostAvailable).
+func (r *Rank) HostAvailable(host string) bool { return r.ctx.HostAvailable(host) }
+
+// Retry runs op up to attempts times, sleeping backoff simulated seconds
+// after the first failure and doubling the pause after each further one
+// (exponential backoff). It returns nil as soon as op does, and the last
+// error once the attempts are exhausted. op receives the 0-based attempt
+// number, so protocols can, for example, re-probe liveness before
+// re-sending.
+func (r *Rank) Retry(attempts int, backoff float64, op func(attempt int) error) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = op(i); err == nil {
+			return nil
+		}
+		if i < attempts-1 && backoff > 0 {
+			r.ctx.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+	return err
+}
+
 func (r *Rank) checkPeer(p int) {
 	if p < 0 || p >= r.size {
 		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", p, r.size))

@@ -1,9 +1,11 @@
 package mpi
 
 import (
+	"errors"
 	"math"
 	"testing"
 
+	"viva/internal/fault"
 	"viva/internal/platform"
 	"viva/internal/sim"
 )
@@ -117,6 +119,133 @@ func TestBadPeerPanics(t *testing.T) {
 	})
 	if err := e.Run(); err == nil {
 		t.Error("out-of-range peer not surfaced")
+	}
+}
+
+func TestRecvTimeoutFromDeadPeer(t *testing.T) {
+	e := sim.New(testPlatform(), nil)
+	sched := fault.MustSchedule(fault.Event{Time: 0.5, Kind: fault.HostDown, Target: "c-1"})
+	if err := e.InjectFaults(sched); err != nil {
+		t.Fatal(err)
+	}
+	var recvErr error
+	var at float64
+	World(e, "dead", []string{"c-1", "c-2"}, func(r *Rank) {
+		switch r.Rank() {
+		case 0:
+			// Dies computing before it ever sends.
+			if err := r.TryCompute(1e6); err == nil {
+				t.Error("rank 0 survived its host's crash")
+			}
+		case 1:
+			_, recvErr = r.RecvTimeout(0, 3)
+			at = r.Now()
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(recvErr, sim.ErrTimeout) {
+		t.Errorf("RecvTimeout = %v, want sim.ErrTimeout", recvErr)
+	}
+	near(t, "timeout observed", at, 3)
+}
+
+func TestSendTimeoutNoReceiver(t *testing.T) {
+	e := sim.New(testPlatform(), nil)
+	var err error
+	World(e, "st", []string{"c-1", "c-2"}, func(r *Rank) {
+		if r.Rank() == 0 {
+			err = r.SendTimeout(1, nil, 100, 2)
+		}
+		// Rank 1 never posts a receive.
+	})
+	if runErr := e.Run(); runErr != nil {
+		t.Fatal(runErr)
+	}
+	if !errors.Is(err, sim.ErrTimeout) {
+		t.Errorf("SendTimeout = %v, want sim.ErrTimeout", err)
+	}
+}
+
+func TestRetryBacksOffAndSucceeds(t *testing.T) {
+	e := sim.New(testPlatform(), nil)
+	var tries []float64
+	var err error
+	World(e, "rt", []string{"c-1"}, func(r *Rank) {
+		err = r.Retry(4, 1, func(attempt int) error {
+			tries = append(tries, r.Now())
+			if attempt < 2 {
+				return sim.ErrTimeout
+			}
+			return nil
+		})
+	})
+	if runErr := e.Run(); runErr != nil {
+		t.Fatal(runErr)
+	}
+	if err != nil {
+		t.Fatalf("Retry = %v, want success", err)
+	}
+	// Attempts at t=0, then after 1 s and 2 s pauses.
+	want := []float64{0, 1, 3}
+	if len(tries) != len(want) {
+		t.Fatalf("attempts = %v, want times %v", tries, want)
+	}
+	for i := range want {
+		near(t, "attempt time", tries[i], want[i])
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	e := sim.New(testPlatform(), nil)
+	var err error
+	calls := 0
+	World(e, "rx", []string{"c-1"}, func(r *Rank) {
+		err = r.Retry(3, 0.5, func(int) error {
+			calls++
+			return sim.ErrTimeout
+		})
+	})
+	if runErr := e.Run(); runErr != nil {
+		t.Fatal(runErr)
+	}
+	if calls != 3 || !errors.Is(err, sim.ErrTimeout) {
+		t.Errorf("Retry made %d calls, err %v; want 3 calls and the last error", calls, err)
+	}
+}
+
+func TestRecvTimeoutRetryDeliversAfterRecovery(t *testing.T) {
+	e := sim.New(testPlatform(), nil)
+	sched := fault.MustSchedule(
+		fault.Event{Time: 0, Kind: fault.LinkDown, Target: "lnk:c-1"},
+		fault.Event{Time: 4, Kind: fault.LinkUp, Target: "lnk:c-1"},
+	)
+	if err := e.InjectFaults(sched); err != nil {
+		t.Fatal(err)
+	}
+	var got any
+	var err error
+	World(e, "rec", []string{"c-1", "c-2"}, func(r *Rank) {
+		switch r.Rank() {
+		case 0:
+			// Keep offering the message until a transfer survives.
+			r.Retry(8, 0.5, func(int) error {
+				return r.SendTimeout(1, "data", 1000, 2)
+			})
+		case 1:
+			err = r.Retry(8, 0.5, func(int) error {
+				var e2 error
+				got, e2 = r.RecvTimeout(0, 2)
+				return e2
+			})
+		}
+	})
+	if runErr := e.Run(); runErr != nil {
+		t.Fatal(runErr)
+	}
+	if err != nil || got != "data" {
+		t.Fatalf("recovered delivery = (%v, %v), want (data, nil)", got, err)
 	}
 }
 

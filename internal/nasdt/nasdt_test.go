@@ -1,8 +1,10 @@
 package nasdt
 
 import (
+	"bytes"
 	"testing"
 
+	"viva/internal/fault"
 	"viva/internal/platform"
 	"viva/internal/sim"
 	"viva/internal/trace"
@@ -220,6 +222,115 @@ func TestInterClusterTrafficDropsWithLocality(t *testing.T) {
 	}
 }
 
+// ftConfig slows DT down enough that second-scale outages land inside
+// the execution: ~0.5 s computations and 0.1 s transfers on the 1 Gbps
+// TwoClusters host links.
+func ftConfig() Config {
+	return Config{
+		Waves:        4,
+		MessageBytes: 1e8,
+		ComputeFlops: 4e9,
+		RecvTimeout:  2,
+		MaxRetries:   8,
+		RetryBackoff: 0.5,
+	}
+}
+
+func TestFaultTolerantRunRidesOutChurn(t *testing.T) {
+	p := platform.TwoClusters()
+	g := MustBuild(WH, 'S')
+	hf := SequentialHostfile(p.HostsOfCluster("adonis"), g.NumNodes())
+	tr := trace.New()
+	e := sim.New(p, tr)
+	// Node 1 (a forwarder, on adonis-2) loses its host for 2 s; node 2
+	// (the other forwarder, on adonis-3) loses its link for 2 s.
+	sched := fault.MustSchedule(
+		fault.Event{Time: 1, Kind: fault.HostDown, Target: "adonis-2"},
+		fault.Event{Time: 3, Kind: fault.HostUp, Target: "adonis-2"},
+		fault.Event{Time: 1.5, Kind: fault.LinkDown, Target: "lnk:adonis-3"},
+		fault.Event{Time: 3.5, Kind: fault.LinkUp, Target: "lnk:adonis-3"},
+	)
+	if err := e.InjectFaults(sched); err != nil {
+		t.Fatal(err)
+	}
+	rep := Run(e, g, hf, ftConfig())
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed() {
+		t.Fatalf("ranks gave up under recoverable churn: %+v", rep.Failed)
+	}
+	if e.Now() <= 3 {
+		t.Errorf("makespan %g does not reflect the 2 s outages", e.Now())
+	}
+	if d := tr.StateDurations("adonis-2", 0, e.Now())[trace.StateHostDown]; !(d > 1.9) {
+		t.Errorf("host_down on adonis-2 for %g s, want ~2", d)
+	}
+	if d := tr.StateDurations("lnk:adonis-3", 0, e.Now())[trace.StateLinkDown]; !(d > 1.9) {
+		t.Errorf("link_down on lnk:adonis-3 for %g s, want ~2", d)
+	}
+	avail := tr.Timeline("adonis-2", trace.MetricAvailability)
+	if avail == nil {
+		t.Fatal("no availability timeline for adonis-2")
+	}
+	if got := avail.At(2); got != 0 {
+		t.Errorf("availability(adonis-2, t=2) = %g, want 0", got)
+	}
+	if got := avail.At(4); got != 1 {
+		t.Errorf("availability(adonis-2, t=4) = %g, want 1", got)
+	}
+}
+
+func TestFaultTolerantRankFailsCleanlyOnPermanentLoss(t *testing.T) {
+	p := platform.TwoClusters()
+	g := MustBuild(WH, 'S')
+	hf := SequentialHostfile(p.HostsOfCluster("adonis"), g.NumNodes())
+	e := sim.New(p, nil)
+	// adonis-2 never comes back: node 1 must exhaust its retries and
+	// fail cleanly, taking its downstream sinks with it, while the rest
+	// of the tree completes and the engine exits without error.
+	sched := fault.MustSchedule(fault.Event{Time: 1, Kind: fault.HostDown, Target: "adonis-2"})
+	if err := e.InjectFaults(sched); err != nil {
+		t.Fatal(err)
+	}
+	cfg := ftConfig()
+	cfg.MaxRetries = 3
+	cfg.RecvTimeout = 1
+	rep := Run(e, g, hf, cfg)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed() {
+		t.Fatal("report claims completion with a permanently dead host")
+	}
+	failed := map[int]bool{}
+	for _, f := range rep.Failed {
+		if f.Err == nil {
+			t.Errorf("rank %d failed without an error", f.Rank)
+		}
+		failed[f.Rank] = true
+	}
+	if !failed[1] {
+		t.Errorf("node 1 (on the dead host) not in failures: %+v", rep.Failed)
+	}
+}
+
+func TestRunReportTriviallyCompleteOnBlockingPath(t *testing.T) {
+	p := platform.TwoClusters()
+	g := MustBuild(WH, 'S')
+	hf := SequentialHostfile(ClusterHosts(p, "adonis", "griffon"), g.NumNodes())
+	e := sim.New(p, nil)
+	cfg := DefaultConfig()
+	cfg.Waves = 2
+	rep := Run(e, g, hf, cfg)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed() {
+		t.Fatalf("blocking path report not complete: %+v", rep.Failed)
+	}
+}
+
 func TestRunPanicsOnBadInput(t *testing.T) {
 	p := platform.TwoClusters()
 	g := MustBuild(WH, 'S')
@@ -237,4 +348,43 @@ func TestRunPanicsOnBadInput(t *testing.T) {
 		hf := SequentialHostfile(ClusterHosts(p, "adonis"), g.NumNodes())
 		Run(e, g, hf, Config{Waves: 0, MessageBytes: 1})
 	})
+}
+
+// TestChurnRunIsBitReproducible asserts the acceptance property of the
+// fault subsystem: the same churn seed yields a byte-identical trace.
+// Float summation order or map iteration sneaking into the engine's
+// tracing would break this.
+func TestChurnRunIsBitReproducible(t *testing.T) {
+	run := func() []byte {
+		p := platform.TwoClusters()
+		tr := trace.New()
+		e := sim.New(p, tr)
+		var hosts, links []string
+		for _, h := range p.Hosts() {
+			hosts = append(hosts, h.Name)
+			links = append(links, p.HostLink(h.Name))
+		}
+		sched := fault.Churn(42, fault.ChurnConfig{
+			Hosts: hosts, Links: links,
+			HostChurn: 0.2, LinkChurn: 0.2, Horizon: 10, MeanDowntime: 2,
+		})
+		if err := e.InjectFaults(sched); err != nil {
+			t.Fatal(err)
+		}
+		g := MustBuild(WH, 'S')
+		hf := SequentialHostfile(p.HostsOfCluster("adonis"), g.NumNodes())
+		Run(e, g, hf, ftConfig())
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := trace.Write(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different traces (%d vs %d bytes)", len(a), len(b))
+	}
 }

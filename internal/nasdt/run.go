@@ -20,7 +20,40 @@ type Config struct {
 	ComputeFlops float64
 	// Category tags the traced activity (defaults to "dt").
 	Category string
+
+	// RecvTimeout arms the fault-tolerant protocol: every communication
+	// waits at most this many simulated seconds per attempt instead of
+	// forever, and failed attempts are retried with exponential backoff,
+	// so the benchmark rides out host churn (transient crashes between
+	// computations) and link outages. Zero (the default) keeps the plain
+	// blocking protocol. The timeout bounds the wait for a partner only:
+	// a matched transfer is always allowed to finish, so no message is
+	// ever lost or duplicated by an expiring deadline.
+	RecvTimeout float64
+	// MaxRetries is the attempt budget per operation on the
+	// fault-tolerant path (default 5).
+	MaxRetries int
+	// RetryBackoff is the pause after a failed attempt, doubling each
+	// further failure (default 1 simulated second).
+	RetryBackoff float64
 }
+
+// RankFailure records one rank giving up after exhausting its retries.
+type RankFailure struct {
+	Rank int
+	Time float64
+	Err  error
+}
+
+// Report is the outcome of a fault-tolerant run, filled in while the
+// engine executes. The engine schedules actors one at a time, so ranks
+// append to it without synchronisation.
+type Report struct {
+	Failed []RankFailure
+}
+
+// Completed reports whether every rank finished all its waves.
+func (rep *Report) Completed() bool { return len(rep.Failed) == 0 }
 
 // DefaultConfig mirrors the communication-bound regime of DT class A on
 // gigabit clusters: 4 MB messages, negligible computation, 20 waves.
@@ -35,8 +68,10 @@ func DefaultConfig() Config {
 
 // Run spawns the benchmark's processes on the engine; the caller then
 // calls e.Run() and reads the makespan from e.Now(). hostfile[i] is the
-// host of graph node i.
-func Run(e *sim.Engine, g *Graph, hostfile []string, cfg Config) {
+// host of graph node i. The returned Report is filled in while the
+// engine runs; on the plain blocking path (RecvTimeout zero) it stays
+// trivially complete.
+func Run(e *sim.Engine, g *Graph, hostfile []string, cfg Config) *Report {
 	if len(hostfile) != g.NumNodes() {
 		panic(fmt.Sprintf("nasdt: hostfile has %d entries for %d nodes", len(hostfile), g.NumNodes()))
 	}
@@ -47,7 +82,12 @@ func Run(e *sim.Engine, g *Graph, hostfile []string, cfg Config) {
 	if cat == "" {
 		cat = "dt"
 	}
+	rep := &Report{}
 	job := fmt.Sprintf("dt-%s-%s", g.Kind, string(g.Class))
+	if cfg.RecvTimeout > 0 {
+		runFT(e, g, hostfile, cfg, cat, job, rep)
+		return rep
+	}
 	mpi.World(e, job, hostfile, func(r *mpi.Rank) {
 		r.SetCategory(cat)
 		node := g.Nodes[r.Rank()]
@@ -69,6 +109,64 @@ func Run(e *sim.Engine, g *Graph, hostfile []string, cfg Config) {
 					comms[i] = r.Isend(dst, wave, cfg.MessageBytes)
 				}
 				r.WaitAll(comms)
+			}
+		}
+	})
+	return rep
+}
+
+// runFT is the fault-tolerant execution: every operation is bounded by
+// RecvTimeout and retried with exponential backoff, so transient host
+// and link outages stall a rank instead of killing the run. A rank that
+// exhausts its budget records a RankFailure and exits cleanly. Receives
+// are taken one predecessor at a time — with rendezvous semantics a
+// canceled receive must leave nothing behind for the retry to collide
+// with, which the sequential protocol guarantees.
+func runFT(e *sim.Engine, g *Graph, hostfile []string, cfg Config, cat, job string, rep *Report) {
+	retries := cfg.MaxRetries
+	if retries <= 0 {
+		retries = 5
+	}
+	backoff := cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = 1
+	}
+	mpi.World(e, job, hostfile, func(r *mpi.Rank) {
+		r.SetCategory(cat)
+		node := g.Nodes[r.Rank()]
+		fail := func(err error) {
+			rep.Failed = append(rep.Failed, RankFailure{Rank: r.Rank(), Time: r.Now(), Err: err})
+		}
+		for wave := 0; wave < cfg.Waves; wave++ {
+			for _, src := range node.In {
+				// Receivers listen contiguously (no backoff): the timeout
+				// itself paces the retry, so there is always a receive
+				// posted for the sender's attempts to land on. Only
+				// senders back off.
+				err := r.Retry(retries, 0, func(int) error {
+					_, e2 := r.RecvTimeout(src, cfg.RecvTimeout)
+					return e2
+				})
+				if err != nil {
+					fail(fmt.Errorf("nasdt: wave %d recv from %d: %w", wave, src, err))
+					return
+				}
+			}
+			if err := r.Retry(retries, backoff, func(int) error {
+				return r.TryCompute(cfg.ComputeFlops)
+			}); err != nil {
+				fail(fmt.Errorf("nasdt: wave %d compute: %w", wave, err))
+				return
+			}
+			for _, dst := range node.Out {
+				wave := wave
+				err := r.Retry(retries, backoff, func(int) error {
+					return r.SendTimeout(dst, wave, cfg.MessageBytes, cfg.RecvTimeout)
+				})
+				if err != nil {
+					fail(fmt.Errorf("nasdt: wave %d send to %d: %w", wave, dst, err))
+					return
+				}
 			}
 		}
 	})

@@ -5,13 +5,23 @@ import (
 	"testing"
 )
 
-// FuzzRead asserts the Paje parser never panics on arbitrary input.
-func FuzzRead(f *testing.F) {
+// FuzzPajeParse asserts the Paje parser never panics on arbitrary input
+// and never hands back a structurally invalid trace. The seed corpus
+// walks every event family the parser implements plus the syntax hazards:
+// quoting, CRLF line endings, comments, missing fields and bad numbers.
+func FuzzPajeParse(f *testing.F) {
 	f.Add(sampleHeader + sampleBody)
 	f.Add("%EventDef PajeCreateContainer 4\n%\tTime date\n%EndEventDef\n4 zz\n")
 	f.Add("% \n")
 	f.Add("0\n")
 	f.Add("")
+	f.Add("# comment only\n\n#\n")
+	f.Add("%EventDef PajeSetVariable 8\n% Time date\n% Type string\n% Container string\n% Value double\n%EndEventDef\n8 0.5 pow c1 NaN\n")
+	f.Add("%EventDef PajeSetState 10\n% Time date\n% Container string\n% Value string\n%EndEventDef\n10 1.0 host \"busy state\"\n")
+	f.Add("%EventDef PajePushState 11\n% Time date\n%EndEventDef\n%EventDef PajePopState 12\n% Time date\n%EndEventDef\n")
+	f.Add("%EndEventDef\n")
+	f.Add("%EventDef X 1\n% Time date\n%EndEventDef\n1 \"unterminated\n")
+	f.Add("%EventDef PajeAddVariable 9\n% Time date\n% Value double\n%EndEventDef\n9 1e308 1e308\r\n9 -1e308 -1e308\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		tr, err := Read(strings.NewReader(input))
 		if err == nil && tr != nil {

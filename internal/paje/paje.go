@@ -123,6 +123,15 @@ func (p *parser) errf(format string, args ...any) error {
 	return fmt.Errorf("paje: line %d: %s", p.lineno, fmt.Sprintf(format, args...))
 }
 
+// wrap annotates a trace-layer error with the offending line number, so a
+// rejected value deep in a large trace file is findable.
+func (p *parser) wrap(err error) error {
+	if err != nil {
+		return fmt.Errorf("paje: line %d: %w", p.lineno, err)
+	}
+	return nil
+}
+
 // tokenize splits an event line into fields, honouring double quotes.
 func tokenize(line string) []string {
 	var out []string
@@ -229,11 +238,11 @@ func (p *parser) event(line string) error {
 		}
 		switch def.name {
 		case "PajeSetVariable":
-			return p.tr.Set(t, res, metric, v)
+			return p.wrap(p.tr.Set(t, res, metric, v))
 		case "PajeAddVariable":
-			return p.tr.Add(t, res, metric, v)
+			return p.wrap(p.tr.Add(t, res, metric, v))
 		default:
-			return p.tr.Add(t, res, metric, -v)
+			return p.wrap(p.tr.Add(t, res, metric, -v))
 		}
 
 	case "PajeSetState":
@@ -246,7 +255,7 @@ func (p *parser) event(line string) error {
 			return err
 		}
 		p.stacks[res] = p.stacks[res][:0]
-		return p.tr.SetState(t, res, p.stateValue(get("Value")))
+		return p.wrap(p.tr.SetState(t, res, p.stateValue(get("Value"))))
 
 	case "PajePushState":
 		t, err := getTime()
@@ -259,7 +268,7 @@ func (p *parser) event(line string) error {
 		}
 		v := p.stateValue(get("Value"))
 		p.stacks[res] = append(p.stacks[res], v)
-		return p.tr.SetState(t, res, v)
+		return p.wrap(p.tr.SetState(t, res, v))
 
 	case "PajePopState":
 		t, err := getTime()
@@ -279,7 +288,7 @@ func (p *parser) event(line string) error {
 		if len(st) > 0 {
 			top = st[len(st)-1]
 		}
-		return p.tr.SetState(t, res, top)
+		return p.wrap(p.tr.SetState(t, res, top))
 
 	case "PajeStartLink", "PajeEndLink", "PajeNewEvent":
 		// Message arrows and point events: accepted, not modelled.
@@ -374,7 +383,7 @@ func (p *parser) createContainer(alias, name, pajeType, parentRef string) error 
 	}
 	p.nameUsed[resName] = true
 	if err := p.tr.DeclareResource(resName, p.resourceType(pajeType), parent); err != nil {
-		return p.errf("%v", err)
+		return p.wrap(err)
 	}
 	if alias != "" {
 		p.containers[alias] = resName

@@ -1,6 +1,7 @@
 package paje
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -261,5 +262,28 @@ func TestTokenize(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("tokenize = %v, want %v", got, want)
 		}
+	}
+}
+
+// TestTraceErrorsCarryLineNumbers asserts that errors raised by the
+// trace layer (not just the parser's own syntax checks) are annotated
+// with the offending line, so a rejected value deep inside a large
+// trace file is findable.
+func TestTraceErrorsCarryLineNumbers(t *testing.T) {
+	text := sampleHeader +
+		"4 0 z1 ZONE 0 \"AS0\"\n" +
+		"4 0 h1 HOST z1 \"Tremblay\"\n" +
+		"6 0 power h1 NaN\n"
+	_, err := Read(strings.NewReader(text))
+	if err == nil {
+		t.Fatal("NaN variable value accepted")
+	}
+	// The bad event is the last line of the input.
+	wantLine := fmt.Sprintf("line %d", strings.Count(text, "\n"))
+	if !strings.Contains(err.Error(), wantLine) {
+		t.Fatalf("error %q lacks %q", err, wantLine)
+	}
+	if !strings.Contains(err.Error(), "non-finite") {
+		t.Fatalf("error %q does not surface the trace-layer cause", err)
 	}
 }

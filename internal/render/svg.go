@@ -171,6 +171,14 @@ func drawNode(buf *bytes.Buffer, n *vizgraph.Node, x, y, size float64, idPrefix 
 			x-half, y+half-fh, size, fh, color, clipID)
 		buf.WriteByte('\n')
 	}
+	if n.Avail < 1 {
+		// Fault tint: a red wash over the whole shape that darkens as the
+		// slice-mean availability drops, so failed hosts and dead links
+		// read at a glance at any aggregation level.
+		fmt.Fprintf(buf, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#c62828" fill-opacity="%.2f" clip-path="url(#%s)"><title>availability %.0f%%</title></rect>`,
+			x-half, y-half, size, size, 0.15+0.45*(1-n.Avail), clipID, 100*n.Avail)
+		buf.WriteByte('\n')
+	}
 	writeShapePath(buf, n.Shape, x, y, half, fmt.Sprintf(`fill="none" stroke="%s" stroke-width="1.5"`, color))
 	buf.WriteByte('\n')
 }

@@ -94,3 +94,26 @@ func TestSanitizeID(t *testing.T) {
 		t.Errorf("sanitizeID = %q", got)
 	}
 }
+
+func TestSVGFaultTint(t *testing.T) {
+	tr := demoTrace(t)
+	// HostB dead for the whole window, everything else untouched.
+	if err := tr.Set(0, "HostB", trace.MetricAvailability, 0); err != nil {
+		t.Fatal(err)
+	}
+	v, err := core.NewView(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Stabilize(100, 0.1)
+	svg := string(SVG(v.MustGraph(), v.Layout(), DefaultOptions()))
+	if !strings.Contains(svg, "#c62828") {
+		t.Error("dead host not tinted")
+	}
+	if !strings.Contains(svg, "availability 0%") {
+		t.Error("tint tooltip missing")
+	}
+	if n := strings.Count(svg, "#c62828"); n != 1 {
+		t.Errorf("tint drawn on %d nodes, want only the dead host", n)
+	}
+}

@@ -6,12 +6,15 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"math"
+	"net"
 	"net/http"
 	"sync"
+	"time"
 
 	"viva/internal/aggregation"
 	"viva/internal/core"
@@ -59,12 +62,81 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/params", s.handleParams)
 	mux.HandleFunc("POST /api/move", s.handleMove)
 	mux.HandleFunc("POST /api/unpin", s.handleUnpin)
-	return mux
+	return recoverMiddleware(mux)
 }
 
-// ListenAndServe runs the server on addr until the listener fails.
+// recoverMiddleware converts a handler panic into a 500 JSON response, so
+// one poisoned request (a malformed trace tripping an invariant, say)
+// degrades to an error instead of killing the whole visualization
+// session. http.ErrAbortHandler keeps its conventional meaning.
+func recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			writeJSON(w, http.StatusInternalServerError,
+				map[string]string{"error": fmt.Sprintf("internal error: %v", rec)})
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Timeouts bounding one request's I/O; the handlers themselves are
+// in-memory and fast, so slow-client protection is what matters.
+const (
+	readHeaderTimeout = 5 * time.Second
+	requestTimeout    = 30 * time.Second
+	shutdownTimeout   = 10 * time.Second
+)
+
+// ListenAndServe runs the server on addr until the listener fails,
+// without a shutdown path. Prefer Run when the caller can supply a
+// context.
 func (s *Server) ListenAndServe(addr string) error {
-	return http.ListenAndServe(addr, s.Handler())
+	return s.Run(context.Background(), addr)
+}
+
+// Run serves on addr until ctx is canceled, then shuts down gracefully:
+// in-flight requests get up to shutdownTimeout to finish before the
+// listener's error is returned.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve is Run over an existing listener (which it takes ownership of).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: readHeaderTimeout,
+		ReadTimeout:       requestTimeout,
+		WriteTimeout:      requestTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-done; err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -77,9 +149,14 @@ func writeErr(w http.ResponseWriter, err error) {
 	writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 }
 
-func decode(r *http.Request, v any) error {
+// maxBodyBytes bounds API request bodies. The largest legitimate payload
+// (layout params) is well under a kilobyte; a megabyte leaves room
+// without letting a client exhaust memory.
+const maxBodyBytes = 1 << 20
+
+func decode(w http.ResponseWriter, r *http.Request, v any) error {
 	defer r.Body.Close()
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	return dec.Decode(v)
 }
@@ -95,6 +172,7 @@ type nodeJSON struct {
 	Color    string        `json:"color"`
 	Size     float64       `json:"size"`
 	Fill     float64       `json:"fill"`
+	Avail    float64       `json:"avail"`
 	Count    int           `json:"count"`
 	Value    float64       `json:"value"`
 	X        float64       `json:"x"`
@@ -168,7 +246,7 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 		nj := nodeJSON{
 			ID: n.ID, Group: n.Group, Parent: tn.Parent, Type: n.Type,
 			Label: n.Label, Shape: n.Shape.String(), Color: n.Color,
-			Size: n.Size, Fill: n.Fill, Count: n.Count, Value: n.Value,
+			Size: n.Size, Fill: n.Fill, Avail: n.Avail, Count: n.Count, Value: n.Value,
 			X: b.Pos.X, Y: b.Pos.Y, Pinned: b.Pinned, Leaf: tn.IsEntity(),
 		}
 		for _, seg := range n.Segments {
@@ -248,6 +326,7 @@ type nodeDetailJSON struct {
 	Count     int       `json:"count"`
 	Value     float64   `json:"value"`
 	Fill      float64   `json:"fill"`
+	Avail     float64   `json:"avail"`
 	SizeStats statsJSON `json:"sizeStats"`
 	FillStats statsJSON `json:"fillStats"`
 	Members   []string  `json:"members"`
@@ -280,7 +359,7 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 	}
 	detail := nodeDetailJSON{
 		ID: n.ID, Label: n.Label, Group: n.Group, Type: n.Type,
-		Count: n.Count, Value: n.Value, Fill: n.Fill,
+		Count: n.Count, Value: n.Value, Fill: n.Fill, Avail: n.Avail,
 		SizeStats: toStatsJSON(n.SizeStats),
 		FillStats: toStatsJSON(n.FillStats),
 	}
@@ -314,7 +393,7 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 		Start float64 `json:"start"`
 		End   float64 `json:"end"`
 	}
-	if err := decode(r, &req); err != nil {
+	if err := decode(w, r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -331,7 +410,7 @@ func (s *Server) handleShift(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Dt float64 `json:"dt"`
 	}
-	if err := decode(r, &req); err != nil {
+	if err := decode(w, r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -353,7 +432,7 @@ func (s *Server) groupOp(w http.ResponseWriter, r *http.Request, op func(string)
 	var req struct {
 		Group string `json:"group"`
 	}
-	if err := decode(r, &req); err != nil {
+	if err := decode(w, r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -370,7 +449,7 @@ func (s *Server) handleLevel(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Depth int `json:"depth"`
 	}
-	if err := decode(r, &req); err != nil {
+	if err := decode(w, r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -388,7 +467,7 @@ func (s *Server) handleScale(w http.ResponseWriter, r *http.Request) {
 		Type   string  `json:"type"`
 		Factor float64 `json:"factor"`
 	}
-	if err := decode(r, &req); err != nil {
+	if err := decode(w, r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -409,7 +488,7 @@ func (s *Server) handleFillMode(w http.ResponseWriter, r *http.Request) {
 		Type string `json:"type"`
 		Mode string `json:"mode"`
 	}
-	if err := decode(r, &req); err != nil {
+	if err := decode(w, r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -437,7 +516,7 @@ func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
 	p := s.view.Layout().Params()
 	s.mu.Unlock()
 	// Decode over the current params so omitted fields keep their value.
-	if err := decode(r, &p); err != nil {
+	if err := decode(w, r, &p); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -458,7 +537,7 @@ func (s *Server) handleMove(w http.ResponseWriter, r *http.Request) {
 		Y   float64 `json:"y"`
 		Pin bool    `json:"pin"`
 	}
-	if err := decode(r, &req); err != nil {
+	if err := decode(w, r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -475,7 +554,7 @@ func (s *Server) handleUnpin(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		ID string `json:"id"`
 	}
-	if err := decode(r, &req); err != nil {
+	if err := decode(w, r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}

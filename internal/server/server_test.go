@@ -2,18 +2,21 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"viva/internal/core"
 	"viva/internal/trace"
 )
 
-func testServer(t *testing.T) *httptest.Server {
+func testView(t *testing.T) *core.View {
 	t.Helper()
 	tr := trace.New()
 	tr.MustDeclareResource("root", trace.TypeGroup, "")
@@ -38,7 +41,12 @@ func testServer(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(New(v).Handler())
+	return v
+}
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(New(testView(t)).Handler())
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -369,5 +377,89 @@ func TestGraphCacheETag(t *testing.T) {
 	}
 	if g.Slice[0] != 1 {
 		t.Errorf("slice after shift = %v, want start 1", g.Slice)
+	}
+}
+
+func TestHandlerPanicReturns500(t *testing.T) {
+	srv := httptest.NewServer(recoverMiddleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	})))
+	t.Cleanup(srv.Close)
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body["error"], "boom") {
+		t.Errorf("error body %q does not name the panic", body["error"])
+	}
+}
+
+func TestOversizedBodyRejected(t *testing.T) {
+	srv := testServer(t)
+	big := bytes.Repeat([]byte("x"), maxBodyBytes+1)
+	resp, err := http.Post(srv.URL+"/api/slice", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestInFlightRequestFinishesDuringShutdown(t *testing.T) {
+	s := New(testView(t))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln) }()
+
+	// Stall the handler on the view mutex so the request is still in
+	// flight when the shutdown starts.
+	s.mu.Lock()
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/api/graph")
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		resc <- result{status: resp.StatusCode, body: b, err: err}
+	}()
+	time.Sleep(100 * time.Millisecond) // request reaches the stalled handler
+	cancel()
+	time.Sleep(50 * time.Millisecond) // shutdown starts draining
+	s.mu.Unlock()
+
+	r := <-resc
+	if r.err != nil {
+		t.Fatalf("in-flight request failed: %v", r.err)
+	}
+	if r.status != http.StatusOK {
+		t.Fatalf("in-flight request status = %d, want 200", r.status)
+	}
+	if !bytes.Contains(r.body, []byte(`"nodes"`)) || !bytes.Contains(r.body, []byte(`"avail"`)) {
+		t.Errorf("in-flight response truncated or missing fields: %.120s", r.body)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("Serve returned %v after graceful shutdown", err)
 	}
 }

@@ -194,6 +194,15 @@ function draw() {
       ctx.fillRect(x - s / 2, y + s / 2 - s * n.fill, s, s * n.fill);
       ctx.restore();
     }
+    if (n.avail < 1) {
+      // Fault tint: red wash darkening as availability drops.
+      ctx.save();
+      drawShape(n, x, y, s);
+      ctx.clip();
+      ctx.fillStyle = "rgba(198,40,40," + (0.15 + 0.45 * (1 - n.avail)).toFixed(2) + ")";
+      ctx.fillRect(x - s / 2, y - s / 2, s, s);
+      ctx.restore();
+    }
     drawShape(n, x, y, s);
     ctx.strokeStyle = n.color;
     ctx.lineWidth = 1.5;
@@ -244,6 +253,7 @@ window.addEventListener("mouseup", async () => {
         "members: " + d.count + "\n" +
         "value:   " + fmtN(d.value) + "\n" +
         "fill:    " + (100 * d.fill).toFixed(1) + "%\n" +
+        "avail:   " + (100 * d.avail).toFixed(1) + "%\n" +
         "mean:    " + fmtN(d.sizeStats.mean) + "\n" +
         "stddev:  " + fmtN(d.sizeStats.stddev) + "\n" +
         "median:  " + fmtN(d.sizeStats.median) + "\n" +

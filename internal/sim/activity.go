@@ -18,6 +18,13 @@ type resource struct {
 	isHost   bool
 	flows    map[*activity]struct{}
 
+	// Fault state. nominal is the healthy capacity (what SetHostPower
+	// and recoveries restore), degrade the standing LinkDegrade factor;
+	// capacity is the derived effective value — 0 while down.
+	nominal float64
+	degrade float64
+	down    bool
+
 	// Last traced totals, to avoid redundant trace points.
 	lastUsage   float64
 	lastByCat   map[string]float64
@@ -51,6 +58,7 @@ type activity struct {
 	lastUpdate float64 // engine time of the last settle
 
 	done    bool
+	failure error // why the activity was interrupted (nil on success)
 	waiters []*Actor
 
 	payload    any // comm payload, delivered on completion

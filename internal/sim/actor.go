@@ -2,9 +2,16 @@ package sim
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"viva/internal/platform"
 )
+
+// actorFailure carries a fault error through the legacy blocking APIs
+// (Execute, Send, Recv, Comm.Wait): code that does not handle failures
+// explicitly dies loudly with the underlying error, which Run surfaces.
+// Fault-tolerant code uses the Try*/Timeout variants and never sees it.
+type actorFailure struct{ err error }
 
 type actorState int
 
@@ -32,6 +39,7 @@ type Actor struct {
 	err         error
 	category    string
 	traceStates bool
+	waiting     string // what the actor is blocked on, for deadlock reports
 }
 
 // setState records the actor's behavioural state when state tracing is on.
@@ -51,7 +59,11 @@ func (a *Actor) start(fn func(*Ctx)) {
 		<-a.resume
 		defer func() {
 			if r := recover(); r != nil {
-				a.err = fmt.Errorf("panic: %v", r)
+				if af, ok := r.(actorFailure); ok {
+					a.err = af.err
+				} else {
+					a.err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+				}
 			}
 			a.state = actorDone
 			a.parked <- struct{}{}
@@ -95,9 +107,20 @@ func (c *Ctx) SetCategory(cat string) { c.a.category = cat }
 
 // Execute runs amount flops on the actor's host, sharing the host's power
 // with every other execution there, and returns when the work completes.
+// If the host fails mid-execution the actor dies with the fault error
+// (use TryExecute to handle failures).
 func (c *Ctx) Execute(amount float64) {
+	if err := c.TryExecute(amount); err != nil {
+		panic(actorFailure{err})
+	}
+}
+
+// TryExecute is Execute returning an error instead of killing the actor
+// when the host fails before or during the work. Partial progress is
+// lost; fault-tolerant callers decide whether to retry.
+func (c *Ctx) TryExecute(amount float64) error {
 	if amount <= 0 {
-		return
+		return nil
 	}
 	e := c.a.eng
 	host := e.hosts[c.a.host.Name]
@@ -115,6 +138,14 @@ func (c *Ctx) Execute(amount float64) {
 		c.a.block()
 	}
 	c.a.setState("")
+	return act.failure
+}
+
+// HostAvailable reports whether a host is currently up (always true
+// unless a fault schedule took it down). Fault-tolerant masters use it
+// to tell a dead worker from a slow one.
+func (c *Ctx) HostAvailable(host string) bool {
+	return c.a.eng.HostAvailable(host)
 }
 
 // Sleep suspends the actor for d seconds of simulated time.
@@ -193,7 +224,11 @@ func (c *Ctx) WaitAny(comms []*Comm) int {
 		panic("sim: WaitAny on no communications")
 	}
 	c.a.setState("wait")
-	defer c.a.setState("")
+	c.a.waiting = "wait-any"
+	defer func() {
+		c.a.setState("")
+		c.a.waiting = ""
+	}()
 	for {
 		for i, cm := range comms {
 			if cm != nil && cm.completed() {
@@ -209,10 +244,46 @@ func (c *Ctx) WaitAny(comms []*Comm) int {
 	}
 }
 
+// WaitAnyTimeout is WaitAny with a deadline d seconds away: it returns
+// the index of a completed communication and true, or -1 and false when
+// the deadline elapses first. Unlike WaitAny, an all-nil slice is
+// allowed (it simply waits out the deadline).
+func (c *Ctx) WaitAnyTimeout(comms []*Comm, d float64) (int, bool) {
+	e := c.a.eng
+	c.a.setState("wait")
+	c.a.waiting = "wait-any"
+	defer func() {
+		c.a.setState("")
+		c.a.waiting = ""
+	}()
+	timer := &activity{kind: actSleep, label: "timeout:" + c.a.name, delay: d}
+	timer.addWaiter(c.a)
+	e.startActivity(timer)
+	for {
+		for i, cm := range comms {
+			if cm != nil && cm.completed() {
+				e.cancelTimer(timer)
+				return i, true
+			}
+		}
+		if timer.done {
+			return -1, false
+		}
+		for _, cm := range comms {
+			if cm != nil {
+				cm.addWaiter(c.a)
+			}
+		}
+		c.a.block()
+	}
+}
+
 // Comm is a handle on an asynchronous communication.
 type Comm struct {
 	eng            *Engine
 	act            *activity // nil until sender and receiver matched
+	mb             *mailbox  // where the unmatched half is queued
+	canceled       bool
 	pendingWaiters []*Actor
 	payload        any // what the sender shipped
 }
@@ -230,12 +301,97 @@ func (cm *Comm) addWaiter(a *Actor) {
 // Done reports whether the communication completed.
 func (cm *Comm) Done() bool { return cm.completed() }
 
+// Err returns why the communication failed, once completed (nil while
+// pending or on success).
+func (cm *Comm) Err() error {
+	if cm.canceled {
+		return ErrCanceled
+	}
+	if cm.act == nil || !cm.act.done {
+		return nil
+	}
+	return cm.act.failure
+}
+
 // Wait blocks the calling actor until the communication completes and
-// returns the payload.
+// returns the payload. If the transfer was interrupted by a fault the
+// actor dies with the fault error (use TryWait to handle failures).
 func (cm *Comm) Wait(c *Ctx) any {
+	payload, err := cm.TryWait(c)
+	if err != nil {
+		panic(actorFailure{err})
+	}
+	return payload
+}
+
+// TryWait is Wait returning an error instead of killing the actor when
+// the transfer is interrupted by a fault.
+func (cm *Comm) TryWait(c *Ctx) (any, error) {
+	if cm.canceled {
+		return nil, ErrCanceled
+	}
+	if cm.mb != nil {
+		c.a.waiting = "mbox " + cm.mb.name
+		defer func() { c.a.waiting = "" }()
+	}
 	for !cm.completed() {
 		cm.addWaiter(c.a)
 		c.a.block()
 	}
-	return cm.payload
+	if err := cm.act.failure; err != nil {
+		return nil, err
+	}
+	return cm.payload, nil
+}
+
+// WaitTimeout waits at most d seconds of simulated time for the
+// communication to find its partner. It returns ErrTimeout when the
+// deadline elapses while the communication is still unmatched — the
+// communication is withdrawn from its mailbox, so a retry posts fresh.
+// Once matched, the deadline no longer applies: the in-flight transfer
+// is allowed to resolve (delivery, or the fault error when a resource on
+// the route died), so a deadline racing a slow-but-live transfer can
+// neither lose nor duplicate the message.
+func (cm *Comm) WaitTimeout(c *Ctx, d float64) (any, error) {
+	if cm.canceled {
+		return nil, ErrCanceled
+	}
+	e := cm.eng
+	if cm.mb != nil {
+		c.a.waiting = "mbox " + cm.mb.name
+		defer func() { c.a.waiting = "" }()
+	}
+	timer := &activity{kind: actSleep, label: "timeout:" + c.a.name, delay: d}
+	timer.addWaiter(c.a)
+	e.startActivity(timer)
+	for !cm.completed() {
+		if timer.done && cm.act == nil {
+			cm.Cancel()
+			return nil, ErrTimeout
+		}
+		cm.addWaiter(c.a)
+		c.a.block()
+	}
+	e.cancelTimer(timer)
+	if err := cm.act.failure; err != nil {
+		return nil, err
+	}
+	return cm.payload, nil
+}
+
+// Cancel withdraws a communication that never matched from its mailbox,
+// so the peer can no longer pair with it; waiting on it afterwards
+// returns ErrCanceled. It reports whether anything was withdrawn: a
+// matched (in-flight or completed) communication is left alone and false
+// is returned.
+func (cm *Comm) Cancel() bool {
+	if cm.act != nil || cm.canceled || cm.mb == nil {
+		return false
+	}
+	if !cm.mb.remove(cm) {
+		return false
+	}
+	cm.canceled = true
+	cm.pendingWaiters = nil
+	return true
 }

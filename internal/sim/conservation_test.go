@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
+	"viva/internal/fault"
 	"viva/internal/trace"
 )
 
@@ -143,6 +145,50 @@ func TestCapacityNeverExceeded(t *testing.T) {
 			}
 		}
 	}
+}
+
+// A fault interrupting an in-flight transfer still conserves bytes: the
+// traffic integral on every route link, and the delivered-bytes matrix,
+// both equal exactly the bytes that crossed before the link died.
+func TestFaultInterruptConservesBytes(t *testing.T) {
+	p := testPlatform()
+	tr := trace.New()
+	e := New(p, tr)
+	// 4000 B at 1000 B/s: 4 s healthy; the link dies at t=2, so exactly
+	// 2000 B cross.
+	sched := fault.MustSchedule(fault.Event{Time: 2, Kind: fault.LinkDown, Target: "lnk:c-2"})
+	if err := e.InjectFaults(sched); err != nil {
+		t.Fatal(err)
+	}
+	var sendErr, recvErr error
+	e.Spawn("s", "c-1", func(c *Ctx) {
+		cm := c.Put("mb", nil, 4000)
+		_, sendErr = cm.TryWait(c)
+	})
+	e.Spawn("r", "c-2", func(c *Ctx) {
+		cm := c.Get("mb")
+		_, recvErr = cm.TryWait(c)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var want *ResourceFailure
+	if !errors.As(sendErr, &want) || want.Resource != "lnk:c-2" {
+		t.Errorf("sender error = %v, want ResourceFailure on lnk:c-2", sendErr)
+	}
+	if !errors.As(recvErr, &want) {
+		t.Errorf("receiver error = %v, want ResourceFailure", recvErr)
+	}
+	_, end := tr.Window()
+	route, err := p.Route("c-1", "c-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range route {
+		got := tr.Timeline(l.Name, trace.MetricTraffic).Integrate(0, end+1)
+		near(t, "bytes through "+l.Name, got, 2000)
+	}
+	near(t, "delivered bytes", e.CommBytes()[HostPair{Src: "c-1", Dst: "c-2"}], 2000)
 }
 
 func names(prefix string, i int) string {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"viva/internal/fault"
 	"viva/internal/platform"
 	"viva/internal/trace"
 )
@@ -34,6 +35,18 @@ type Engine struct {
 	traceStates bool
 
 	commBytes map[HostPair]float64 // delivered bytes per (src, dst) hosts
+
+	// Fault injection (see InjectFaults). faults is the merged schedule,
+	// faultIdx the next event to apply, extraLatency the standing
+	// per-link latency spikes. All nil/zero unless faults are armed, so
+	// the healthy path pays only one integer compare per loop iteration.
+	faults       []fault.Event
+	faultIdx     int
+	extraLatency map[string]float64
+
+	// err is the first structural failure (unknown spawn host, missing
+	// route); Run reports it instead of continuing on a broken setup.
+	err error
 
 	// fullRecompute disables the lazy component-based rate invalidation:
 	// every activity change re-solves the whole platform. Only useful to
@@ -65,6 +78,8 @@ func New(plat *platform.Platform, tr *trace.Trace) *Engine {
 		e.hosts[h.Name] = &resource{
 			name:        h.Name,
 			capacity:    h.Power,
+			nominal:     h.Power,
+			degrade:     1,
 			isHost:      true,
 			flows:       make(map[*activity]struct{}),
 			traceUsage:  tr != nil,
@@ -76,6 +91,8 @@ func New(plat *platform.Platform, tr *trace.Trace) *Engine {
 		e.links[l.Name] = &resource{
 			name:        l.Name,
 			capacity:    l.Bandwidth,
+			nominal:     l.Bandwidth,
+			degrade:     1,
 			flows:       make(map[*activity]struct{}),
 			traceUsage:  tr != nil,
 			usageMetric: trace.MetricTraffic,
@@ -115,6 +132,12 @@ func (e *Engine) SetHostPower(host string, power float64) error {
 	if power < 0 {
 		return fmt.Errorf("sim: negative power %g for host %q", power, host)
 	}
+	r.nominal = power
+	if r.down {
+		// Takes effect at the recovery event; the power timeline keeps
+		// showing 0 until then.
+		return nil
+	}
 	r.capacity = power
 	e.dirty[r] = struct{}{}
 	if e.tr != nil {
@@ -129,12 +152,24 @@ func (e *Engine) Now() float64 { return e.now }
 // Platform returns the platform the engine simulates.
 func (e *Engine) Platform() *platform.Platform { return e.plat }
 
+// fail records the first structural error; Run reports it.
+func (e *Engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
 // Spawn registers an actor on a host. The actor starts running when Run is
 // called (or immediately if spawned from inside a running actor).
+//
+// Spawning on an unknown host records an error that the next Run call
+// returns; the result is an inert, already-finished actor, so a bad
+// platform file surfaces as an error instead of a crash.
 func (e *Engine) Spawn(name, host string, fn func(*Ctx)) *Actor {
 	h := e.plat.Host(host)
 	if h == nil {
-		panic(fmt.Sprintf("sim: spawn %q on unknown host %q", name, host))
+		e.fail(fmt.Errorf("sim: spawn %q on unknown host %q", name, host))
+		return &Actor{name: name, eng: e, state: actorDone}
 	}
 	a := &Actor{
 		id:     e.nextID,
@@ -158,14 +193,40 @@ func (e *Engine) Spawn(name, host string, fn func(*Ctx)) *Actor {
 }
 
 // Run executes the simulation until every actor finished. It returns an
-// error if an actor panicked or if the system deadlocks (actors blocked
-// forever on unmatched communications).
+// error if an actor panicked, if the setup was structurally broken
+// (unknown spawn host, missing route), or if the system deadlocks
+// (actors blocked forever on unmatched communications).
 func (e *Engine) Run() error {
 	if err := e.drainRunnable(); err != nil {
 		return err
 	}
+	if e.err != nil {
+		return e.err
+	}
 	for {
 		e.recomputeDirty()
+		if e.faultIdx < len(e.faults) {
+			// A fault is due before (or instead of) the next activity
+			// event: apply it and loop — failed activities may have woken
+			// actors, and the recompute must see the new capacities.
+			next, pending := e.peekEventTime()
+			if !pending || e.faults[e.faultIdx].Time <= next {
+				fe := e.faults[e.faultIdx]
+				e.faultIdx++
+				if fe.Time > e.now {
+					e.now = fe.Time
+				}
+				e.Events++
+				e.applyFault(fe)
+				if err := e.drainRunnable(); err != nil {
+					return err
+				}
+				if e.err != nil {
+					return e.err
+				}
+				continue
+			}
+		}
 		act := e.popEvent()
 		if act == nil {
 			break
@@ -180,12 +241,19 @@ func (e *Engine) Run() error {
 		if err := e.drainRunnable(); err != nil {
 			return err
 		}
+		if e.err != nil {
+			return e.err
+		}
 	}
 	// Nothing left to happen: any actor still alive is deadlocked.
 	var stuck []string
 	for _, a := range e.actors {
 		if a.state != actorDone {
-			stuck = append(stuck, a.name)
+			desc := a.name
+			if a.waiting != "" {
+				desc += " (" + a.waiting + ")"
+			}
+			stuck = append(stuck, desc)
 		}
 	}
 	if len(stuck) > 0 {
@@ -240,6 +308,12 @@ func (e *Engine) fire(act *activity) {
 			e.complete(act)
 			return
 		}
+		if r := e.failedResource(act); r != nil {
+			// The resource died during the delay phase; attaching would
+			// leave a zero-rate flow with no pending event.
+			e.failActivity(act, r)
+			return
+		}
 		// Enter the flow phase.
 		act.attached = true
 		for _, r := range act.resources {
@@ -275,7 +349,13 @@ func (e *Engine) complete(act *activity) {
 	}
 	act.done = true
 	if act.kind == actComm && act.totalBytes > 0 {
-		e.commBytes[HostPair{Src: act.srcHost, Dst: act.dstHost}] += act.totalBytes
+		delivered := act.totalBytes
+		if act.failure != nil {
+			delivered -= act.remaining // only what crossed before the fault
+		}
+		if delivered > 0 {
+			e.commBytes[HostPair{Src: act.srcHost, Dst: act.dstHost}] += delivered
+		}
 	}
 	if act.attached {
 		for _, r := range act.resources {
@@ -297,6 +377,13 @@ func (e *Engine) startActivity(act *activity) {
 	act.lastUpdate = e.now
 	if act.category != "" {
 		e.categories[act.category] = true
+	}
+	if r := e.failedResource(act); r != nil {
+		// Work placed on a dead resource fails immediately, like a
+		// refused connection; waiters observe the failure through the
+		// error-returning wait variants.
+		e.failActivity(act, r)
+		return
 	}
 	if act.delay > 0 {
 		// Delay phase first; the flow attaches when it elapses.
@@ -413,7 +500,9 @@ func (e *Engine) traceResource(r *resource) {
 	if e.traceCats {
 		byCat = make(map[string]float64)
 	}
-	for f := range r.flows {
+	// Sum in flow-id order: float addition isn't associative, so summing
+	// in map order would make the traced totals run-to-run unstable.
+	for _, f := range r.sortedFlows() {
 		if !f.attached || f.done {
 			continue
 		}

@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"viva/internal/fault"
+	"viva/internal/trace"
+)
+
+func TestInjectFaultsRejectsUnknownTargets(t *testing.T) {
+	e := New(testPlatform(), nil)
+	bad := fault.MustSchedule(fault.Event{Time: 1, Kind: fault.HostDown, Target: "ghost"})
+	if err := e.InjectFaults(bad); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Errorf("InjectFaults = %v, want unknown-host error", err)
+	}
+	badLink := fault.MustSchedule(fault.Event{Time: 1, Kind: fault.LinkDown, Target: "c-1"})
+	if err := e.InjectFaults(badLink); err == nil {
+		t.Error("InjectFaults accepted a host name as a link target")
+	}
+}
+
+func TestHostDownInterruptsExecute(t *testing.T) {
+	tr := trace.New()
+	e := New(testPlatform(), tr)
+	mustInject(t, e, fault.MustSchedule(
+		fault.Event{Time: 2, Kind: fault.HostDown, Target: "c-1"},
+		fault.Event{Time: 5, Kind: fault.HostUp, Target: "c-1"},
+	))
+	var execErr error
+	var failedAt, recoveredAt float64
+	e.Spawn("w", "c-1", func(c *Ctx) {
+		execErr = c.TryExecute(1000) // 10 s healthy; dies at t=2
+		failedAt = c.Now()
+		for !c.HostAvailable("c-1") {
+			c.Sleep(1)
+		}
+		recoveredAt = c.Now()
+		if err := c.TryExecute(100); err != nil { // 1 s on the healed host
+			t.Errorf("retry after recovery failed: %v", err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var rf *ResourceFailure
+	if !errors.As(execErr, &rf) || rf.Resource != "c-1" || rf.Time != 2 {
+		t.Fatalf("TryExecute error = %v, want ResourceFailure on c-1 at t=2", execErr)
+	}
+	near(t, "failure observed", failedAt, 2)
+	near(t, "recovery observed", recoveredAt, 5)
+	near(t, "final time", e.Now(), 6)
+
+	if got := tr.StateAt("c-1", 3); got != trace.StateHostDown {
+		t.Errorf("state during outage = %q, want %q", got, trace.StateHostDown)
+	}
+	if got := tr.StateAt("c-1", 5.5); got != "" {
+		t.Errorf("state after recovery = %q, want idle", got)
+	}
+	avail := tr.Timeline("c-1", trace.MetricAvailability)
+	near(t, "availability before", avail.At(1), 1)
+	near(t, "availability during", avail.At(3), 0)
+	near(t, "availability after", avail.At(5.5), 1)
+	power := tr.Timeline("c-1", trace.MetricPower)
+	near(t, "power during outage", power.At(3), 0)
+	near(t, "power after recovery", power.At(5.5), 100)
+}
+
+func TestLegacyExecuteDiesLoudlyOnFault(t *testing.T) {
+	e := New(testPlatform(), nil)
+	mustInject(t, e, fault.MustSchedule(fault.Event{Time: 1, Kind: fault.HostDown, Target: "c-1"}))
+	e.Spawn("w", "c-1", func(c *Ctx) { c.Execute(1000) })
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), `"c-1" failed`) {
+		t.Errorf("Run = %v, want surfaced resource failure", err)
+	}
+}
+
+func TestExecuteOnDeadHostFailsImmediately(t *testing.T) {
+	e := New(testPlatform(), nil)
+	mustInject(t, e, fault.MustSchedule(fault.Event{Time: 0, Kind: fault.HostDown, Target: "c-2"}))
+	var err error
+	e.Spawn("w", "c-2", func(c *Ctx) {
+		c.Sleep(1) // let the fault strike first
+		err = c.TryExecute(100)
+	})
+	if runErr := e.Run(); runErr != nil {
+		t.Fatal(runErr)
+	}
+	var rf *ResourceFailure
+	if !errors.As(err, &rf) {
+		t.Errorf("TryExecute on dead host = %v, want ResourceFailure", err)
+	}
+}
+
+func TestLinkDegradeSlowsTransfer(t *testing.T) {
+	tr := trace.New()
+	e := New(testPlatform(), tr)
+	// 4000 B at 1000 B/s; at t=2 the host link drops to half speed, so
+	// the remaining 2000 B take 4 s: completion at t=6.
+	mustInject(t, e, fault.MustSchedule(
+		fault.Event{Time: 2, Kind: fault.LinkDegrade, Target: "lnk:c-2", Factor: 0.5},
+	))
+	var doneAt float64
+	e.Spawn("s", "c-1", func(c *Ctx) { c.Send("mb", nil, 4000) })
+	e.Spawn("r", "c-2", func(c *Ctx) {
+		c.Recv("mb")
+		doneAt = c.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	near(t, "degraded completion", doneAt, 6)
+	if got := tr.StateAt("lnk:c-2", 3); got != trace.StateDegraded {
+		t.Errorf("link state while degraded = %q, want %q", got, trace.StateDegraded)
+	}
+	near(t, "availability while degraded", tr.Timeline("lnk:c-2", trace.MetricAvailability).At(3), 0.5)
+	near(t, "bandwidth while degraded", tr.Timeline("lnk:c-2", trace.MetricBandwidth).At(3), 500)
+}
+
+func TestLatencySpikeDelaysMatchedTransfers(t *testing.T) {
+	e := New(testPlatform(), nil)
+	mustInject(t, e, fault.MustSchedule(
+		fault.Event{Time: 0, Kind: fault.LatencySpike, Target: "lnk:c-2", Factor: 3},
+	))
+	var doneAt float64
+	e.Spawn("s", "c-1", func(c *Ctx) {
+		c.Sleep(1) // match after the spike is standing
+		c.Send("mb", nil, 1000)
+	})
+	e.Spawn("r", "c-2", func(c *Ctx) {
+		c.Recv("mb")
+		doneAt = c.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 s sleep + 3 s spike latency + 1 s transfer.
+	near(t, "spiked completion", doneAt, 5)
+}
+
+func TestWaitTimeoutOnSilentPeer(t *testing.T) {
+	e := New(testPlatform(), nil)
+	var err error
+	var at float64
+	e.Spawn("r", "c-1", func(c *Ctx) {
+		cm := c.Get("silence")
+		_, err = cm.WaitTimeout(c, 2.5)
+		at = c.Now()
+	})
+	if runErr := e.Run(); runErr != nil {
+		t.Fatal(runErr)
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("WaitTimeout = %v, want ErrTimeout", err)
+	}
+	near(t, "timeout fired", at, 2.5)
+	// The timed-out receive was withdrawn: a later send must not pair
+	// with it.
+	if mb := e.mailboxes["silence"]; mb != nil && len(mb.recvs) != 0 {
+		t.Errorf("canceled receive still queued: %d pending", len(mb.recvs))
+	}
+}
+
+func TestWaitTimeoutWinsOverTimer(t *testing.T) {
+	e := New(testPlatform(), nil)
+	var payload any
+	var err error
+	e.Spawn("s", "c-1", func(c *Ctx) { c.Send("mb", "hi", 1000) })
+	e.Spawn("r", "c-2", func(c *Ctx) {
+		cm := c.Get("mb")
+		payload, err = cm.WaitTimeout(c, 50)
+	})
+	if runErr := e.Run(); runErr != nil {
+		t.Fatal(runErr)
+	}
+	if err != nil || payload != "hi" {
+		t.Fatalf("WaitTimeout = (%v, %v), want (hi, nil)", payload, err)
+	}
+	// The losing timer must not keep the clock running to t=50.
+	if e.Now() > 10 {
+		t.Errorf("final time %g: canceled timer still fired", e.Now())
+	}
+}
+
+func TestWaitAnyTimeout(t *testing.T) {
+	e := New(testPlatform(), nil)
+	var idx int
+	var ok, ok2 bool
+	e.Spawn("s", "c-1", func(c *Ctx) { c.Send("mb", nil, 1000) })
+	e.Spawn("r", "c-2", func(c *Ctx) {
+		first := c.Get("mb")
+		never := c.Get("silence")
+		idx, ok = c.WaitAnyTimeout([]*Comm{never, first}, 100)
+		_, ok2 = c.WaitAnyTimeout([]*Comm{never}, 1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok || idx != 1 {
+		t.Errorf("WaitAnyTimeout = (%d, %v), want (1, true)", idx, ok)
+	}
+	if ok2 {
+		t.Error("WaitAnyTimeout on silent mailbox did not time out")
+	}
+}
+
+func TestDeadlockReportNamesMailbox(t *testing.T) {
+	e := New(testPlatform(), nil)
+	e.Spawn("stuck", "c-1", func(c *Ctx) { c.Recv("lost-mbox") })
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") ||
+		!strings.Contains(err.Error(), "stuck (mbox lost-mbox)") {
+		t.Errorf("Run = %v, want deadlock report naming the mailbox", err)
+	}
+}
+
+func TestActorPanicCapturesStack(t *testing.T) {
+	e := New(testPlatform(), nil)
+	e.Spawn("bad", "c-1", func(c *Ctx) { panic("kaboom") })
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "kaboom") ||
+		!strings.Contains(err.Error(), "goroutine") {
+		t.Errorf("Run = %v, want panic error with captured stack", err)
+	}
+}
+
+func TestScheduleOutlivesActors(t *testing.T) {
+	tr := trace.New()
+	e := New(testPlatform(), tr)
+	mustInject(t, e, fault.MustSchedule(
+		fault.Event{Time: 40, Kind: fault.LinkDown, Target: "lnk:c-3"},
+		fault.Event{Time: 50, Kind: fault.LinkUp, Target: "lnk:c-3"},
+	))
+	e.Spawn("quick", "c-1", func(c *Ctx) { c.Sleep(1) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The full scenario is recorded even though the app ended at t=1.
+	_, end := tr.Window()
+	near(t, "window end", end, 50)
+	if got := tr.StateAt("lnk:c-3", 45); got != trace.StateLinkDown {
+		t.Errorf("state at t=45 = %q, want %q", got, trace.StateLinkDown)
+	}
+}
+
+// Same seed, same workload ⇒ byte-for-byte identical trace output: the
+// reproducibility the interactive analysis workflow depends on.
+func TestChurnTraceReproducible(t *testing.T) {
+	run := func(seed int64) []byte {
+		p := testPlatform()
+		tr := trace.New()
+		e := New(p, tr)
+		cfg := fault.ChurnConfig{
+			Hosts:     []string{"c-1", "c-2", "c-3", "c-4"},
+			Links:     []string{"lnk:c-1", "lnk:c-2", "lnk:c-3", "lnk:c-4"},
+			Horizon:   30,
+			HostChurn: 0.5,
+			LinkChurn: 0.5,
+		}
+		mustInject(t, e, fault.Churn(seed, cfg))
+		for i := 0; i < 4; i++ {
+			host := []string{"c-1", "c-2", "c-3", "c-4"}[i]
+			e.Spawn(names("job", i), host, func(c *Ctx) {
+				for round := 0; round < 5; round++ {
+					c.TryExecute(100) // faults tolerated, loop bounded
+					c.Sleep(0.5)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := trace.Write(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(7), run(7)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	c := run(8)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func mustInject(t *testing.T, e *Engine, s *fault.Schedule) {
+	t.Helper()
+	if err := e.InjectFaults(s); err != nil {
+		t.Fatal(err)
+	}
+}

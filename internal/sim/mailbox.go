@@ -40,7 +40,7 @@ func (e *Engine) put(a *Actor, mboxName string, payload any, size float64) *Comm
 		panic(fmt.Sprintf("sim: negative message size %g", size))
 	}
 	mb := e.mbox(mboxName)
-	comm := &Comm{eng: e, payload: payload}
+	comm := &Comm{eng: e, mb: mb, payload: payload}
 	ps := &pendingSend{
 		comm:     comm,
 		payload:  payload,
@@ -61,7 +61,7 @@ func (e *Engine) put(a *Actor, mboxName string, payload any, size float64) *Comm
 
 func (e *Engine) get(a *Actor, mboxName string) *Comm {
 	mb := e.mbox(mboxName)
-	comm := &Comm{eng: e}
+	comm := &Comm{eng: e, mb: mb}
 	pr := &pendingRecv{comm: comm, dstHost: a.host.Name}
 	if len(mb.sends) > 0 {
 		ps := mb.sends[0]
@@ -73,18 +73,46 @@ func (e *Engine) get(a *Actor, mboxName string) *Comm {
 	return comm
 }
 
+// remove withdraws the unmatched half belonging to comm. It reports
+// whether anything was removed.
+func (mb *mailbox) remove(cm *Comm) bool {
+	for i, ps := range mb.sends {
+		if ps.comm == cm {
+			mb.sends = append(mb.sends[:i], mb.sends[i+1:]...)
+			return true
+		}
+	}
+	for i, pr := range mb.recvs {
+		if pr.comm == cm {
+			mb.recvs = append(mb.recvs[:i], mb.recvs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // match pairs a posted send with a posted receive and starts the transfer
 // over the platform route between their hosts.
 func (e *Engine) match(ps *pendingSend, pr *pendingRecv) {
 	route, err := e.plat.Route(ps.srcHost, pr.dstHost)
 	if err != nil {
-		panic(err) // hosts come from actors, so routes always exist
+		// A broken platform description: fail the communication so both
+		// sides wake with an error, and surface it through Run.
+		err = fmt.Errorf("sim: no route %s -> %s: %w", ps.srcHost, pr.dstHost, err)
+		e.fail(err)
+		act := &activity{kind: actComm, label: ps.label, failure: err}
+		wireComm(act, ps, pr)
+		e.complete(act)
+		return
 	}
 	var links []*resource
 	var latency float64
 	for _, l := range route {
 		links = append(links, e.links[l.Name])
 		latency += l.Latency
+		if x := e.extraLatency[l.Name]; x > 0 {
+			latency += x
+		}
 	}
 	act := &activity{
 		kind:       actComm,
@@ -100,6 +128,13 @@ func (e *Engine) match(ps *pendingSend, pr *pendingRecv) {
 	}
 	// Same-host transfers have no links and no latency: they complete
 	// instantly, which startActivity handles.
+	wireComm(act, ps, pr)
+	e.startActivity(act)
+}
+
+// wireComm binds the matched activity to both Comm handles and moves
+// their pending waiters onto it.
+func wireComm(act *activity, ps *pendingSend, pr *pendingRecv) {
 	ps.comm.act = act
 	pr.comm.act = act
 	pr.comm.payload = ps.payload
@@ -111,5 +146,4 @@ func (e *Engine) match(ps *pendingSend, pr *pendingRecv) {
 	}
 	ps.comm.pendingWaiters = nil
 	pr.comm.pendingWaiters = nil
-	e.startActivity(act)
 }

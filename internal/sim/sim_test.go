@@ -266,14 +266,20 @@ func TestSpawnDuringRun(t *testing.T) {
 	near(t, "child end", childEnd, 2)
 }
 
-func TestSpawnUnknownHostPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("no panic for unknown host")
-		}
-	}()
+func TestSpawnUnknownHostSurfacesError(t *testing.T) {
 	e := New(testPlatform(), nil)
-	e.Spawn("x", "nope", func(c *Ctx) {})
+	ran := false
+	a := e.Spawn("x", "nope", func(c *Ctx) { ran = true })
+	if a == nil {
+		t.Fatal("Spawn returned nil actor")
+	}
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), `unknown host "nope"`) {
+		t.Errorf("Run = %v, want unknown-host error", err)
+	}
+	if ran {
+		t.Error("body of an actor spawned on an unknown host ran")
+	}
 }
 
 func TestHostUsageTraced(t *testing.T) {

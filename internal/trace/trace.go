@@ -21,6 +21,21 @@ const (
 	MetricBandwidth   = "bandwidth"   // link capacity (byte/s)
 	MetricTraffic     = "traffic"     // link usage (byte/s)
 	MetricUtilization = "utilization" // derived, in [0,1]
+
+	// MetricAvailability records a resource's health in [0, 1]: 1 when
+	// fully up, 0 while down, and the degradation factor while a link
+	// runs below its nominal bandwidth. Simulators emit it when a fault
+	// schedule is injected; traces without faults simply do not carry it.
+	MetricAvailability = "availability"
+)
+
+// Standard state values the fault-injection path records on hosts and
+// links, so failures are visible data in the behavioural half of the
+// trace rather than silent gaps in the metric timelines.
+const (
+	StateHostDown = "host_down"   // host crashed (capacity 0)
+	StateLinkDown = "link_down"   // link cut (bandwidth 0)
+	StateDegraded = "degraded_bw" // link running at a fraction of nominal
 )
 
 // Resource is one monitored entity: a host, a network link, or a grouping

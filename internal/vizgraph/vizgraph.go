@@ -146,6 +146,7 @@ type Node struct {
 	Value float64 // aggregated size-metric value (Eq. 1 sum)
 	Size  float64 // pixel size after per-type scaling
 	Fill  float64 // proportional fill in [0, 1]
+	Avail float64 // mean availability over the slice in [0, 1]; 1 without faults
 	Count int     // entities aggregated in the node
 
 	SizeStats aggregation.Stats // statistical companions of Value
@@ -344,6 +345,11 @@ func buildGroup(ag *aggregation.Aggregator, group string, m Mapping, slice aggre
 		} else {
 			node.Label = fmt.Sprintf("%s[%s]", group, typ)
 		}
+		avail, err := ag.Availability(group, typ, slice)
+		if err != nil {
+			return nil, err
+		}
+		node.Avail = avail
 		if tm.SizeMetric != "" {
 			st, err := ag.Stats(group, typ, tm.SizeMetric, slice)
 			if err != nil {

@@ -368,3 +368,31 @@ func TestShapeString(t *testing.T) {
 		t.Error("unknown shape has empty name")
 	}
 }
+
+func TestNodeAvailability(t *testing.T) {
+	tr := fig1Trace(t)
+	set := func(tt float64, r, m string, v float64) {
+		t.Helper()
+		if err := tr.Set(tt, r, m, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// HostB crashed for the first half of the slice; LinkA for all of it.
+	set(0, "HostA", trace.MetricAvailability, 1)
+	set(0, "HostB", trace.MetricAvailability, 0)
+	set(5, "HostB", trace.MetricAvailability, 1)
+	set(0, "LinkA", trace.MetricAvailability, 0)
+	g := build(t, tr, nil, DefaultMapping(), aggregation.TimeSlice{Start: 0, End: 10})
+	near(t, "HostA avail", g.Node(NodeID("HostA", trace.TypeHost)).Avail, 1)
+	near(t, "HostB avail", g.Node(NodeID("HostB", trace.TypeHost)).Avail, 0.5)
+	near(t, "LinkA avail", g.Node(NodeID("LinkA", trace.TypeLink)).Avail, 0)
+}
+
+func TestNodeAvailabilityDefaultsToOne(t *testing.T) {
+	g := build(t, fig1Trace(t), nil, DefaultMapping(), aggregation.TimeSlice{Start: 0, End: 10})
+	for _, n := range g.Nodes {
+		if n.Avail != 1 {
+			t.Errorf("node %s avail = %g, want 1 without fault data", n.ID, n.Avail)
+		}
+	}
+}

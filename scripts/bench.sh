@@ -1,8 +1,8 @@
 #!/bin/sh
-# bench.sh — run the layout and aggregation benchmark suites and record
-# the results as BENCH_layout.json and BENCH_aggregation.json (name,
-# ns/op, allocs/op, bytes/op), the perf trajectories future PRs compare
-# against.
+# bench.sh — run the layout, aggregation and fault benchmark suites and
+# record the results as BENCH_layout.json, BENCH_aggregation.json and
+# BENCH_fault.json (name, ns/op, allocs/op, bytes/op), the perf
+# trajectories future PRs compare against.
 #
 # Usage:
 #   scripts/bench.sh [benchtime] [pattern]
@@ -18,6 +18,9 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-1x}"
 LAYOUT_PATTERN="${2:-BenchmarkLayout|BenchmarkAggregateDisaggregate|BenchmarkAblationTheta}"
 AGG_PATTERN="${2:-BenchmarkSliceScrub|BenchmarkVizgraphBuild|BenchmarkFig2TemporalAggregation|BenchmarkFig3SpatialAggregation|BenchmarkFig9Animation|BenchmarkSummarise}"
+# The fault suite includes Fig6 so the healthy-path overhead of the fault
+# subsystem is visible against the same-workload baseline in one file.
+FAULT_PATTERN="${2:-BenchmarkEngineWithFaults|BenchmarkFig6NASDTSequential}"
 
 # to_json RAW OUT — convert `go test -bench` output lines like
 #   BenchmarkFoo/n=1024/p=4-8   123   456789 ns/op   10 B/op   2 allocs/op
@@ -53,3 +56,7 @@ to_json "$RAW" BENCH_layout.json
 echo "running aggregation suite (-benchtime=$BENCHTIME, -bench='$AGG_PATTERN') ..." >&2
 go test -run '^$' -bench "$AGG_PATTERN" -benchmem -benchtime "$BENCHTIME" . ./internal/aggregation | tee "$RAW" >&2
 to_json "$RAW" BENCH_aggregation.json
+
+echo "running fault suite (-benchtime=$BENCHTIME, -bench='$FAULT_PATTERN') ..." >&2
+go test -run '^$' -bench "$FAULT_PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
+to_json "$RAW" BENCH_fault.json
