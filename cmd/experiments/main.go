@@ -16,13 +16,21 @@ import (
 	"strings"
 
 	"viva/internal/experiments"
+	"viva/internal/obs"
 )
 
 func main() {
 	fig := flag.String("fig", "", "experiment id to run (default: all); one of "+strings.Join(experiments.IDs(), ", "))
 	out := flag.String("out", "out", "directory for figure SVGs (empty: skip SVGs)")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast run")
+	obsDump := flag.Bool("obs", false, "print an observability summary to stderr on exit")
 	flag.Parse()
+	if *obsDump {
+		defer func() {
+			fmt.Fprintln(os.Stderr, "experiments: observability summary:")
+			_ = obs.Default.WriteSummary(os.Stderr)
+		}()
+	}
 
 	opts := experiments.Options{Quick: *quick, OutDir: *out}
 	var toRun []experiments.Experiment

@@ -25,6 +25,7 @@ import (
 	"viva/internal/fault"
 	"viva/internal/masterworker"
 	"viva/internal/nasdt"
+	"viva/internal/obs"
 	"viva/internal/platform"
 	"viva/internal/sim"
 	"viva/internal/trace"
@@ -38,7 +39,14 @@ func main() {
 	faultsFile := flag.String("faults", "", "fault schedule file to inject into the run")
 	churn := flag.Float64("churn", 0, "fraction of hosts and links that fail at least once (0: no churn)")
 	churnSeed := flag.Int64("churn-seed", 1, "seed for -churn; the same seed always yields the same schedule")
+	obsDump := flag.Bool("obs", false, "print an observability summary (events, recomputes, flows settled, ...) to stderr on exit")
 	flag.Parse()
+	if *obsDump {
+		defer func() {
+			fmt.Fprintln(os.Stderr, "tracegen: observability summary:")
+			_ = obs.Default.WriteSummary(os.Stderr)
+		}()
+	}
 
 	faults := faultFlags{file: *faultsFile, churn: *churn, seed: *churnSeed}
 	tr, err := generate(*scenario, *states, *platformXML, faults)

@@ -25,6 +25,7 @@ import (
 	"viva/internal/core"
 	"viva/internal/gantt"
 	"viva/internal/layout"
+	"viva/internal/obs"
 	"viva/internal/render"
 	"viva/internal/trace"
 	"viva/internal/traceio"
@@ -46,7 +47,29 @@ func main() {
 	edges := flag.String("edges", "", "connection configuration file (one \"a b\" pair per line), for traces without topology edges")
 	animate := flag.Int("animate", 0, "render an N-frame animated SVG sweeping the window (to -o)")
 	animDur := flag.Float64("animdur", 1, "seconds per animation frame")
+	obsDump := flag.Bool("obs", false, "print an observability summary to stderr on exit")
+	selftrace := flag.String("selftrace", "", "write this run's pipeline spans as a Paje trace to this file")
 	flag.Parse()
+
+	if *obsDump {
+		defer func() {
+			fmt.Fprintln(os.Stderr, "viva: observability summary:")
+			_ = obs.Default.WriteSummary(os.Stderr)
+		}()
+	}
+	if *selftrace != "" {
+		st, err := obs.StartSelfTrace(*selftrace)
+		if err != nil {
+			fatal(err)
+		}
+		obs.Frames.SetSink(st)
+		defer func() {
+			obs.Frames.SetSink(nil)
+			if err := st.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "viva: selftrace:", err)
+			}
+		}()
+	}
 
 	if *tracePath == "" {
 		flag.Usage()

@@ -4,9 +4,15 @@
 //
 // Usage:
 //
-//	vivaserve -trace trace.viva [-addr :8844]
+//	vivaserve -trace trace.viva [-addr :8844] [-pprof] [-track-allocs]
+//	          [-selftrace self.paje] [-obs]
 //
-// Then open http://localhost:8844 in a browser.
+// Then open http://localhost:8844 in a browser. The server observes
+// itself: GET /metrics serves Prometheus text, GET /api/obs/frames the
+// per-stage frame-timing ring; -pprof additionally mounts
+// /debug/pprof/. With -selftrace the pipeline spans are also written as
+// a Paje trace, so `viva -trace self.paje` visualizes this very server's
+// execution.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"syscall"
 
 	"viva/internal/core"
+	"viva/internal/obs"
 	"viva/internal/server"
 	"viva/internal/traceio"
 )
@@ -28,6 +35,10 @@ func main() {
 	level := flag.Int("level", -1, "initial aggregation depth (-1: leaves)")
 	edges := flag.String("edges", "", "connection configuration file for traces without topology edges")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the layout step and the aggregation graph build (0: GOMAXPROCS, 1: serial; same output either way)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	trackAllocs := flag.Bool("track-allocs", false, "record per-stage heap-alloc deltas in the frame ring (small per-span cost)")
+	selftrace := flag.String("selftrace", "", "write the pipeline's own spans as a Paje trace to this file")
+	obsDump := flag.Bool("obs", false, "print an observability summary to stderr on exit")
 	flag.Parse()
 
 	if *tracePath == "" {
@@ -50,13 +61,33 @@ func main() {
 		}
 	}
 	v.SetParallelism(*parallel)
+	obs.Frames.TrackAllocs(*trackAllocs)
+	if *selftrace != "" {
+		st, err := obs.StartSelfTrace(*selftrace)
+		if err != nil {
+			fatal(err)
+		}
+		obs.Frames.SetSink(st)
+		defer func() {
+			obs.Frames.SetSink(nil)
+			if err := st.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "vivaserve: selftrace:", err)
+			}
+		}()
+	}
 	fmt.Printf("serving %s on http://localhost%s\n", *tracePath, *addr)
 	// SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests are
 	// drained before the process exits.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := server.New(v).Run(ctx, *addr); err != nil {
+	srv := server.New(v)
+	srv.EnablePprof = *pprofOn
+	if err := srv.Run(ctx, *addr); err != nil {
 		fatal(err)
+	}
+	if *obsDump {
+		fmt.Fprintln(os.Stderr, "vivaserve: observability summary:")
+		_ = obs.Default.WriteSummary(os.Stderr)
 	}
 }
 

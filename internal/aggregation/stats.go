@@ -4,7 +4,22 @@ import (
 	"math"
 	"sync"
 
+	"viva/internal/obs"
 	"viva/internal/trace"
+)
+
+// Self-observation of the Eq. 1 hot path: how often the per-(query,
+// slice) Stats cache saves the aggregation scan, and how much cold work
+// (member resolution, wholesale flushes) happens behind it.
+var (
+	obsStatsHits = obs.Default.Counter("viva_agg_stats_cache_hits_total",
+		"Stats queries answered from the (query, slice) cache.")
+	obsStatsMisses = obs.Default.Counter("viva_agg_stats_cache_misses_total",
+		"Stats queries computed from member timelines.")
+	obsStatsFlushes = obs.Default.Counter("viva_agg_stats_cache_flushes_total",
+		"Wholesale Stats-cache flushes (bound reached or Invalidate).")
+	obsMemberResolves = obs.Default.Counter("viva_agg_member_resolves_total",
+		"Member-list resolutions ((group, type, metric) cold paths).")
 )
 
 // TimeSlice is the temporal neighbourhood Δ of Equation 1: the window
@@ -136,6 +151,7 @@ func (ag *Aggregator) Invalidate() {
 	ag.counts = make(map[[2]string]int)
 	ag.stats = make(map[statsKey]Stats)
 	ag.mu.Unlock()
+	obsStatsFlushes.Inc()
 	ag.tree.invalidate()
 }
 
@@ -149,6 +165,7 @@ func (ag *Aggregator) resolveMembers(group, typ, metric string) (*memberList, er
 	if ml != nil {
 		return ml, nil
 	}
+	obsMemberResolves.Inc()
 	leaves, err := ag.tree.leavesUnder(group)
 	if err != nil {
 		return nil, err
@@ -240,8 +257,10 @@ func (ag *Aggregator) Stats(group, typ, metric string, s TimeSlice) (Stats, erro
 	st, ok := ag.stats[key]
 	ag.mu.RUnlock()
 	if ok {
+		obsStatsHits.Inc()
 		return st, nil
 	}
+	obsStatsMisses.Inc()
 
 	ml, err := ag.resolveMembers(group, typ, metric)
 	if err != nil {
@@ -260,6 +279,7 @@ func (ag *Aggregator) Stats(group, typ, metric string, s TimeSlice) (Stats, erro
 	ag.mu.Lock()
 	if len(ag.stats) >= maxStatsEntries {
 		clear(ag.stats) // wholesale flush keeps the cache bounded
+		obsStatsFlushes.Inc()
 	}
 	ag.stats[key] = st
 	ag.mu.Unlock()

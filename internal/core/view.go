@@ -24,8 +24,19 @@ import (
 
 	"viva/internal/aggregation"
 	"viva/internal/layout"
+	"viva/internal/obs"
 	"viva/internal/trace"
 	"viva/internal/vizgraph"
+)
+
+// Self-observation of the view: rebuild count tells how often the graph
+// cache misses; the generation gauge lets a dashboard correlate metric
+// movement with analyst interactions.
+var (
+	obsGraphRebuilds = obs.Default.Counter("viva_core_graph_rebuilds_total",
+		"Visual-graph rebuilds triggered by view mutations.")
+	obsGeneration = obs.Default.Gauge("viva_core_view_generation",
+		"Input-mutation generation of the (most recently touched) view.")
 )
 
 // View is an interactive topology-based visualization session over one
@@ -59,7 +70,10 @@ type View struct {
 func (v *View) Generation() uint64 { return v.gen }
 
 // touch records an input mutation.
-func (v *View) touch() { v.gen++ }
+func (v *View) touch() {
+	v.gen++
+	obsGeneration.Set(float64(v.gen))
+}
 
 // NewView opens a view on a trace: leaf-level cut, default mapping, the
 // whole observation window as time slice, Barnes-Hut layout.
@@ -140,6 +154,7 @@ func (v *View) Graph() (*vizgraph.Graph, error) {
 	if !v.dirty {
 		return v.graph, nil
 	}
+	obsGraphRebuilds.Inc()
 	g, err := vizgraph.BuildOpts(v.ag, v.cut, v.mapping, v.slice, vizgraph.Options{Parallelism: v.par, Cache: &v.bcache})
 	if err != nil {
 		return nil, err

@@ -18,6 +18,25 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"viva/internal/obs"
+)
+
+// Self-observation of the interactive hot path: step throughput, the
+// convergence residual the settling heuristics watch, and the shape of
+// the Barnes-Hut quadtree (its node count and depth govern the cost of
+// every force pass).
+var (
+	obsSteps = obs.Default.Counter("viva_layout_steps_total",
+		"Force-simulation steps advanced.")
+	obsResidual = obs.Default.Gauge("viva_layout_residual",
+		"Maximum body displacement of the last step (convergence residual).")
+	obsBodies = obs.Default.Gauge("viva_layout_bodies",
+		"Bodies in the layout at the last step.")
+	obsQuadNodes = obs.Default.Gauge("viva_layout_quadtree_nodes",
+		"Quadtree nodes allocated by the last Barnes-Hut pass.")
+	obsQuadDepth = obs.Default.Gauge("viva_layout_quadtree_depth",
+		"Maximum quadtree depth of the last Barnes-Hut pass.")
 )
 
 // Point is a position or vector in the 2D layout plane.
@@ -297,6 +316,7 @@ const (
 // Step advances the simulation by one time step with the given engine and
 // returns the maximum displacement, the convergence measure.
 func (l *Layout) Step(algo Algorithm) float64 {
+	span := obs.StartSpan(obs.StageLayout)
 	for _, b := range l.bodies {
 		b.force = Point{}
 	}
@@ -307,7 +327,12 @@ func (l *Layout) Step(algo Algorithm) float64 {
 		l.repelNaive()
 	}
 	l.applySprings()
-	return l.integrate()
+	d := l.integrate()
+	span.End()
+	obsSteps.Inc()
+	obsResidual.Set(d)
+	obsBodies.Set(float64(len(l.bodies)))
+	return d
 }
 
 // Run iterates until the maximum displacement per step falls below eps or

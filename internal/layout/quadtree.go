@@ -42,12 +42,16 @@ type quadNode struct {
 // ready to use.
 type quadArena struct {
 	nodes []quadNode
+	// maxDepth is the deepest level the last build reached — an
+	// observability statistic (obs gauge), not used by the force pass.
+	maxDepth int
 }
 
 // build constructs the tree over the bodies, reusing the slab from the
 // previous step, and returns the root index (noNode for no bodies).
 func (a *quadArena) build(bodies []*Body) int32 {
 	a.nodes = a.nodes[:0]
+	a.maxDepth = 0
 	if len(bodies) == 0 {
 		return noNode
 	}
@@ -127,6 +131,9 @@ func (a *quadArena) insert(n int32, bodies []*Body, bi int32, depth int) {
 		c = 1
 	}
 	for {
+		if depth > a.maxDepth {
+			a.maxDepth = depth
+		}
 		nd := &a.nodes[n]
 		// Update aggregate charge and centre of charge.
 		total := nd.charge + c
@@ -217,6 +224,8 @@ func (a *quadArena) forceOn(root int32, bodies []*Body, bi int32, theta, chargeK
 
 func (l *Layout) repelBarnesHut() {
 	root := l.arena.build(l.bodies)
+	obsQuadNodes.Set(float64(len(l.arena.nodes)))
+	obsQuadDepth.Set(float64(l.arena.maxDepth))
 	if root == noNode {
 		return
 	}

@@ -1,0 +1,262 @@
+// Frame spans: where does one interactive frame's budget go? The server
+// brackets each /api/graph frame with BeginFrame/EndFrame; the pipeline
+// stages (aggregation, graph build, layout step, render) wrap their work
+// in StartSpan/End pairs. Spans landing inside an open frame accumulate
+// per-stage wall time, call counts and (optionally) heap-alloc deltas in
+// a bounded lock-free ring the /api/obs/frames endpoint snapshots.
+// Spans outside any frame (batch tools, benchmarks) cost two clock reads
+// and are dropped — unless a self-trace sink is attached, which receives
+// every span (see selftrace.go).
+
+package obs
+
+import (
+	"runtime/metrics"
+	"sync/atomic"
+	"time"
+)
+
+// MaxStages bounds the stage table; stage slots live inline in every ring
+// frame, so the table is small and fixed.
+const MaxStages = 16
+
+var stageNames atomic.Pointer[[]string]
+
+// StageID indexes a registered pipeline stage.
+type StageID int32
+
+// RegisterStage interns a stage name, returning its id (idempotent).
+// It panics past MaxStages — stages are a small fixed vocabulary.
+func RegisterStage(name string) StageID {
+	for {
+		old := stageNames.Load()
+		if old != nil {
+			for i, n := range *old {
+				if n == name {
+					return StageID(i)
+				}
+			}
+		}
+		var next []string
+		if old != nil {
+			next = append(next, *old...)
+		}
+		if len(next) >= MaxStages {
+			panic("obs: too many stages: " + name)
+		}
+		next = append(next, name)
+		if stageNames.CompareAndSwap(old, &next) {
+			return StageID(len(next) - 1)
+		}
+	}
+}
+
+// StageName returns the name a stage id was registered under.
+func StageName(id StageID) string {
+	names := stageNames.Load()
+	if names == nil || int(id) < 0 || int(id) >= len(*names) {
+		return ""
+	}
+	return (*names)[id]
+}
+
+// The pipeline's own stages, in frame order.
+var (
+	StageAggregate = RegisterStage("aggregate")
+	StageBuild     = RegisterStage("build")
+	StageLayout    = RegisterStage("layout")
+	StageRender    = RegisterStage("render")
+)
+
+// frameSlot is one ring entry. seq tags which frame currently occupies
+// the slot, so late spans from an evicted frame cannot corrupt its
+// successor; end stays 0 while the frame is open.
+type frameSlot struct {
+	seq   atomic.Uint64
+	start atomic.Int64 // ns since ring epoch
+	end   atomic.Int64
+
+	ns    [MaxStages]atomic.Int64
+	count [MaxStages]atomic.Int64
+	bytes [MaxStages]atomic.Int64
+}
+
+// Ring is the bounded frame-timing buffer. All methods are safe for
+// concurrent use and allocation-free except the snapshots.
+type Ring struct {
+	slots []frameSlot
+	seq   atomic.Uint64 // last BeginFrame's number; 0 = never
+	epoch time.Time
+
+	trackAllocs atomic.Bool
+	sink        atomic.Pointer[SelfTrace]
+}
+
+// NewRing returns a ring holding the last n frames (n < 1 means 256).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 256
+	}
+	return &Ring{slots: make([]frameSlot, n), epoch: time.Now()}
+}
+
+// Frames is the process-wide ring the server and the default StartSpan
+// record into.
+var Frames = NewRing(256)
+
+// TrackAllocs toggles heap-allocation deltas on spans. Each span then
+// costs two runtime/metrics reads on top of the clock reads; off (the
+// default) keeps the hot path at ~tens of nanoseconds.
+func (r *Ring) TrackAllocs(on bool) { r.trackAllocs.Store(on) }
+
+// now returns nanoseconds since the ring epoch, monotonic.
+func (r *Ring) now() int64 { return int64(time.Since(r.epoch)) }
+
+// BeginFrame opens the next frame and returns its sequence number.
+func (r *Ring) BeginFrame() uint64 {
+	s := r.seq.Add(1)
+	slot := &r.slots[s%uint64(len(r.slots))]
+	slot.seq.Store(0) // retire the evicted frame before resetting
+	for i := 0; i < MaxStages; i++ {
+		slot.ns[i].Store(0)
+		slot.count[i].Store(0)
+		slot.bytes[i].Store(0)
+	}
+	slot.end.Store(0)
+	slot.start.Store(r.now())
+	slot.seq.Store(s)
+	return s
+}
+
+// EndFrame closes the frame opened by the matching BeginFrame.
+func (r *Ring) EndFrame(seq uint64) {
+	slot := &r.slots[seq%uint64(len(r.slots))]
+	if slot.seq.Load() != seq {
+		return // already evicted by a wrapped ring
+	}
+	end := r.now()
+	slot.end.Store(end)
+	if st := r.sink.Load(); st != nil {
+		st.record("frame", end-slot.start.Load())
+	}
+}
+
+// Span is one in-flight stage measurement. It is a value: starting and
+// ending a span never allocates.
+type Span struct {
+	ring       *Ring
+	stage      StageID
+	startNs    int64
+	startBytes uint64
+}
+
+// StartSpan begins measuring a stage against the ring.
+func (r *Ring) StartSpan(stage StageID) Span {
+	sp := Span{ring: r, stage: stage, startNs: r.now()}
+	if r.trackAllocs.Load() {
+		sp.startBytes = heapAllocBytes()
+	}
+	return sp
+}
+
+// StartSpan begins a stage span on the default ring.
+func StartSpan(stage StageID) Span { return Frames.StartSpan(stage) }
+
+// End stops the span: its duration (and alloc delta, if tracking)
+// accumulates into the currently open frame, and the self-trace sink, if
+// any, gets the span regardless of frame state.
+func (sp Span) End() {
+	r := sp.ring
+	if r == nil {
+		return
+	}
+	d := r.now() - sp.startNs
+	if s := r.seq.Load(); s != 0 {
+		slot := &r.slots[s%uint64(len(r.slots))]
+		// Record only into a frame that is still the slot's occupant and
+		// still open; stray spans between frames are dropped.
+		if slot.seq.Load() == s && slot.end.Load() == 0 {
+			slot.ns[sp.stage].Add(d)
+			slot.count[sp.stage].Add(1)
+			if r.trackAllocs.Load() {
+				slot.bytes[sp.stage].Add(int64(heapAllocBytes() - sp.startBytes))
+			}
+		}
+	}
+	if st := r.sink.Load(); st != nil {
+		st.record(StageName(sp.stage), d)
+	}
+}
+
+// heapAllocMetric is the cumulative heap allocation counter of
+// runtime/metrics — cheap to read (no stop-the-world), monotonic.
+const heapAllocMetric = "/gc/heap/allocs:bytes"
+
+func heapAllocBytes() uint64 {
+	var s [1]metrics.Sample
+	s[0].Name = heapAllocMetric
+	metrics.Read(s[:])
+	return s[0].Value.Uint64()
+}
+
+// StageTiming is one stage's accumulated share of a frame.
+type StageTiming struct {
+	Stage string `json:"stage"`
+	Ns    int64  `json:"ns"`
+	Count int64  `json:"count"`
+	Bytes int64  `json:"bytes,omitempty"`
+}
+
+// Frame is a snapshot of one recorded frame.
+type Frame struct {
+	Seq     uint64        `json:"seq"`
+	StartMs float64       `json:"start_ms"` // since process obs epoch
+	DurMs   float64       `json:"dur_ms"`   // 0 while the frame is open
+	Stages  []StageTiming `json:"stages"`
+}
+
+// Snapshot returns up to max recent frames, oldest first. Frames being
+// written concurrently may show partially accumulated stages — this is
+// monitoring data, not a synchronization point.
+func (r *Ring) Snapshot(max int) []Frame {
+	if max < 1 || max > len(r.slots) {
+		max = len(r.slots)
+	}
+	newest := r.seq.Load()
+	if newest == 0 {
+		return nil
+	}
+	lo := uint64(1)
+	if newest > uint64(max) {
+		lo = newest - uint64(max) + 1
+	}
+	frames := make([]Frame, 0, newest-lo+1)
+	for s := lo; s <= newest; s++ {
+		slot := &r.slots[s%uint64(len(r.slots))]
+		if slot.seq.Load() != s {
+			continue // evicted (or mid-reset) while we walked
+		}
+		f := Frame{Seq: s, StartMs: float64(slot.start.Load()) / 1e6}
+		if end := slot.end.Load(); end != 0 {
+			f.DurMs = float64(end-slot.start.Load()) / 1e6
+		}
+		names := stageNames.Load()
+		if names != nil {
+			for i, name := range *names {
+				if c := slot.count[i].Load(); c != 0 {
+					f.Stages = append(f.Stages, StageTiming{
+						Stage: name,
+						Ns:    slot.ns[i].Load(),
+						Count: c,
+						Bytes: slot.bytes[i].Load(),
+					})
+				}
+			}
+		}
+		if slot.seq.Load() != s {
+			continue // wrapped under us: discard the torn read
+		}
+		frames = append(frames, f)
+	}
+	return frames
+}

@@ -1,0 +1,155 @@
+package obs_test
+
+import (
+	"sync"
+	"testing"
+
+	"viva/internal/obs"
+)
+
+// escape keeps test allocations observable to the heap-alloc counter.
+var escape []byte
+
+// spin wastes a little time so spans have nonzero duration.
+func spin() {
+	s := 0
+	for i := 0; i < 1000; i++ {
+		s += i
+	}
+	_ = s
+}
+
+// TestFrameRingRecordsStages checks a frame accumulates its spans.
+func TestFrameRingRecordsStages(t *testing.T) {
+	r := obs.NewRing(8)
+	seq := r.BeginFrame()
+	for i := 0; i < 3; i++ {
+		sp := r.StartSpan(obs.StageLayout)
+		spin()
+		sp.End()
+	}
+	sp := r.StartSpan(obs.StageRender)
+	spin()
+	sp.End()
+	r.EndFrame(seq)
+
+	frames := r.Snapshot(0)
+	if len(frames) != 1 {
+		t.Fatalf("got %d frames, want 1", len(frames))
+	}
+	f := frames[0]
+	if f.Seq != seq {
+		t.Errorf("seq = %d, want %d", f.Seq, seq)
+	}
+	if f.DurMs <= 0 {
+		t.Errorf("closed frame has DurMs = %g, want > 0", f.DurMs)
+	}
+	byStage := map[string]obs.StageTiming{}
+	for _, st := range f.Stages {
+		byStage[st.Stage] = st
+	}
+	if st := byStage["layout"]; st.Count != 3 || st.Ns <= 0 {
+		t.Errorf("layout stage = %+v, want count 3 and positive ns", st)
+	}
+	if st := byStage["render"]; st.Count != 1 {
+		t.Errorf("render stage = %+v, want count 1", st)
+	}
+}
+
+// TestFrameRingWraparound pushes more frames than the ring holds and
+// checks only the newest survive, in order, with intact timings.
+func TestFrameRingWraparound(t *testing.T) {
+	const size = 4
+	r := obs.NewRing(size)
+	const total = 11
+	for i := 0; i < total; i++ {
+		seq := r.BeginFrame()
+		sp := r.StartSpan(obs.StageAggregate)
+		spin()
+		sp.End()
+		r.EndFrame(seq)
+	}
+	frames := r.Snapshot(0)
+	if len(frames) != size {
+		t.Fatalf("got %d frames after wraparound, want %d", len(frames), size)
+	}
+	for i, f := range frames {
+		want := uint64(total - size + 1 + i)
+		if f.Seq != want {
+			t.Errorf("frame %d: seq = %d, want %d", i, f.Seq, want)
+		}
+		if len(f.Stages) != 1 || f.Stages[0].Stage != "aggregate" || f.Stages[0].Count != 1 {
+			t.Errorf("frame %d: stages = %+v, want one aggregate span", i, f.Stages)
+		}
+	}
+	// A bounded snapshot trims from the old end.
+	last2 := r.Snapshot(2)
+	if len(last2) != 2 || last2[1].Seq != total {
+		t.Errorf("Snapshot(2) = %+v, want the 2 newest frames ending at seq %d", last2, total)
+	}
+}
+
+// TestSpanOutsideFrameDropped checks spans with no open frame don't
+// pollute the last closed frame.
+func TestSpanOutsideFrameDropped(t *testing.T) {
+	r := obs.NewRing(4)
+	seq := r.BeginFrame()
+	r.EndFrame(seq)
+	sp := r.StartSpan(obs.StageBuild)
+	spin()
+	sp.End()
+	frames := r.Snapshot(0)
+	if len(frames) != 1 {
+		t.Fatalf("got %d frames, want 1", len(frames))
+	}
+	if len(frames[0].Stages) != 0 {
+		t.Errorf("closed frame gained stages %+v from a stray span", frames[0].Stages)
+	}
+}
+
+// TestFrameRingConcurrent exercises frames, spans and snapshots racing;
+// correctness here is simply "no race, no panic, plausible snapshot"
+// under -race.
+func TestFrameRingConcurrent(t *testing.T) {
+	r := obs.NewRing(8)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			seq := r.BeginFrame()
+			sp := r.StartSpan(obs.StageLayout)
+			sp.End()
+			r.EndFrame(seq)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			for _, f := range r.Snapshot(0) {
+				if f.Seq == 0 {
+					t.Error("snapshot returned seq 0")
+				}
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestTrackAllocs checks alloc deltas appear when tracking is on.
+func TestTrackAllocs(t *testing.T) {
+	r := obs.NewRing(4)
+	r.TrackAllocs(true)
+	seq := r.BeginFrame()
+	sp := r.StartSpan(obs.StageBuild)
+	escape = make([]byte, 1<<16) // forced heap allocation
+	sp.End()
+	r.EndFrame(seq)
+	frames := r.Snapshot(0)
+	if len(frames) != 1 || len(frames[0].Stages) != 1 {
+		t.Fatalf("unexpected snapshot %+v", frames)
+	}
+	if frames[0].Stages[0].Bytes < 1<<16 {
+		t.Errorf("alloc delta = %d bytes, want >= %d", frames[0].Stages[0].Bytes, 1<<16)
+	}
+}

@@ -1,0 +1,125 @@
+package obs_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"viva/internal/obs"
+)
+
+// TestRegistryConcurrency hammers one counter, one gauge and one
+// histogram from many goroutines and checks the totals are exact — the
+// lock-free hot path must lose nothing under -race.
+func TestRegistryConcurrency(t *testing.T) {
+	r := obs.NewRegistry()
+	c := r.Counter("c_total", "test counter")
+	g := r.Gauge("g", "test gauge")
+	h := r.Histogram("h_seconds", "test histogram", []float64{0.5, 1.5})
+
+	const workers = 8
+	const per = 5000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(w % 3)) // buckets 0, 1, 2
+				// Snapshot mid-flight: must not race with writers.
+				if i == per/2 {
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != workers*per {
+		t.Errorf("gauge = %g, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+// TestRegistryIdempotent checks re-registration returns the same metric.
+func TestRegistryIdempotent(t *testing.T) {
+	r := obs.NewRegistry()
+	a := r.Counter("x_total", "first")
+	b := r.Counter("x_total", "second help is ignored")
+	if a != b {
+		t.Fatal("re-registering a counter returned a different instance")
+	}
+	a.Add(3)
+	if b.Value() != 3 {
+		t.Fatalf("shared counter reads %d, want 3", b.Value())
+	}
+}
+
+// TestPrometheusExposition pins the exact text exposition of a small
+// registry: families sorted, HELP/TYPE once per family, labelled series
+// spliced correctly, histogram buckets cumulative with +Inf, sum, count.
+func TestPrometheusExposition(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("viva_z_total", "last family").Add(7)
+	r.Counter(`viva_http_requests_total{path="/api/graph"}`, "requests by path").Add(3)
+	r.Counter(`viva_http_requests_total{path="/api/meta"}`, "requests by path").Inc()
+	r.Gauge("viva_residual", "layout residual").Set(0.25)
+	h := r.Histogram(`viva_lat_seconds{path="/api/graph"}`, "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP viva_http_requests_total requests by path
+# TYPE viva_http_requests_total counter
+viva_http_requests_total{path="/api/graph"} 3
+viva_http_requests_total{path="/api/meta"} 1
+# HELP viva_lat_seconds latency
+# TYPE viva_lat_seconds histogram
+viva_lat_seconds_bucket{path="/api/graph",le="0.1"} 1
+viva_lat_seconds_bucket{path="/api/graph",le="1"} 2
+viva_lat_seconds_bucket{path="/api/graph",le="+Inf"} 3
+viva_lat_seconds_sum{path="/api/graph"} 5.55
+viva_lat_seconds_count{path="/api/graph"} 3
+# HELP viva_residual layout residual
+# TYPE viva_residual gauge
+viva_residual 0.25
+# HELP viva_z_total last family
+# TYPE viva_z_total counter
+viva_z_total 7
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestSummarySkipsZeros checks the -obs dump only prints touched series.
+func TestSummarySkipsZeros(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("a_total", "untouched")
+	r.Counter("b_total", "touched").Inc()
+	var b strings.Builder
+	if err := r.WriteSummary(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "a_total") {
+		t.Errorf("summary printed zero-valued a_total:\n%s", out)
+	}
+	if !strings.Contains(out, "b_total") {
+		t.Errorf("summary misses b_total:\n%s", out)
+	}
+}

@@ -14,8 +14,14 @@ import (
 	"math"
 
 	"viva/internal/layout"
+	"viva/internal/obs"
 	"viva/internal/vizgraph"
 )
+
+// obsSVGRenders counts SVG emissions; the render frame span carries the
+// per-frame cost.
+var obsSVGRenders = obs.Default.Counter("viva_render_svg_total",
+	"SVG renderings produced.")
 
 // Options control the SVG output.
 type Options struct {
@@ -45,6 +51,9 @@ func DefaultOptions() Options {
 // SVG renders the graph using the body positions of the layout. Nodes
 // missing from the layout are skipped.
 func SVG(g *vizgraph.Graph, lay *layout.Layout, opts Options) []byte {
+	span := obs.StartSpan(obs.StageRender)
+	defer span.End()
+	obsSVGRenders.Inc()
 	if opts.Width <= 0 || opts.Height <= 0 {
 		o := DefaultOptions()
 		opts.Width, opts.Height = o.Width, o.Height

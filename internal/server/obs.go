@@ -1,0 +1,86 @@
+// Observability surface of the server: the Prometheus /metrics endpoint,
+// the /api/obs/frames frame-timing ring, opt-in net/http/pprof, and the
+// per-endpoint instrumentation middleware (request count, latency
+// histogram, in-flight gauge). The pipeline instruments itself through
+// internal/obs; this file only exposes what it records.
+
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"viva/internal/obs"
+)
+
+var obsInFlight = obs.Default.Gauge("viva_http_in_flight_requests",
+	"HTTP requests currently being served.")
+
+// Graph-payload cache observability (the PR 3 ETag/304 path): hits serve
+// cached bytes, not-modified responses skip even the body, misses pay
+// the full aggregate→build→layout→encode pipeline.
+var (
+	obsCacheHits = obs.Default.Counter("viva_server_graph_cache_hits_total",
+		"Settled /api/graph payloads served from the byte cache.")
+	obsCache304 = obs.Default.Counter("viva_server_graph_cache_not_modified_total",
+		"Cache hits answered 304 Not Modified via the ETag.")
+	obsCacheMisses = obs.Default.Counter("viva_server_graph_cache_misses_total",
+		"/api/graph requests that rebuilt and re-encoded the payload.")
+)
+
+// instrument wraps one route with its per-endpoint counter and latency
+// histogram (static path label — the route set is small and fixed) and
+// the shared in-flight gauge.
+func instrument(path string, next http.HandlerFunc) http.HandlerFunc {
+	requests := obs.Default.Counter(`viva_http_requests_total{path="`+path+`"}`,
+		"HTTP requests served, by route.")
+	latency := obs.Default.Histogram(`viva_http_request_seconds{path="`+path+`"}`,
+		"HTTP request latency in seconds, by route.", nil)
+	return func(w http.ResponseWriter, r *http.Request) {
+		obsInFlight.Add(1)
+		start := time.Now()
+		next(w, r)
+		latency.Observe(time.Since(start).Seconds())
+		obsInFlight.Add(-1)
+		requests.Inc()
+	}
+}
+
+// handleMetrics serves the default registry in Prometheus text format.
+func handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.Default.WritePrometheus(w)
+}
+
+// framesJSON is the wire form of the frame-timing ring.
+type framesJSON struct {
+	Frames []obs.Frame `json:"frames"`
+}
+
+// handleObsFrames returns the recent frame-timing ring: per frame, the
+// wall time (and alloc bytes, when tracking) each pipeline stage spent.
+func handleObsFrames(w http.ResponseWriter, r *http.Request) {
+	max := 128
+	if q := r.URL.Query().Get("max"); q != "" {
+		if n, err := strconv.Atoi(q); err == nil && n > 0 {
+			max = n
+		}
+	}
+	writeJSON(w, http.StatusOK, framesJSON{Frames: obs.Frames.Snapshot(max)})
+}
+
+// registerPprof mounts net/http/pprof on the mux. Off by default: the
+// profiler exposes goroutine dumps and CPU profiles, so it is opt-in
+// (vivaserve -pprof) like the standard library's DefaultServeMux wiring.
+func registerPprof(mux *http.ServeMux) {
+	// GET-scoped so the patterns compose with the UI's "GET /" catch-all
+	// (pprof's Symbol handler also accepts POST; GET covers the browser
+	// and `go tool pprof` flows).
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"log"
 	"math"
 	"net"
 	"net/http"
@@ -19,6 +20,7 @@ import (
 	"viva/internal/aggregation"
 	"viva/internal/core"
 	"viva/internal/layout"
+	"viva/internal/obs"
 	"viva/internal/render"
 	"viva/internal/vizgraph"
 )
@@ -27,6 +29,10 @@ import (
 type Server struct {
 	mu   sync.Mutex
 	view *core.View
+
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Set it
+	// before Handler; off by default because profiles expose internals.
+	EnablePprof bool
 
 	// Graph-payload cache: once the layout has settled, successive polls
 	// re-serve the encoded /api/graph bytes until a mutation bumps the
@@ -48,20 +54,25 @@ func New(view *core.View) *Server { return &Server{view: view} }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /", s.handleIndex)
-	mux.HandleFunc("GET /api/graph", s.handleGraph)
-	mux.HandleFunc("GET /api/meta", s.handleMeta)
-	mux.HandleFunc("GET /api/node", s.handleNode)
-	mux.HandleFunc("GET /svg", s.handleSVG)
-	mux.HandleFunc("POST /api/slice", s.handleSlice)
-	mux.HandleFunc("POST /api/shift", s.handleShift)
-	mux.HandleFunc("POST /api/aggregate", s.handleAggregate)
-	mux.HandleFunc("POST /api/disaggregate", s.handleDisaggregate)
-	mux.HandleFunc("POST /api/level", s.handleLevel)
-	mux.HandleFunc("POST /api/scale", s.handleScale)
-	mux.HandleFunc("POST /api/fillmode", s.handleFillMode)
-	mux.HandleFunc("POST /api/params", s.handleParams)
-	mux.HandleFunc("POST /api/move", s.handleMove)
-	mux.HandleFunc("POST /api/unpin", s.handleUnpin)
+	mux.HandleFunc("GET /api/graph", instrument("/api/graph", s.handleGraph))
+	mux.HandleFunc("GET /api/meta", instrument("/api/meta", s.handleMeta))
+	mux.HandleFunc("GET /api/node", instrument("/api/node", s.handleNode))
+	mux.HandleFunc("GET /svg", instrument("/svg", s.handleSVG))
+	mux.HandleFunc("POST /api/slice", instrument("/api/slice", s.handleSlice))
+	mux.HandleFunc("POST /api/shift", instrument("/api/shift", s.handleShift))
+	mux.HandleFunc("POST /api/aggregate", instrument("/api/aggregate", s.handleAggregate))
+	mux.HandleFunc("POST /api/disaggregate", instrument("/api/disaggregate", s.handleDisaggregate))
+	mux.HandleFunc("POST /api/level", instrument("/api/level", s.handleLevel))
+	mux.HandleFunc("POST /api/scale", instrument("/api/scale", s.handleScale))
+	mux.HandleFunc("POST /api/fillmode", instrument("/api/fillmode", s.handleFillMode))
+	mux.HandleFunc("POST /api/params", instrument("/api/params", s.handleParams))
+	mux.HandleFunc("POST /api/move", instrument("/api/move", s.handleMove))
+	mux.HandleFunc("POST /api/unpin", instrument("/api/unpin", s.handleUnpin))
+	mux.HandleFunc("GET /metrics", handleMetrics)
+	mux.HandleFunc("GET /api/obs/frames", instrument("/api/obs/frames", handleObsFrames))
+	if s.EnablePprof {
+		registerPprof(mux)
+	}
 	return recoverMiddleware(mux)
 }
 
@@ -136,7 +147,22 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	if err := <-done; err != nil && err != http.ErrServerClosed {
 		return err
 	}
+	s.logCacheSummary()
 	return nil
+}
+
+// logCacheSummary reports the graph-payload cache's lifetime efficiency
+// in one line when the server shuts down gracefully — the quick answer
+// to "did the ETag/304 path earn its keep this session".
+func (s *Server) logCacheSummary() {
+	hits, notMod, misses := obsCacheHits.Value(), obsCache304.Value(), obsCacheMisses.Value()
+	total := hits + misses
+	ratio := 0.0
+	if total > 0 {
+		ratio = float64(hits) / float64(total)
+	}
+	log.Printf("server: graph cache on shutdown: %d hits (%d via ETag 304), %d misses, %.1f%% hit rate",
+		hits, notMod, misses, 100*ratio)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -216,8 +242,10 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil && s.cacheGen == s.view.Generation() {
 		// Nothing changed since a settled rendering was cached: serve it
 		// without stepping, rebuilding or re-encoding anything.
+		obsCacheHits.Inc()
 		w.Header().Set("ETag", s.cacheTag)
 		if r.Header.Get("If-None-Match") == s.cacheTag {
+			obsCache304.Inc()
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
@@ -225,6 +253,12 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 		_, _ = w.Write(s.cache)
 		return
 	}
+	obsCacheMisses.Inc()
+	// One interactive frame: the aggregate/build spans fire inside the
+	// graph rebuild, layout spans inside the steps, render around the
+	// encode. The ring ties them together for /api/obs/frames.
+	frame := obs.Frames.BeginFrame()
+	defer obs.Frames.EndFrame(frame)
 	gen := s.view.Generation()
 	g, err := s.view.Graph()
 	if err != nil {
@@ -257,7 +291,9 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	for _, e := range g.Edges {
 		out.Edges = append(out.Edges, edgeJSON{From: e.From, To: e.To, Mult: e.Multiplicity})
 	}
+	renderSpan := obs.StartSpan(obs.StageRender)
 	body, err := json.Marshal(out)
+	renderSpan.End()
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -5,7 +5,15 @@ import (
 	"math"
 	"sort"
 	"sync/atomic"
+
+	"viva/internal/obs"
 )
+
+// obsIndexBuilds counts lazy aggregation-index (re)builds: a high rate
+// against a low mutation rate means readers race to rebuild, a high rate
+// overall means timelines churn under the interactive loop.
+var obsIndexBuilds = obs.Default.Counter("viva_trace_index_builds_total",
+	"Lazy timeline aggregation-index builds (prefix sums + extrema tree).")
 
 // Point is one sample of a piecewise-constant timeline: the value V holds
 // from time T (inclusive) until the time of the next point (exclusive).
@@ -46,6 +54,7 @@ func (tl *Timeline) index() *timelineIndex {
 		return ix
 	}
 	ix := buildTimelineIndex(tl.points)
+	obsIndexBuilds.Inc()
 	tl.idx.Store(ix)
 	return ix
 }

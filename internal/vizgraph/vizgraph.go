@@ -15,7 +15,24 @@ import (
 	"sync"
 
 	"viva/internal/aggregation"
+	"viva/internal/obs"
 	"viva/internal/trace"
+)
+
+// Self-observation of the graph build — the per-frame bridge between
+// aggregation and layout. The aggregate/build frame spans split a
+// build's budget into its Eq. 1 queries and the visual assembly.
+var (
+	obsBuilds = obs.Default.Counter("viva_vizgraph_builds_total",
+		"Visual-graph builds (cut × slice × mapping evaluations).")
+	obsNodes = obs.Default.Gauge("viva_vizgraph_nodes",
+		"Nodes in the most recently built visual graph.")
+	obsEdges = obs.Default.Gauge("viva_vizgraph_edges",
+		"Edges in the most recently built visual graph.")
+	obsEdgeCacheHits = obs.Default.Counter("viva_vizgraph_edge_cache_hits_total",
+		"Edge projections served from the cut-generation cache.")
+	obsEdgeCacheMisses = obs.Default.Counter("viva_vizgraph_edge_cache_misses_total",
+		"Edge projections recomputed from the base topology.")
 )
 
 // Shape is the geometric representation of a node.
@@ -267,6 +284,8 @@ func BuildOpts(ag *aggregation.Aggregator, cut *aggregation.Cut, m Mapping, slic
 	}
 	g := &Graph{Slice: slice, index: make(map[string]*Node)}
 	groups := cut.Groups()
+	obsBuilds.Inc()
+	aggSpan := obs.StartSpan(obs.StageAggregate)
 
 	// Per-group result slots keep the output order equal to cut order
 	// whatever the worker count; the first error in group order wins.
@@ -290,6 +309,9 @@ func BuildOpts(ag *aggregation.Aggregator, cut *aggregation.Cut, m Mapping, slic
 		}
 		wg.Wait()
 	}
+	aggSpan.End()
+	buildSpan := obs.StartSpan(obs.StageBuild)
+	defer buildSpan.End()
 	for gi, err := range errs {
 		if err != nil {
 			return nil, err
@@ -302,8 +324,10 @@ func BuildOpts(ag *aggregation.Aggregator, cut *aggregation.Cut, m Mapping, slic
 
 	g.scaleSizes(m)
 	if c := opts.Cache; c != nil && c.valid && c.gen == cut.Generation() && c.typeSig == typeSignature(m) {
+		obsEdgeCacheHits.Inc()
 		g.Edges = append([]Edge(nil), c.edges...)
 	} else {
+		obsEdgeCacheMisses.Inc()
 		g.projectEdges(ag, cut)
 		if c != nil {
 			*c = BuildCache{
@@ -314,6 +338,8 @@ func BuildOpts(ag *aggregation.Aggregator, cut *aggregation.Cut, m Mapping, slic
 			}
 		}
 	}
+	obsNodes.Set(float64(len(g.Nodes)))
+	obsEdges.Set(float64(len(g.Edges)))
 	return g, nil
 }
 

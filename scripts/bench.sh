@@ -1,16 +1,19 @@
 #!/bin/sh
-# bench.sh — run the layout, aggregation and fault benchmark suites and
-# record the results as BENCH_layout.json, BENCH_aggregation.json and
-# BENCH_fault.json (name, ns/op, allocs/op, bytes/op), the perf
-# trajectories future PRs compare against.
+# bench.sh — run the layout, aggregation, fault and obs benchmark suites
+# and record the results as BENCH_layout.json, BENCH_aggregation.json,
+# BENCH_fault.json and BENCH_obs.json (name, ns/op, allocs/op, bytes/op),
+# the perf trajectories future PRs compare against. Each run also appends
+# one line per suite to BENCH_history.jsonl, so the trajectory stays
+# queryable across PRs even though the BENCH_*.json files are overwritten
+# wholesale.
 #
 # Usage:
 #   scripts/bench.sh [benchtime] [pattern]
 #
 #   benchtime  go test -benchtime value (default 1x: one iteration per
 #              benchmark, a smoke run; use e.g. 2s for stable numbers)
-#   pattern    -bench regexp overriding BOTH suites' defaults (the output
-#              still lands in both files, filtered by where it ran)
+#   pattern    -bench regexp overriding ALL suites' defaults (the output
+#              still lands in every file, filtered by where it ran)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,10 +24,13 @@ AGG_PATTERN="${2:-BenchmarkSliceScrub|BenchmarkVizgraphBuild|BenchmarkFig2Tempor
 # The fault suite includes Fig6 so the healthy-path overhead of the fault
 # subsystem is visible against the same-workload baseline in one file.
 FAULT_PATTERN="${2:-BenchmarkEngineWithFaults|BenchmarkFig6NASDTSequential}"
+OBS_PATTERN="${2:-BenchmarkObs}"
 
 # to_json RAW OUT — convert `go test -bench` output lines like
 #   BenchmarkFoo/n=1024/p=4-8   123   456789 ns/op   10 B/op   2 allocs/op
-# into the committed JSON trajectory format.
+# into the committed JSON trajectory format, and append the same results
+# as one {"time", "suite", "benchtime", "benchmarks"} line to
+# BENCH_history.jsonl.
 to_json() {
     awk '
 BEGIN { print "{"; printf "  \"benchmarks\": [\n"; first = 1 }
@@ -44,6 +50,25 @@ BEGIN { print "{"; printf "  \"benchmarks\": [\n"; first = 1 }
 END { printf "\n  ]\n}\n" }
 ' "$1" > "$2"
     echo "wrote $2 ($(grep -c '"name"' "$2") benchmarks)" >&2
+
+    suite="${2#BENCH_}"; suite="${suite%.json}"
+    awk -v time="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v suite="$suite" -v benchtime="$BENCHTIME" '
+BEGIN { printf "{\"time\": \"%s\", \"suite\": \"%s\", \"benchtime\": \"%s\", \"benchmarks\": [", time, suite, benchtime; first = 1 }
+/^Benchmark/ && /ns\/op/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = "null"; allocs = "null"
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    if (!first) printf ", "
+    first = 0
+    printf "{\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs
+}
+END { print "]}" }
+' "$1" >> BENCH_history.jsonl
 }
 
 RAW="$(mktemp)"
@@ -60,3 +85,7 @@ to_json "$RAW" BENCH_aggregation.json
 echo "running fault suite (-benchtime=$BENCHTIME, -bench='$FAULT_PATTERN') ..." >&2
 go test -run '^$' -bench "$FAULT_PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
 to_json "$RAW" BENCH_fault.json
+
+echo "running obs suite (-benchtime=$BENCHTIME, -bench='$OBS_PATTERN') ..." >&2
+go test -run '^$' -bench "$OBS_PATTERN" -benchmem -benchtime "$BENCHTIME" ./internal/obs | tee "$RAW" >&2
+to_json "$RAW" BENCH_obs.json
