@@ -24,6 +24,7 @@ import (
 	"viva/internal/aggregation"
 	"viva/internal/core"
 	"viva/internal/gantt"
+	"viva/internal/ingest"
 	"viva/internal/layout"
 	"viva/internal/obs"
 	"viva/internal/render"
@@ -41,7 +42,7 @@ func main() {
 	info := flag.Bool("info", false, "print a trace summary instead of rendering")
 	naive := flag.Bool("naive", false, "use the O(n^2) layout instead of Barnes-Hut")
 	steps := flag.Int("steps", 3000, "maximum layout iterations")
-	parallel := flag.Int("parallel", 0, "layout worker goroutines (0: GOMAXPROCS, 1: serial; same output either way)")
+	parallel := flag.Int("parallel", 0, "worker goroutines for trace ingestion and the layout step (0: GOMAXPROCS, 1: serial; same output either way)")
 	ganttOut := flag.String("gantt", "", "also render a Gantt timeline of process states to this file")
 	treemapOut := flag.String("treemap", "", "also render a host-utilization treemap to this file")
 	edges := flag.String("edges", "", "connection configuration file (one \"a b\" pair per line), for traces without topology edges")
@@ -75,7 +76,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	tr := traceio.MustLoad(*tracePath)
+	tr := traceio.MustLoadWith(*tracePath, ingest.Options{Parallelism: *parallel})
 	if *edges != "" {
 		n, err := traceio.LoadEdges(*edges, tr)
 		if err != nil {

@@ -24,6 +24,7 @@ import (
 	"syscall"
 
 	"viva/internal/core"
+	"viva/internal/ingest"
 	"viva/internal/obs"
 	"viva/internal/server"
 	"viva/internal/traceio"
@@ -34,7 +35,7 @@ func main() {
 	addr := flag.String("addr", ":8844", "listen address")
 	level := flag.Int("level", -1, "initial aggregation depth (-1: leaves)")
 	edges := flag.String("edges", "", "connection configuration file for traces without topology edges")
-	parallel := flag.Int("parallel", 0, "worker goroutines for the layout step and the aggregation graph build (0: GOMAXPROCS, 1: serial; same output either way)")
+	parallel := flag.Int("parallel", 0, "worker goroutines for trace ingestion, the layout step and the aggregation graph build (0: GOMAXPROCS, 1: serial; same output either way)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	trackAllocs := flag.Bool("track-allocs", false, "record per-stage heap-alloc deltas in the frame ring (small per-span cost)")
 	selftrace := flag.String("selftrace", "", "write the pipeline's own spans as a Paje trace to this file")
@@ -45,7 +46,23 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	tr := traceio.MustLoad(*tracePath)
+	// The self-trace sink is attached before the trace loads, so the
+	// ingest span of the load itself is part of the meta-trace.
+	obs.Frames.TrackAllocs(*trackAllocs)
+	if *selftrace != "" {
+		st, err := obs.StartSelfTrace(*selftrace)
+		if err != nil {
+			fatal(err)
+		}
+		obs.Frames.SetSink(st)
+		defer func() {
+			obs.Frames.SetSink(nil)
+			if err := st.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "vivaserve: selftrace:", err)
+			}
+		}()
+	}
+	tr := traceio.MustLoadWith(*tracePath, ingest.Options{Parallelism: *parallel})
 	if *edges != "" {
 		if _, err := traceio.LoadEdges(*edges, tr); err != nil {
 			fatal(err)
@@ -61,20 +78,6 @@ func main() {
 		}
 	}
 	v.SetParallelism(*parallel)
-	obs.Frames.TrackAllocs(*trackAllocs)
-	if *selftrace != "" {
-		st, err := obs.StartSelfTrace(*selftrace)
-		if err != nil {
-			fatal(err)
-		}
-		obs.Frames.SetSink(st)
-		defer func() {
-			obs.Frames.SetSink(nil)
-			if err := st.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "vivaserve: selftrace:", err)
-			}
-		}()
-	}
 	fmt.Printf("serving %s on http://localhost%s\n", *tracePath, *addr)
 	// SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests are
 	// drained before the process exits.

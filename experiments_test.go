@@ -96,10 +96,17 @@ func TestAblation(t *testing.T) {
 	runExperiment(t, "ablation")
 }
 
+func TestIngestExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive experiment")
+	}
+	runExperiment(t, "ingest")
+}
+
 func TestExperimentRegistry(t *testing.T) {
 	all := experiments.All()
-	if len(all) != 11 {
-		t.Fatalf("expected 11 experiments, got %d", len(all))
+	if len(all) != 12 {
+		t.Fatalf("expected 12 experiments, got %d", len(all))
 	}
 	if len(experiments.IDs()) != len(all) {
 		t.Error("IDs() inconsistent with All()")

@@ -164,6 +164,7 @@ func All() []Experiment {
 		{"fig9", "Workload diffusion over time at the site scale", Fig9},
 		{"scale", "Layout scalability: naive O(n²) vs Barnes-Hut O(n log n)", Scale},
 		{"ablation", "Design-choice ablations: lazy invalidation, Barnes-Hut theta", Ablation},
+		{"ingest", "Pipelined trace ingestion: throughput and determinism", Ingest},
 	}
 }
 

@@ -1,0 +1,306 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"runtime"
+	"sync"
+)
+
+const (
+	// chunkSize is the target scan granularity. Big enough that chunk
+	// hand-off cost vanishes against tokenization, small enough that a
+	// handful of in-flight chunks stay cache- and memory-friendly.
+	chunkSize = 256 << 10
+	// maxLineLen caps a single line, matching the 16 MiB bufio.Scanner
+	// limit the readers historically used; longer lines fail with
+	// bufio.ErrTooLong exactly as before.
+	maxLineLen = 16 << 20
+)
+
+// Scan reads r to the end, tokenizing each line under the dialect and
+// calling fn for every line in input order. With opt.Parallelism <= 1
+// everything runs inline on the caller's goroutine; with P > 1 a reader
+// goroutine chunks the stream at line boundaries and P workers tokenize
+// chunks concurrently, while fn still observes batches strictly in input
+// order — the scan stage is pure, so the two modes are indistinguishable
+// to fn.
+//
+// Like the bufio.Scanner-based readers this replaces, a read error is
+// surfaced only after the lines buffered before it have been applied, and
+// fn errors abort immediately.
+func Scan(r io.Reader, d Dialect, opt Options, fn LineFunc) error {
+	p := opt.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p <= 1 {
+		return scanSerial(r, d, fn)
+	}
+	return scanParallel(r, d, p, fn)
+}
+
+// scanSerial is the inline path: one growable buffer, lines processed as
+// each refill completes.
+func scanSerial(r io.Reader, d Dialect, fn LineFunc) error {
+	buf := make([]byte, 0, chunkSize)
+	toks := make([][]byte, 0, 64)
+	lineno := 0
+	processed := 0 // buf[:processed] has been consumed
+	var readErr error
+	for {
+		// Compact the consumed prefix away, then top up.
+		if processed > 0 {
+			n := copy(buf, buf[processed:])
+			buf = buf[:n]
+			processed = 0
+		}
+		if readErr == nil {
+			if len(buf) == cap(buf) {
+				if cap(buf)*2 > maxLineLen+chunkSize {
+					return bufio.ErrTooLong
+				}
+				nb := make([]byte, len(buf), cap(buf)*2)
+				copy(nb, buf)
+				buf = nb
+			}
+			n, err := r.Read(buf[len(buf):cap(buf)])
+			buf = buf[:len(buf)+n]
+			obsBytes.Add(uint64(n))
+			if err != nil {
+				if err != io.EOF {
+					// Historical bufio.Scanner behaviour: everything
+					// buffered before the error is still scanned.
+					readErr = err
+				} else {
+					readErr = io.EOF
+				}
+			}
+		}
+		// Hand complete lines to the apply stage.
+		lines := 0
+		for {
+			nl := bytes.IndexByte(buf[processed:], '\n')
+			if nl < 0 {
+				break
+			}
+			line := buf[processed : processed+nl]
+			processed += nl + 1
+			lineno++
+			lines++
+			kind, t := tokenizeLine(d, line, toks[:0])
+			toks = t[:0]
+			if err := fn(lineno, kind, t); err != nil {
+				obsLines.Add(uint64(lines))
+				return err
+			}
+		}
+		obsLines.Add(uint64(lines))
+		if readErr != nil {
+			if processed < len(buf) { // final line without trailing newline
+				lineno++
+				obsLines.Inc()
+				kind, t := tokenizeLine(d, buf[processed:], toks[:0])
+				if err := fn(lineno, kind, t); err != nil {
+					return err
+				}
+			}
+			if readErr == io.EOF {
+				return nil
+			}
+			return readErr
+		}
+	}
+}
+
+// chunk is the unit flowing through the parallel pipeline: the reader
+// fills data with whole lines, a worker tokenizes it into the kinds /
+// ntoks / toks slabs, the consumer applies it and recycles the whole
+// struct. All slices are reused across rounds.
+type chunk struct {
+	seq       int
+	startLine int
+	data      []byte
+	kinds     []LineKind
+	ntoks     []int32
+	toks      [][]byte
+}
+
+// tokenizeChunk fills the batch slabs from data: one kinds/ntoks entry
+// per physical line (the final one may lack its newline).
+func (c *chunk) tokenize(d Dialect) {
+	c.kinds = c.kinds[:0]
+	c.ntoks = c.ntoks[:0]
+	c.toks = c.toks[:0]
+	data := c.data
+	for len(data) > 0 {
+		var line []byte
+		if nl := bytes.IndexByte(data, '\n'); nl >= 0 {
+			line, data = data[:nl], data[nl+1:]
+		} else {
+			line, data = data, nil
+		}
+		before := len(c.toks)
+		kind, toks := tokenizeLine(d, line, c.toks)
+		c.toks = toks
+		c.kinds = append(c.kinds, kind)
+		c.ntoks = append(c.ntoks, int32(len(c.toks)-before))
+	}
+}
+
+// scanParallel runs the pipelined path: reader -> workers -> in-order
+// consumer (the caller's goroutine).
+func scanParallel(r io.Reader, d Dialect, workers int, fn LineFunc) error {
+	inflight := workers + 2
+	free := make(chan *chunk, inflight)
+	for i := 0; i < inflight; i++ {
+		free <- &chunk{data: make([]byte, 0, chunkSize)}
+	}
+	work := make(chan *chunk, inflight)
+	results := make(chan *chunk, inflight)
+	done := make(chan struct{})
+	readErr := make(chan error, 1) // non-EOF read error, delivered at the end
+
+	var wg sync.WaitGroup
+
+	// Reader: carve the stream into whole-line chunks, assigning sequence
+	// numbers and first-line numbers so the consumer can re-sequence and
+	// the appliers report exact line numbers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(work)
+		var carry []byte // partial line trailing the previous chunk
+		seq := 0
+		lineCount := 0
+		for {
+			var c *chunk
+			select {
+			case c = <-free:
+			case <-done:
+				return
+			}
+			c.data = append(c.data[:0], carry...)
+			carry = carry[:0]
+			eof := false
+			for {
+				if len(c.data) == cap(c.data) {
+					if cap(c.data)*2 > maxLineLen+chunkSize {
+						readErr <- bufio.ErrTooLong
+						return
+					}
+					nb := make([]byte, len(c.data), cap(c.data)*2)
+					copy(nb, c.data)
+					c.data = nb
+				}
+				n, err := r.Read(c.data[len(c.data):cap(c.data)])
+				c.data = c.data[:len(c.data)+n]
+				obsBytes.Add(uint64(n))
+				if err != nil {
+					eof = true
+					if err != io.EOF {
+						readErr <- err
+					}
+					break
+				}
+				if bytes.IndexByte(c.data, '\n') >= 0 {
+					break
+				}
+			}
+			if !eof {
+				// Keep only whole lines; the tail moves to carry.
+				last := bytes.LastIndexByte(c.data, '\n')
+				carry = append(carry[:0], c.data[last+1:]...)
+				c.data = c.data[:last+1]
+			}
+			if len(c.data) == 0 {
+				if eof {
+					return
+				}
+				free <- c
+				continue
+			}
+			c.seq = seq
+			seq++
+			c.startLine = lineCount + 1
+			nlines := bytes.Count(c.data, []byte{'\n'})
+			if c.data[len(c.data)-1] != '\n' {
+				nlines++ // final line without newline (EOF)
+			}
+			lineCount += nlines
+			select {
+			case work <- c:
+			case <-done:
+				return
+			}
+			if eof {
+				return
+			}
+		}
+	}()
+
+	// Workers: pure tokenization, any order.
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				c.tokenize(d)
+				select {
+				case results <- c:
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+	// Close results once every producer is finished, so the consumer's
+	// range ends. The consumer may also bail early via done.
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Consumer: re-sequence and apply, strictly in input order.
+	var applyErr error
+	pending := make(map[int]*chunk)
+	next := 0
+	for c := range results {
+		pending[c.seq] = c
+		for {
+			b, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			obsLines.Add(uint64(len(b.kinds)))
+			off := 0
+			for i, kind := range b.kinds {
+				n := int(b.ntoks[i])
+				if applyErr == nil {
+					applyErr = fn(b.startLine+i, kind, b.toks[off:off+n])
+				}
+				off += n
+			}
+			select {
+			case free <- b:
+			default:
+			}
+			if applyErr != nil {
+				close(done)
+				// Drain so producers blocked on results can finish.
+				for range results {
+				}
+				return applyErr
+			}
+		}
+	}
+	select {
+	case err := <-readErr:
+		return err
+	default:
+	}
+	return nil
+}

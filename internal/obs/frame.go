@@ -60,8 +60,11 @@ func StageName(id StageID) string {
 	return (*names)[id]
 }
 
-// The pipeline's own stages, in frame order.
+// The pipeline's own stages, in frame order. Ingest runs before any frame
+// exists, so its spans only surface through a self-trace sink — but its
+// totals also land in the viva_ingest_* counters.
 var (
+	StageIngest    = RegisterStage("ingest")
 	StageAggregate = RegisterStage("aggregate")
 	StageBuild     = RegisterStage("build")
 	StageLayout    = RegisterStage("layout")

@@ -3,11 +3,13 @@ package obs_test
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"viva/internal/obs"
 	"viva/internal/paje"
 	"viva/internal/trace"
+	"viva/internal/traceio"
 )
 
 // TestSelfTraceRoundTrip writes a meta-trace through the ring sink and
@@ -114,5 +116,47 @@ func TestSelfTraceSpansWithoutFrames(t *testing.T) {
 	}
 	if !tr.HasMetric("layout", "duration_ms") {
 		t.Error("batch self-trace lacks the layout duration timeline")
+	}
+}
+
+// TestSelfTraceIngestSpan closes the loop over the ingestion path: a
+// trace load through traceio while a self-trace sink is attached must
+// record an "ingest" span, which reads back (through that very ingestion
+// path) as a stage container with a positive duration_ms timeline.
+func TestSelfTraceIngestSpan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ingest.paje")
+	st, err := obs.StartSelfTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.Frames.SetSink(st)
+	_, loadErr := traceio.Read(strings.NewReader("resource h host -\nset 0 h power 5\nend 1\n"))
+	obs.Frames.SetSink(nil)
+	if loadErr != nil {
+		t.Fatal(loadErr)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := paje.Read(f)
+	if err != nil {
+		t.Fatalf("paje.Read of self-trace: %v", err)
+	}
+	res := tr.Resource("ingest")
+	if res == nil {
+		t.Fatal("self-trace lacks the \"ingest\" stage container")
+	}
+	if res.Parent != "viva" {
+		t.Errorf("ingest parent = %q, want viva", res.Parent)
+	}
+	start, end := tr.Window()
+	if max := tr.Timeline("ingest", "duration_ms").Max(start, end); max <= 0 {
+		t.Errorf("ingest duration_ms max = %g, want > 0", max)
 	}
 }

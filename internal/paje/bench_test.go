@@ -1,0 +1,22 @@
+package paje
+
+import (
+	"bytes"
+	"testing"
+)
+
+// benchInput is the ~100k-event synthetic trace the ingestion trajectory
+// is measured on (BENCH_ingest.json): 512 hosts, 100000 body events.
+var benchInput = Synthetic(512, 100000)
+
+// BenchmarkPajeRead measures the production Paje reader on the synthetic
+// trace — the file-to-first-frame hot path of every command-line tool.
+func BenchmarkPajeRead(b *testing.B) {
+	b.SetBytes(int64(len(benchInput)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(benchInput)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package paje
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SyntheticHeader is the %EventDef header Synthetic emits — the SimGrid
+// field layout the parser sees in the wild, exported so tests and
+// benchmarks can compose their own bodies against it.
+const SyntheticHeader = `%EventDef PajeDefineContainerType 0
+%	Alias string
+%	Type string
+%	Name string
+%EndEventDef
+%EventDef PajeDefineVariableType 1
+%	Alias string
+%	Type string
+%	Name string
+%EndEventDef
+%EventDef PajeDefineStateType 2
+%	Alias string
+%	Type string
+%	Name string
+%EndEventDef
+%EventDef PajeDefineEntityValue 3
+%	Alias string
+%	Type string
+%	Name string
+%	Color color
+%EndEventDef
+%EventDef PajeCreateContainer 4
+%	Time date
+%	Alias string
+%	Type string
+%	Container string
+%	Name string
+%EndEventDef
+%EventDef PajeSetVariable 6
+%	Time date
+%	Type string
+%	Container string
+%	Value double
+%EndEventDef
+%EventDef PajeAddVariable 7
+%	Time date
+%	Type string
+%	Container string
+%	Value double
+%EndEventDef
+%EventDef PajeSubVariable 8
+%	Time date
+%	Type string
+%	Container string
+%	Value double
+%EndEventDef
+%EventDef PajeSetState 9
+%	Time date
+%	Type string
+%	Container string
+%	Value string
+%EndEventDef
+`
+
+// Synthetic generates a SimGrid-flavoured Paje trace with the given
+// number of hosts and approximately the given number of body events: a
+// grid of hosts under one zone, each with a private link, cycling
+// Set/Add/SubVariable updates and state flips across the whole window.
+// It is the deterministic workload the ingestion benchmarks and the
+// ingest experiment measure against — representative in its high
+// repetition of container and type references, like real traces.
+func Synthetic(hosts, events int) []byte {
+	var b strings.Builder
+	b.Grow(64*hosts + 48*events + len(SyntheticHeader))
+	b.WriteString(SyntheticHeader)
+	b.WriteString("0 ZONE 0 Zone\n")
+	b.WriteString("0 HOST ZONE HOST\n")
+	b.WriteString("0 LINK ZONE LINK\n")
+	b.WriteString("1 power HOST power\n")
+	b.WriteString("1 usage HOST power_used\n")
+	b.WriteString("1 bw LINK bandwidth\n")
+	b.WriteString("1 bwu LINK bandwidth_used\n")
+	b.WriteString("2 STATE HOST \"Host State\"\n")
+	b.WriteString("3 Sc STATE computing \"0 1 0\"\n")
+	b.WriteString("3 Si STATE idle \"1 0 0\"\n")
+	b.WriteString("4 0 z0 ZONE 0 \"zone-0\"\n")
+	for h := 0; h < hosts; h++ {
+		fmt.Fprintf(&b, "4 0 h%d HOST z0 \"host-%d\"\n", h, h)
+		fmt.Fprintf(&b, "4 0 l%d LINK z0 \"link h%d\"\n", h, h)
+		fmt.Fprintf(&b, "6 0 power h%d 100\n", h)
+		fmt.Fprintf(&b, "6 0 bw l%d 1000\n", h)
+	}
+	// Body: cycle over hosts, alternating variable updates and states.
+	t := 0.0
+	for e := 0; e < events; e++ {
+		h := e % hosts
+		t += 0.001
+		switch e % 4 {
+		case 0:
+			fmt.Fprintf(&b, "7 %g bwu l%d 125\n", t, h)
+		case 1:
+			fmt.Fprintf(&b, "6 %g usage h%d %d\n", t, h, 25+(e%3)*25)
+		case 2:
+			fmt.Fprintf(&b, "9 %g STATE h%d Sc\n", t, h)
+		default:
+			fmt.Fprintf(&b, "8 %g bwu l%d 125\n", t, h)
+		}
+	}
+	return []byte(b.String())
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"viva/internal/aggregation"
+	"viva/internal/ingest"
 	"viva/internal/trace"
 )
 
@@ -253,7 +254,10 @@ func TestLinkEventsSkipped(t *testing.T) {
 }
 
 func TestTokenize(t *testing.T) {
-	got := tokenize(`1 2.5 "a b" c  "d"`)
+	var got []string
+	for _, tok := range ingest.Tokenize([]byte(`1 2.5 "a b" c  "d"`), nil) {
+		got = append(got, string(tok))
+	}
 	want := []string{"1", "2.5", "a b", "c", "d"}
 	if len(got) != len(want) {
 		t.Fatalf("tokenize = %v", got)

@@ -1,0 +1,87 @@
+package paje
+
+// Determinism and equivalence tests for the pipelined reader: at every
+// Parallelism setting, Read must produce a trace byte-identical (under the
+// canonical trace.Write serialization) to the historical serial reader in
+// reference_test.go — or fail with the identical error.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"viva/internal/ingest"
+	"viva/internal/trace"
+)
+
+// traceBytes canonicalizes a trace for comparison.
+func traceBytes(t *testing.T, tr *trace.Trace) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := trace.Write(&b, tr); err != nil {
+		t.Fatalf("trace.Write: %v", err)
+	}
+	return b.Bytes()
+}
+
+// assertMatchesReference runs the pipelined reader at several Parallelism
+// settings and checks each against the reference reader on the same input.
+func assertMatchesReference(t *testing.T, name, input string) {
+	t.Helper()
+	refTr, refErr := readReference(strings.NewReader(input))
+	var refOut []byte
+	if refErr == nil {
+		refOut = traceBytes(t, refTr)
+	}
+	for _, p := range []int{1, 2, 8} {
+		tr, err := ReadWith(strings.NewReader(input), ingest.Options{Parallelism: p})
+		switch {
+		case (err == nil) != (refErr == nil):
+			t.Fatalf("%s p=%d: err = %v, reference err = %v", name, p, err, refErr)
+		case err != nil:
+			if err.Error() != refErr.Error() {
+				t.Fatalf("%s p=%d: err %q, reference err %q", name, p, err, refErr)
+			}
+		default:
+			if out := traceBytes(t, tr); !bytes.Equal(out, refOut) {
+				t.Fatalf("%s p=%d: trace diverged from reference (%d vs %d bytes)",
+					name, p, len(out), len(refOut))
+			}
+		}
+	}
+}
+
+func TestPipelineMatchesReference(t *testing.T) {
+	cases := map[string]string{
+		"sample":          sampleHeader + sampleBody,
+		"synthetic":       string(Synthetic(16, 5000)),
+		"synthetic-crlf":  strings.ReplaceAll(string(Synthetic(4, 500)), "\n", "\r\n"),
+		"no-final-nl":     strings.TrimSuffix(sampleHeader+sampleBody, "\n"),
+		"quoted-names":    sampleHeader + "4 0 c1 ZONE 0 \"name with spaces\"\n6 0 power c1 7\n",
+		"empty":           "",
+		"comments-only":   "# a\n\n   \n#\n",
+		"dup-containers":  sampleHeader + "4 0 z1 ZONE 0 A\n4 0 h1 HOST z1 node\n4 0 z2 ZONE z1 sub\n4 0 h2 HOST z2 node\n6 0 power h1 1\n6 0 power h2 2\n",
+		"push-pop":        sampleHeader + "4 0 z1 ZONE 0 A\n4 0 p1 PROC z1 w\n2 ST PROC st\n10 1 ST p1 a\n10 2 ST p1 b\n11 3 ST p1\n11 4 ST p1\n11 5 ST p1\n",
+		"huge-line":       sampleHeader + "4 0 c1 ZONE 0 \"" + strings.Repeat("n", 300<<10) + "\"\n6 0 power c1 1\n",
+		"err-unknown-id":  "99 0 x\n",
+		"err-container":   sampleHeader + "6 0 power ghost 1\n",
+		"err-bad-time":    sampleHeader + "4 0 c1 ZONE 0 n\n6 zz power c1 1\n",
+		"err-bad-value":   sampleHeader + "4 0 c1 ZONE 0 n\n6 0 power c1 xx\n",
+		"err-nan-late":    sampleHeader + "4 0 z1 ZONE 0 A\n4 0 h1 HOST z1 T\n6 0 power h1 NaN\n",
+		"err-short-event": sampleHeader + "4 0\n",
+		"err-short-def":   "%EventDef PajeX\n",
+	}
+	for name, input := range cases {
+		assertMatchesReference(t, name, input)
+	}
+}
+
+// TestPipelineSyntheticLarge pushes a trace big enough to cross many scan
+// chunks through high parallelism, asserting byte-identical output.
+func TestPipelineSyntheticLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large input")
+	}
+	input := string(Synthetic(64, 60000)) // ~4.5 MB, many chunks
+	assertMatchesReference(t, "synthetic-large", input)
+}

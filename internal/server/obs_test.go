@@ -5,10 +5,12 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
 	"viva/internal/obs"
+	"viva/internal/traceio"
 )
 
 // TestMetricsEndpoint checks that /metrics serves Prometheus text with the
@@ -197,4 +199,65 @@ func TestFramesJSONShape(t *testing.T) {
 	if !strings.Contains(string(b), `"frames"`) {
 		t.Errorf("frames payload = %s, want top-level \"frames\" key", b)
 	}
+}
+
+// TestMetricsIngestFamilies checks that after a trace load through the
+// ingestion pipeline, /metrics exposes the viva_ingest_* counters with
+// the bytes/lines/events the load consumed.
+func TestMetricsIngestFamilies(t *testing.T) {
+	events0 := ingestCounterValue(t, nil, "viva_ingest_events_total")
+	if _, err := traceio.Read(strings.NewReader("resource h host -\nset 0 h power 5\nset 1 h power 7\nend 2\n")); err != nil {
+		t.Fatal(err)
+	}
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, family := range []string{
+		"viva_ingest_bytes_total",
+		"viva_ingest_lines_total",
+		"viva_ingest_events_total",
+	} {
+		if !strings.Contains(text, "# TYPE "+family+" counter") {
+			t.Errorf("/metrics missing counter family %s", family)
+		}
+	}
+	if got := ingestCounterValue(t, body, "viva_ingest_events_total"); got < events0+4 {
+		t.Errorf("viva_ingest_events_total = %d, want >= %d after loading 4 events", got, events0+4)
+	}
+	if got := ingestCounterValue(t, body, "viva_ingest_bytes_total"); got == 0 {
+		t.Error("viva_ingest_bytes_total = 0 after a load")
+	}
+}
+
+// ingestCounterValue extracts a counter's value from Prometheus text; with
+// nil exposition it snapshots the live registry through WritePrometheus.
+func ingestCounterValue(t *testing.T, exposition []byte, name string) uint64 {
+	t.Helper()
+	if exposition == nil {
+		var b strings.Builder
+		if err := obs.Default.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		exposition = []byte(b.String())
+	}
+	for _, line := range strings.Split(string(exposition), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad counter line %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("counter %s not found in exposition", name)
+	return 0
 }

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// syntheticNative builds a native-format trace of the given size: hosts
+// under one group, ~events set/add/state lines.
+func syntheticNative(hosts, events int) []byte {
+	var b strings.Builder
+	b.WriteString("# viva trace v1\n")
+	b.WriteString("resource g0 group -\n")
+	for h := 0; h < hosts; h++ {
+		fmt.Fprintf(&b, "resource h%d host g0\n", h)
+		fmt.Fprintf(&b, "set 0 h%d power 100\n", h)
+	}
+	t := 0.0
+	for e := 0; e < events; e++ {
+		h := e % hosts
+		t += 0.001
+		switch e % 3 {
+		case 0:
+			fmt.Fprintf(&b, "set %g h%d usage %d\n", t, h, 25+(e%3)*25)
+		case 1:
+			fmt.Fprintf(&b, "add %g h%d usage 5\n", t, h)
+		default:
+			fmt.Fprintf(&b, "state %g h%d compute\n", t, h)
+		}
+	}
+	fmt.Fprintf(&b, "end %g\n", t+1)
+	return []byte(b.String())
+}
+
+var benchNativeInput = syntheticNative(512, 100000)
+
+// BenchmarkNativeRead measures the native-format reader on a ~100k-event
+// synthetic trace, the same scale the Paje ingestion benchmark uses.
+func BenchmarkNativeRead(b *testing.B) {
+	b.SetBytes(int64(len(benchNativeInput)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(benchNativeInput)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,7 +6,8 @@ import (
 	"io"
 	"sort"
 	"strconv"
-	"strings"
+
+	"viva/internal/ingest"
 )
 
 // The text format is a deterministic, Paje-flavoured line format:
@@ -114,91 +115,111 @@ func formatFloat(v float64) string {
 }
 
 // Read parses a trace previously produced by Write (or hand-written in the
-// same format). It validates the hierarchy before returning.
+// same format). It validates the hierarchy before returning. Reading runs
+// on the two-stage ingest pipeline with default options; the result is
+// identical at every parallelism setting.
 func Read(r io.Reader) (*Trace, error) {
-	tr := New()
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	lineno := 0
-	for sc.Scan() {
-		lineno++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		switch fields[0] {
-		case "resource":
-			if len(fields) != 4 {
-				return nil, fmt.Errorf("trace: line %d: resource wants 3 args", lineno)
-			}
-			parent := fields[3]
-			if parent == "-" {
-				parent = ""
-			}
-			if err := tr.DeclareResource(fields[1], fields[2], parent); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
-			}
-		case "edge":
-			if len(fields) != 3 {
-				return nil, fmt.Errorf("trace: line %d: edge wants 2 args", lineno)
-			}
-			if err := tr.DeclareEdge(fields[1], fields[2]); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
-			}
-		case "set", "add":
-			if len(fields) != 5 {
-				return nil, fmt.Errorf("trace: line %d: %s wants 4 args", lineno, fields[0])
-			}
-			t, err := strconv.ParseFloat(fields[1], 64)
-			if err != nil {
-				return nil, fmt.Errorf("trace: line %d: bad time %q", lineno, fields[1])
-			}
-			v, err := strconv.ParseFloat(fields[4], 64)
-			if err != nil {
-				return nil, fmt.Errorf("trace: line %d: bad value %q", lineno, fields[4])
-			}
-			if fields[0] == "set" {
-				err = tr.Set(t, fields[2], fields[3], v)
-			} else {
-				err = tr.Add(t, fields[2], fields[3], v)
-			}
-			if err != nil {
-				return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
-			}
-		case "state":
-			if len(fields) != 4 {
-				return nil, fmt.Errorf("trace: line %d: state wants 3 args", lineno)
-			}
-			t, err := strconv.ParseFloat(fields[1], 64)
-			if err != nil {
-				return nil, fmt.Errorf("trace: line %d: bad time %q", lineno, fields[1])
-			}
-			v := fields[3]
-			if v == "-" {
-				v = ""
-			}
-			if err := tr.SetState(t, fields[2], v); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
-			}
-		case "end":
-			if len(fields) != 2 {
-				return nil, fmt.Errorf("trace: line %d: end wants 1 arg", lineno)
-			}
-			t, err := strconv.ParseFloat(fields[1], 64)
-			if err != nil {
-				return nil, fmt.Errorf("trace: line %d: bad time %q", lineno, fields[1])
-			}
-			tr.SetEnd(t)
-		default:
-			return nil, fmt.Errorf("trace: line %d: unknown directive %q", lineno, fields[0])
-		}
-	}
-	if err := sc.Err(); err != nil {
+	return ReadWith(r, ingest.Options{})
+}
+
+// ReadWith is Read with explicit ingestion options.
+func ReadWith(r io.Reader, opt ingest.Options) (*Trace, error) {
+	a := &formatApplier{tr: New(), in: ingest.NewInterner()}
+	a.app = a.tr.NewAppender()
+	err := ingest.Scan(r, ingest.DialectNative, opt, a.line)
+	ingest.Events.Add(uint64(a.events))
+	if err != nil {
 		return nil, err
 	}
-	if err := tr.Validate(); err != nil {
+	if err := a.tr.Validate(); err != nil {
 		return nil, err
 	}
-	return tr, nil
+	return a.tr, nil
+}
+
+// formatApplier is the sequential apply stage of the native reader: it
+// receives zero-copy token batches from the scan stage and performs the
+// stateful directive dispatch, interning the names it keeps.
+type formatApplier struct {
+	tr     *Trace
+	app    *Appender
+	in     *ingest.Interner
+	events int
+}
+
+func (a *formatApplier) line(lineno int, kind ingest.LineKind, fields [][]byte) error {
+	if kind != ingest.LineEvent {
+		return nil
+	}
+	a.events++
+	tr := a.tr
+	switch string(fields[0]) {
+	case "resource":
+		if len(fields) != 4 {
+			return fmt.Errorf("trace: line %d: resource wants 3 args", lineno)
+		}
+		parent := ""
+		if string(fields[3]) != "-" {
+			parent = a.in.Intern(fields[3])
+		}
+		if err := tr.DeclareResource(a.in.Intern(fields[1]), a.in.Intern(fields[2]), parent); err != nil {
+			return fmt.Errorf("trace: line %d: %v", lineno, err)
+		}
+	case "edge":
+		if len(fields) != 3 {
+			return fmt.Errorf("trace: line %d: edge wants 2 args", lineno)
+		}
+		if err := tr.DeclareEdge(a.in.Intern(fields[1]), a.in.Intern(fields[2])); err != nil {
+			return fmt.Errorf("trace: line %d: %v", lineno, err)
+		}
+	case "set", "add":
+		if len(fields) != 5 {
+			return fmt.Errorf("trace: line %d: %s wants 4 args", lineno, fields[0])
+		}
+		t, err := strconv.ParseFloat(string(fields[1]), 64)
+		if err != nil {
+			return fmt.Errorf("trace: line %d: bad time %q", lineno, fields[1])
+		}
+		v, err := strconv.ParseFloat(string(fields[4]), 64)
+		if err != nil {
+			return fmt.Errorf("trace: line %d: bad value %q", lineno, fields[4])
+		}
+		resource := a.in.Intern(fields[2])
+		metric := a.in.Intern(fields[3])
+		if fields[0][0] == 's' {
+			err = a.app.Set(t, resource, metric, v)
+		} else {
+			err = a.app.Add(t, resource, metric, v)
+		}
+		if err != nil {
+			return fmt.Errorf("trace: line %d: %v", lineno, err)
+		}
+	case "state":
+		if len(fields) != 4 {
+			return fmt.Errorf("trace: line %d: state wants 3 args", lineno)
+		}
+		t, err := strconv.ParseFloat(string(fields[1]), 64)
+		if err != nil {
+			return fmt.Errorf("trace: line %d: bad time %q", lineno, fields[1])
+		}
+		v := ""
+		if string(fields[3]) != "-" {
+			v = a.in.Intern(fields[3])
+		}
+		if err := tr.SetState(t, a.in.Intern(fields[2]), v); err != nil {
+			return fmt.Errorf("trace: line %d: %v", lineno, err)
+		}
+	case "end":
+		if len(fields) != 2 {
+			return fmt.Errorf("trace: line %d: end wants 1 arg", lineno)
+		}
+		t, err := strconv.ParseFloat(string(fields[1]), 64)
+		if err != nil {
+			return fmt.Errorf("trace: line %d: bad time %q", lineno, fields[1])
+		}
+		tr.SetEnd(t)
+	default:
+		return fmt.Errorf("trace: line %d: unknown directive %q", lineno, fields[0])
+	}
+	return nil
 }

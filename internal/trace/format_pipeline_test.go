@@ -1,0 +1,75 @@
+package trace
+
+// Determinism tests for the pipelined native reader, mirroring the ones
+// the paje package runs: at every Parallelism setting ReadWith must agree
+// with the historical serial reference — identical traces under the
+// canonical Write serialization, or identical errors.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"viva/internal/ingest"
+)
+
+func assertNativeMatchesReference(t *testing.T, name, input string) {
+	t.Helper()
+	refTr, refErr := readNativeReference(strings.NewReader(input))
+	var refOut bytes.Buffer
+	if refErr == nil {
+		if err := Write(&refOut, refTr); err != nil {
+			t.Fatalf("%s: write reference: %v", name, err)
+		}
+	}
+	for _, p := range []int{1, 2, 8} {
+		tr, err := ReadWith(strings.NewReader(input), ingest.Options{Parallelism: p})
+		switch {
+		case (err == nil) != (refErr == nil):
+			t.Fatalf("%s p=%d: err = %v, reference err = %v", name, p, err, refErr)
+		case err != nil:
+			if err.Error() != refErr.Error() {
+				t.Fatalf("%s p=%d: err %q, reference err %q", name, p, err, refErr)
+			}
+		default:
+			var out bytes.Buffer
+			if err := Write(&out, tr); err != nil {
+				t.Fatalf("%s p=%d: write: %v", name, p, err)
+			}
+			if !bytes.Equal(out.Bytes(), refOut.Bytes()) {
+				t.Fatalf("%s p=%d: trace diverged from reference (%d vs %d bytes)",
+					name, p, out.Len(), refOut.Len())
+			}
+		}
+	}
+}
+
+func TestNativeReadMatchesReference(t *testing.T) {
+	cases := map[string]string{
+		"synthetic":       string(syntheticNative(16, 5000)),
+		"synthetic-crlf":  strings.ReplaceAll(string(syntheticNative(4, 500)), "\n", "\r\n"),
+		"no-final-nl":     strings.TrimSuffix(string(syntheticNative(4, 200)), "\n"),
+		"empty":           "",
+		"comments-only":   "# viva trace v1\n\n  \n# x\n",
+		"states-dash":     "# viva trace v1\nresource h host -\nstate 1 h busy\nstate 2 h -\nend 3\n",
+		"err-directive":   "bogus 1 2\n",
+		"err-args":        "resource h host\n",
+		"err-bad-time":    "resource h host -\nset xx h m 1\n",
+		"err-bad-value":   "resource h host -\nset 1 h m vv\n",
+		"err-nonfinite":   "resource h host -\nset 1 h m NaN\n",
+		"err-undeclared":  "set 1 ghost m 1\n",
+		"err-edge":        "resource a host -\nedge a ghost\n",
+		"err-end":         "end\n",
+		"percent-not-hdr": "% 1 2\n",
+	}
+	for name, input := range cases {
+		assertNativeMatchesReference(t, name, input)
+	}
+}
+
+func TestNativeReadLargeParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large input")
+	}
+	assertNativeMatchesReference(t, "large", string(syntheticNative(64, 60000)))
+}

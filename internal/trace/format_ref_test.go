@@ -1,0 +1,103 @@
+package trace
+
+// readNativeReference is the original bufio.Scanner-based native reader,
+// kept verbatim as the behavioural oracle for the pipelined Read: the
+// determinism tests assert ReadWith produces an identical trace — or an
+// identical error — at every Parallelism setting. Do not optimize this
+// file.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+func readNativeReference(r io.Reader) (*Trace, error) {
+	tr := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "resource":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("trace: line %d: resource wants 3 args", lineno)
+			}
+			parent := fields[3]
+			if parent == "-" {
+				parent = ""
+			}
+			if err := tr.DeclareResource(fields[1], fields[2], parent); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
+			}
+		case "edge":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("trace: line %d: edge wants 2 args", lineno)
+			}
+			if err := tr.DeclareEdge(fields[1], fields[2]); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
+			}
+		case "set", "add":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("trace: line %d: %s wants 4 args", lineno, fields[0])
+			}
+			t, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad time %q", lineno, fields[1])
+			}
+			v, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad value %q", lineno, fields[4])
+			}
+			if fields[0] == "set" {
+				err = tr.Set(t, fields[2], fields[3], v)
+			} else {
+				err = tr.Add(t, fields[2], fields[3], v)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
+			}
+		case "state":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("trace: line %d: state wants 3 args", lineno)
+			}
+			t, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad time %q", lineno, fields[1])
+			}
+			v := fields[3]
+			if v == "-" {
+				v = ""
+			}
+			if err := tr.SetState(t, fields[2], v); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
+			}
+		case "end":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace: line %d: end wants 1 arg", lineno)
+			}
+			t, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad time %q", lineno, fields[1])
+			}
+			tr.SetEnd(t)
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown directive %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

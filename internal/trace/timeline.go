@@ -107,6 +107,11 @@ func (tl *Timeline) Add(t, dv float64) {
 
 // At returns the value of the timeline at time t.
 func (tl *Timeline) At(t float64) float64 {
+	// Fast path: queries at or past the last point — the shape of every
+	// Add on monotonically advancing time during ingestion.
+	if n := len(tl.points); n > 0 && t >= tl.points[n-1].T {
+		return tl.points[n-1].V
+	}
 	i := sort.Search(len(tl.points), func(i int) bool { return tl.points[i].T > t })
 	if i == 0 {
 		return 0

@@ -1,63 +1,103 @@
 // Package traceio loads trace files of either supported format: the
 // native viva text format or the Paje format (as produced by SimGrid and
 // consumed by the original VIVA). The format is sniffed from the content,
-// so the command-line tools take any trace file.
+// so the command-line tools take any trace file. Gzip-compressed traces
+// (of either format) are detected by magic number and decompressed
+// transparently.
 package traceio
 
 import (
 	"bufio"
+	"bytes"
+	"compress/gzip"
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
+	"viva/internal/ingest"
+	"viva/internal/obs"
 	"viva/internal/paje"
 	"viva/internal/trace"
 )
 
-// Load reads a trace file, auto-detecting its format.
+// Load reads a trace file, auto-detecting its format (and gzip
+// compression) with default ingestion options.
 func Load(path string) (*trace.Trace, error) {
+	return LoadWith(path, ingest.Options{})
+}
+
+// LoadWith is Load with explicit ingestion options.
+func LoadWith(path string, opt ingest.Options) (*trace.Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return Read(f)
+	return ReadWith(f, opt)
 }
 
-// Read reads a trace from a stream, auto-detecting its format: lines
-// starting with '%' mean Paje, anything else the native format.
+// Read reads a trace from a stream with default ingestion options,
+// auto-detecting gzip compression and the format: lines starting with '%'
+// mean Paje, anything else the native format.
 func Read(r io.Reader) (*trace.Trace, error) {
+	return ReadWith(r, ingest.Options{})
+}
+
+// gzipMagic is the two-byte header every gzip stream starts with.
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// ReadWith is Read with explicit ingestion options. The whole load is
+// recorded as an obs "ingest" span (visible through a self-trace sink; the
+// viva_ingest_* counters accumulate bytes, lines and events regardless).
+func ReadWith(r io.Reader, opt ingest.Options) (*trace.Trace, error) {
+	sp := obs.StartSpan(obs.StageIngest)
+	defer sp.End()
+
 	br := bufio.NewReaderSize(r, 64*1024)
+	if head, err := br.Peek(2); err == nil && bytes.Equal(head, gzipMagic) {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, err
+		}
+		defer gz.Close()
+		br = bufio.NewReaderSize(gz, 64*1024)
+	}
 	head, err := br.Peek(4096)
 	if err != nil && err != io.EOF {
 		return nil, err
 	}
-	if isPaje(string(head)) {
-		return paje.Read(br)
+	if isPaje(head) {
+		return paje.ReadWith(br, opt)
 	}
-	return trace.Read(br)
+	return trace.ReadWith(br, opt)
 }
 
 // isPaje reports whether the first non-blank, non-comment line starts a
-// Paje header.
-func isPaje(head string) bool {
-	for _, line := range strings.Split(head, "\n") {
-		t := strings.TrimSpace(line)
-		if t == "" || strings.HasPrefix(t, "#") {
+// Paje header. It works on the raw peeked bytes so sniffing allocates
+// nothing.
+func isPaje(head []byte) bool {
+	for len(head) > 0 {
+		var line []byte
+		if nl := bytes.IndexByte(head, '\n'); nl >= 0 {
+			line, head = head[:nl], head[nl+1:]
+		} else {
+			line, head = head, nil
+		}
+		t := bytes.TrimSpace(line)
+		if len(t) == 0 || t[0] == '#' {
 			continue
 		}
-		return strings.HasPrefix(t, "%")
+		return t[0] == '%'
 	}
 	return false
 }
 
 // LoadEdges reads a connection-configuration file — one "a b" pair per
-// line, '#' comments — and declares the edges into the trace. This is the
-// original VIVA's mechanism for telling the graph view how monitored
-// entities are interconnected when the trace itself (e.g. a Paje file)
-// does not say; the paper's Section 3.1 lists exactly this "previously
-// defined" connection source.
+// line, '#' comments, double quotes protecting names with spaces — and
+// declares the edges into the trace. This is the original VIVA's mechanism
+// for telling the graph view how monitored entities are interconnected
+// when the trace itself (e.g. a Paje file) does not say; the paper's
+// Section 3.1 lists exactly this "previously defined" connection source.
 func LoadEdges(path string, tr *trace.Trace) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -67,17 +107,20 @@ func LoadEdges(path string, tr *trace.Trace) (int, error) {
 	sc := bufio.NewScanner(f)
 	n := 0
 	lineno := 0
+	var toks [][]byte
 	for sc.Scan() {
 		lineno++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) != 2 {
+		// Quote-aware split: resource names may contain spaces (Paje
+		// quotes them in traces, so edge files must be able to too).
+		toks = ingest.Tokenize(line, toks[:0])
+		if len(toks) != 2 {
 			return n, fmt.Errorf("%s:%d: want \"<a> <b>\", got %q", path, lineno, line)
 		}
-		if err := tr.DeclareEdge(fields[0], fields[1]); err != nil {
+		if err := tr.DeclareEdge(string(toks[0]), string(toks[1])); err != nil {
 			return n, fmt.Errorf("%s:%d: %v", path, lineno, err)
 		}
 		n++
@@ -88,7 +131,12 @@ func LoadEdges(path string, tr *trace.Trace) (int, error) {
 // MustLoad is Load, exiting the program on error — for command-line
 // mains.
 func MustLoad(path string) *trace.Trace {
-	tr, err := Load(path)
+	return MustLoadWith(path, ingest.Options{})
+}
+
+// MustLoadWith is LoadWith, exiting the program on error.
+func MustLoadWith(path string, opt ingest.Options) *trace.Trace {
+	tr, err := LoadWith(path, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "trace:", err)
 		os.Exit(1)

@@ -1,11 +1,14 @@
 package traceio
 
 import (
+	"bytes"
+	"compress/gzip"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"viva/internal/ingest"
 	"viva/internal/trace"
 )
 
@@ -122,5 +125,107 @@ func TestEmptyInput(t *testing.T) {
 	}
 	if len(tr.Resources()) != 0 {
 		t.Error("empty input produced resources")
+	}
+}
+
+// gzipped compresses text with gzip for the transparency tests.
+func gzipped(t *testing.T, text string) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	gw := gzip.NewWriter(&b)
+	if _, err := gw.Write([]byte(text)); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestReadGzip covers transparent decompression for both formats, from a
+// stream and from a file, plus the plain-text paths staying untouched.
+func TestReadGzip(t *testing.T) {
+	native, err := Read(bytes.NewReader(gzipped(t, nativeSample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := native.Timeline("h", trace.MetricPower).At(0); got != 5 {
+		t.Errorf("gzipped native power = %g", got)
+	}
+	pj, err := Read(bytes.NewReader(gzipped(t, pajeSample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pj.Resource("machine") == nil {
+		t.Error("gzipped paje container not read")
+	}
+	// Plain input still loads (sniffing must not consume bytes).
+	if _, err := Read(strings.NewReader(nativeSample)); err != nil {
+		t.Fatal(err)
+	}
+	// And from a file through Load.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.viva.gz")
+	if err := os.WriteFile(path, gzipped(t, nativeSample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if tr, err := Load(path); err != nil || tr.Resource("h") == nil {
+		t.Fatalf("gzipped file load: %v", err)
+	}
+	// A truncated gzip stream must fail, not hang or succeed.
+	full := gzipped(t, nativeSample)
+	if _, err := Read(bytes.NewReader(full[:len(full)/2])); err == nil {
+		t.Error("truncated gzip accepted")
+	}
+}
+
+// TestReadWithParallelism drives the options plumbing end to end: the
+// same gzipped Paje input at several parallelism settings must serialize
+// identically.
+func TestReadWithParallelism(t *testing.T) {
+	data := gzipped(t, pajeSample)
+	var want []byte
+	for _, p := range []int{1, 2, 8} {
+		tr, err := ReadWith(bytes.NewReader(data), ingest.Options{Parallelism: p})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		var out bytes.Buffer
+		if err := trace.Write(&out, tr); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = out.Bytes()
+		} else if !bytes.Equal(out.Bytes(), want) {
+			t.Fatalf("p=%d diverged", p)
+		}
+	}
+}
+
+// TestLoadEdgesQuoted asserts the edge file tokenizer honours double
+// quotes, so resources whose names carry spaces (as Paje traces produce)
+// can be wired up.
+func TestLoadEdgesQuoted(t *testing.T) {
+	tr, err := Read(strings.NewReader("resource big host -\nend 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.DeclareResource("big node", "host", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.DeclareResource("other", "host", ""); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "edges.txt")
+	if err := os.WriteFile(path, []byte("\"big node\" other\nbig \"big node\"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := LoadEdges(path, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || len(tr.Edges()) != 2 {
+		t.Fatalf("quoted edges loaded = %d / %d", n, len(tr.Edges()))
 	}
 }

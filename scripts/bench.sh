@@ -1,8 +1,9 @@
 #!/bin/sh
-# bench.sh — run the layout, aggregation, fault and obs benchmark suites
-# and record the results as BENCH_layout.json, BENCH_aggregation.json,
-# BENCH_fault.json and BENCH_obs.json (name, ns/op, allocs/op, bytes/op),
-# the perf trajectories future PRs compare against. Each run also appends
+# bench.sh — run the layout, aggregation, fault, obs and ingest benchmark
+# suites and record the results as BENCH_layout.json,
+# BENCH_aggregation.json, BENCH_fault.json, BENCH_obs.json and
+# BENCH_ingest.json (name, ns/op, allocs/op, bytes/op), the perf
+# trajectories future PRs compare against. Each run also appends
 # one line per suite to BENCH_history.jsonl, so the trajectory stays
 # queryable across PRs even though the BENCH_*.json files are overwritten
 # wholesale.
@@ -25,6 +26,7 @@ AGG_PATTERN="${2:-BenchmarkSliceScrub|BenchmarkVizgraphBuild|BenchmarkFig2Tempor
 # subsystem is visible against the same-workload baseline in one file.
 FAULT_PATTERN="${2:-BenchmarkEngineWithFaults|BenchmarkFig6NASDTSequential}"
 OBS_PATTERN="${2:-BenchmarkObs}"
+INGEST_PATTERN="${2:-BenchmarkPajeRead|BenchmarkNativeRead|BenchmarkTokenize}"
 
 # to_json RAW OUT — convert `go test -bench` output lines like
 #   BenchmarkFoo/n=1024/p=4-8   123   456789 ns/op   10 B/op   2 allocs/op
@@ -89,3 +91,7 @@ to_json "$RAW" BENCH_fault.json
 echo "running obs suite (-benchtime=$BENCHTIME, -bench='$OBS_PATTERN') ..." >&2
 go test -run '^$' -bench "$OBS_PATTERN" -benchmem -benchtime "$BENCHTIME" ./internal/obs | tee "$RAW" >&2
 to_json "$RAW" BENCH_obs.json
+
+echo "running ingest suite (-benchtime=$BENCHTIME, -bench='$INGEST_PATTERN') ..." >&2
+go test -run '^$' -bench "$INGEST_PATTERN" -benchmem -benchtime "$BENCHTIME" ./internal/paje ./internal/trace ./internal/ingest | tee "$RAW" >&2
+to_json "$RAW" BENCH_ingest.json
