@@ -13,6 +13,7 @@ import (
 
 	"viva/internal/aggregation"
 	"viva/internal/core"
+	"viva/internal/experiments"
 	"viva/internal/fault"
 	"viva/internal/gantt"
 	"viva/internal/layout"
@@ -168,6 +169,34 @@ func BenchmarkFig6NASDTSequential(b *testing.B) { benchmarkDT(b, false) }
 
 // BenchmarkFig7NASDTLocality simulates the locality-aware run.
 func BenchmarkFig7NASDTLocality(b *testing.B) { benchmarkDT(b, true) }
+
+// BenchmarkEngineScaling runs the ring-allreduce workload on synthetic
+// fabrics of 1k, 10k and 100k hosts and reports engine throughput as
+// events/sec — the scaling family behind ROADMAP item 4's 100k-host
+// target. Event count per host is constant by construction, so the metric
+// isolates the engine hot loop from the workload size.
+func BenchmarkEngineScaling(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		hosts int
+	}{
+		{"hosts=1k", 1000},
+		{"hosts=10k", 10000},
+		{"hosts=100k", 100000},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			events := 0
+			for i := 0; i < b.N; i++ {
+				e, err := experiments.RunRingAllreduce(bc.hosts, experiments.RingAllreduceRounds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += e.Events
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
 
 // gridTrace builds a Grid'5000 trace with a small master-worker workload
 // once, shared by the Figure 8/9 benchmarks.

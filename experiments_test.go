@@ -103,10 +103,17 @@ func TestIngestExperiment(t *testing.T) {
 	runExperiment(t, "ingest")
 }
 
+func TestSimScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive scaling experiment")
+	}
+	runExperiment(t, "simscale")
+}
+
 func TestExperimentRegistry(t *testing.T) {
 	all := experiments.All()
-	if len(all) != 12 {
-		t.Fatalf("expected 12 experiments, got %d", len(all))
+	if len(all) != 13 {
+		t.Fatalf("expected 13 experiments, got %d", len(all))
 	}
 	if len(experiments.IDs()) != len(all) {
 		t.Error("IDs() inconsistent with All()")

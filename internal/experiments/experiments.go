@@ -165,6 +165,7 @@ func All() []Experiment {
 		{"scale", "Layout scalability: naive O(n²) vs Barnes-Hut O(n log n)", Scale},
 		{"ablation", "Design-choice ablations: lazy invalidation, Barnes-Hut theta", Ablation},
 		{"ingest", "Pipelined trace ingestion: throughput and determinism", Ingest},
+		{"simscale", "Engine scaling: events/sec at 1k/10k/100k hosts", SimScale},
 	}
 }
 

@@ -2,6 +2,7 @@ package nasdt
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"viva/internal/fault"
@@ -353,12 +354,23 @@ func TestRunPanicsOnBadInput(t *testing.T) {
 // TestChurnRunIsBitReproducible asserts the acceptance property of the
 // fault subsystem: the same churn seed yields a byte-identical trace.
 // Float summation order or map iteration sneaking into the engine's
-// tracing would break this.
+// tracing would break this. The check runs at every engine knob
+// combination — lazy vs full recompute, category tracing, state
+// tracing. Lazy and full are NOT asserted equal to each other here:
+// full recompute settles every flow at every event, and the extra
+// intermediate settles round floats differently, which the churn
+// workload's timeout races amplify into genuinely different retry
+// schedules (the pre-rewrite engine diverged identically; the
+// healthy-path and deterministic-fault equivalence is pinned by
+// TestLazyAndFullRecomputeEquivalent in internal/sim).
 func TestChurnRunIsBitReproducible(t *testing.T) {
-	run := func() []byte {
+	run := func(full, cats, states bool) []byte {
 		p := platform.TwoClusters()
 		tr := trace.New()
 		e := sim.New(p, tr)
+		e.SetFullRecompute(full)
+		e.TraceCategories(cats)
+		e.TraceStates(states)
 		var hosts, links []string
 		for _, h := range p.Hosts() {
 			hosts = append(hosts, h.Name)
@@ -383,8 +395,17 @@ func TestChurnRunIsBitReproducible(t *testing.T) {
 		}
 		return buf.Bytes()
 	}
-	a, b := run(), run()
-	if !bytes.Equal(a, b) {
-		t.Fatalf("same seed produced different traces (%d vs %d bytes)", len(a), len(b))
+	for _, full := range []bool{false, true} {
+		for _, cats := range []bool{false, true} {
+			for _, states := range []bool{false, true} {
+				full, cats, states := full, cats, states
+				t.Run(fmt.Sprintf("full=%v/cats=%v/states=%v", full, cats, states), func(t *testing.T) {
+					a := run(full, cats, states)
+					if b := run(full, cats, states); !bytes.Equal(a, b) {
+						t.Fatalf("same seed produced different traces (%d vs %d bytes)", len(a), len(b))
+					}
+				})
+			}
+		}
 	}
 }

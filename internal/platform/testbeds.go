@@ -1,5 +1,7 @@
 package platform
 
+import "fmt"
+
 // Bandwidth and power unit helpers. The simulator works in bytes/second
 // and flops/second.
 const (
@@ -115,6 +117,60 @@ var grid5000Model = []grid5000Site{
 // Grid5000Hosts is the number of computing hosts of the synthetic
 // Grid'5000 model, matching the count reported in the paper.
 const Grid5000Hosts = 2170
+
+// Fabric layout constants: SyntheticFabric groups hosts into racks of
+// FabricRackHosts and racks into pods (sites) of FabricPodRacks. The
+// simscale experiment mirrors this layout to place its workload.
+const (
+	FabricRackHosts = 32
+	FabricPodRacks  = 8
+)
+
+// FabricRackName returns the cluster name of rack r of pod p in a
+// SyntheticFabric platform. Hosts inside are "<rack>-1" … "<rack>-N".
+func FabricRackName(pod, rack int) string {
+	return fmt.Sprintf("p%dr%d", pod, rack)
+}
+
+// SyntheticFabric builds a synthetic datacenter fabric with the given
+// total host count, the platform family behind the engine-scaling
+// benchmarks (1k/10k/100k hosts): pods of 8 racks × 32 hosts, each pod a
+// site on the shared core. Rack backbones are fat relative to the 1 Gb/s
+// host links, so intra-rack traffic bottlenecks on the host links while
+// cross-rack traffic squeezes through the rack uplinks — the same two
+// regimes the paper's datacenter scenarios exercise. The last rack and
+// pod are partial when hosts is not a multiple of the pod size.
+func SyntheticFabric(hosts int) *Platform {
+	p := New("fabric")
+	placed := 0
+	for pod := 0; placed < hosts; pod++ {
+		site := fmt.Sprintf("pod%d", pod)
+		p.AddSite(site, SiteConfig{
+			BackboneBandwidth: 40 * Gbps,
+			BackboneLatency:   100e-6,
+			UplinkBandwidth:   40 * Gbps,
+			UplinkLatency:     500e-6,
+		})
+		for rack := 0; rack < FabricPodRacks && placed < hosts; rack++ {
+			n := FabricRackHosts
+			if hosts-placed < n {
+				n = hosts - placed
+			}
+			p.AddCluster(site, FabricRackName(pod, rack), ClusterConfig{
+				Hosts:             n,
+				HostPower:         8 * GFlops,
+				HostLinkBandwidth: 1 * Gbps,
+				HostLinkLatency:   50e-6,
+				BackboneBandwidth: 20 * Gbps,
+				BackboneLatency:   20e-6,
+				UplinkBandwidth:   10 * Gbps,
+				UplinkLatency:     100e-6,
+			})
+			placed += n
+		}
+	}
+	return p
+}
 
 // Grid5000 builds the synthetic Grid'5000 platform used by the paper's
 // Section 5.2 scenario: 10 sites interconnected by a national backbone,

@@ -1,6 +1,9 @@
 package sim
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 type activityKind int
 
@@ -13,10 +16,27 @@ const (
 // resource is the engine-side view of a host or link: a capacity shared by
 // the flows currently attached to it.
 type resource struct {
-	name     string
+	name  string
+	order int32 // rank in the engine's name-sorted resource list
+	// heapIdx-style scratch used by the recompute scan and the solver;
+	// valid only inside the call that set it.
+	scanned  uint64  // recompute scan stamp (== engine scanEpoch when visited)
+	remCap   float64 // max-min solver: remaining capacity
+	nUnfixed int     // max-min solver: flows not yet fixed
+
 	capacity float64
 	isHost   bool
-	flows    map[*activity]struct{}
+
+	// flows holds the attached, live flows. It is kept id-ordered lazily:
+	// appends of monotonically increasing ids preserve order for free,
+	// swap-removes and out-of-order appends mark it unsorted, and the next
+	// ordered traversal re-sorts in place. This replaces the old
+	// map[*activity]struct{} plus a fresh sort per traversal, the single
+	// largest allocation source of the engine.
+	flows       []*activity
+	flowsSorted bool
+
+	inDirty bool // already queued on the engine's dirty list
 
 	// Fault state. nominal is the healthy capacity (what SetHostPower
 	// and recoveries restore), degrade the standing LinkDegrade factor;
@@ -32,21 +52,62 @@ type resource struct {
 	usageMetric string
 }
 
-func (r *resource) sortedFlows() []*activity {
-	out := make([]*activity, 0, len(r.flows))
-	for f := range r.flows {
-		out = append(out, f)
+// addFlow attaches a flow. New activities get monotonically increasing
+// ids, so the common case appends in order and keeps the slice sorted.
+func (r *resource) addFlow(f *activity) {
+	if n := len(r.flows); n > 0 && r.flows[n-1].id > f.id {
+		r.flowsSorted = false
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
-	return out
+	r.flows = append(r.flows, f)
+}
+
+// removeFlow detaches a flow: O(log n) locate while the slice is sorted
+// (linear scan after a swap-remove unsorted it), then O(1) swap-remove.
+func (r *resource) removeFlow(f *activity) {
+	pos := -1
+	if r.flowsSorted {
+		if i, ok := slices.BinarySearchFunc(r.flows, f.id, func(a *activity, id int64) int {
+			return cmp.Compare(a.id, id)
+		}); ok {
+			pos = i
+		}
+	}
+	if pos < 0 || r.flows[pos] != f {
+		pos = slices.Index(r.flows, f)
+		if pos < 0 {
+			return
+		}
+	}
+	last := len(r.flows) - 1
+	if pos != last {
+		r.flows[pos] = r.flows[last]
+		r.flowsSorted = false
+	}
+	r.flows[last] = nil
+	r.flows = r.flows[:last]
+	if last == 0 {
+		r.flowsSorted = true
+	}
+}
+
+// sortedFlows returns the attached flows in id order, re-sorting in place
+// only when incremental maintenance left the slice unordered. The returned
+// slice is r.flows itself: callers must not mutate the flow set while
+// iterating (takeDown snapshots first).
+func (r *resource) sortedFlows() []*activity {
+	if !r.flowsSorted {
+		slices.SortFunc(r.flows, func(a, b *activity) int { return cmp.Compare(a.id, b.id) })
+		r.flowsSorted = true
+	}
+	return r.flows
 }
 
 // activity is one unit of simulated work: an execution, a communication
-// flow, or a timer.
+// flow, or a timer. Activities are pooled on the engine: completed ones
+// are recycled, so steady-state execution allocates none.
 type activity struct {
 	id       int64
 	kind     activityKind
-	label    string
 	category string
 
 	resources []*resource // host (exec) or route links (comm)
@@ -66,7 +127,14 @@ type activity struct {
 	dstHost    string
 	totalBytes float64
 
-	seq int64 // heap invalidation sequence
+	// comms are the (up to two) handles of a communication. On completion
+	// the engine copies the final state into them and drops the links, so
+	// the activity can be recycled while the handles stay valid.
+	comms [2]*Comm
+
+	scanned uint64 // recompute scan stamp
+	fixed   bool   // max-min solver scratch
+	heapIdx int32  // position in the engine's event queue, -1 when absent
 }
 
 func (a *activity) addWaiter(w *Actor) {
@@ -100,29 +168,8 @@ func (a *activity) eventTime() (float64, bool) {
 	return a.lastUpdate + a.remaining/a.rate, true
 }
 
-// eventEntry is a heap element. Stale entries (seq mismatch) are skipped on
-// pop.
+// eventEntry is one element of the engine's indexed event queue.
 type eventEntry struct {
 	t   float64
-	seq int64
 	act *activity
-}
-
-type eventHeap []eventEntry
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].act.id < h[j].act.id
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(eventEntry)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
 }

@@ -124,13 +124,11 @@ func (c *Ctx) TryExecute(amount float64) error {
 	}
 	e := c.a.eng
 	host := e.hosts[c.a.host.Name]
-	act := &activity{
-		kind:      actExec,
-		label:     "exec:" + c.a.name,
-		category:  c.a.category,
-		resources: []*resource{host},
-		remaining: amount,
-	}
+	act := e.acquireActivity()
+	act.kind = actExec
+	act.category = c.a.category
+	act.resources = append(act.resources, host)
+	act.remaining = amount
 	act.addWaiter(c.a)
 	c.a.setState("compute")
 	e.startActivity(act)
@@ -138,7 +136,9 @@ func (c *Ctx) TryExecute(amount float64) error {
 		c.a.block()
 	}
 	c.a.setState("")
-	return act.failure
+	err := act.failure
+	e.releaseActivity(act)
+	return err
 }
 
 // HostAvailable reports whether a host is currently up (always true
@@ -154,7 +154,9 @@ func (c *Ctx) Sleep(d float64) {
 		return
 	}
 	e := c.a.eng
-	act := &activity{kind: actSleep, label: "sleep:" + c.a.name, delay: d}
+	act := e.acquireActivity()
+	act.kind = actSleep
+	act.delay = d
 	act.addWaiter(c.a)
 	c.a.setState("sleep")
 	e.startActivity(act)
@@ -162,6 +164,7 @@ func (c *Ctx) Sleep(d float64) {
 		c.a.block()
 	}
 	c.a.setState("")
+	e.releaseActivity(act)
 }
 
 // Spawn starts a new actor from inside a running one.
@@ -256,17 +259,21 @@ func (c *Ctx) WaitAnyTimeout(comms []*Comm, d float64) (int, bool) {
 		c.a.setState("")
 		c.a.waiting = ""
 	}()
-	timer := &activity{kind: actSleep, label: "timeout:" + c.a.name, delay: d}
+	timer := e.acquireActivity()
+	timer.kind = actSleep
+	timer.delay = d
 	timer.addWaiter(c.a)
 	e.startActivity(timer)
 	for {
 		for i, cm := range comms {
 			if cm != nil && cm.completed() {
 				e.cancelTimer(timer)
+				e.releaseActivity(timer)
 				return i, true
 			}
 		}
 		if timer.done {
+			e.releaseActivity(timer)
 			return -1, false
 		}
 		for _, cm := range comms {
@@ -278,19 +285,36 @@ func (c *Ctx) WaitAnyTimeout(comms []*Comm, d float64) (int, bool) {
 	}
 }
 
-// Comm is a handle on an asynchronous communication.
+// Comm is a handle on an asynchronous communication. The handle outlives
+// the engine-internal activity that carries the transfer: on completion
+// the engine copies the outcome here (see finish) and recycles the
+// activity, so a Comm held long after delivery stays valid.
 type Comm struct {
 	eng            *Engine
-	act            *activity // nil until sender and receiver matched
+	act            *activity // live only while matched and in flight
 	mb             *mailbox  // where the unmatched half is queued
+	matched        bool      // sender and receiver paired up
+	done           bool
+	failure        error
 	canceled       bool
 	pendingWaiters []*Actor
 	payload        any // what the sender shipped
 }
 
-func (cm *Comm) completed() bool { return cm.act != nil && cm.act.done }
+func (cm *Comm) completed() bool { return cm.done }
+
+// finish copies the final state of the transfer into the handle and drops
+// the activity link, releasing the engine to recycle the activity.
+func (cm *Comm) finish(act *activity) {
+	cm.done = true
+	cm.failure = act.failure
+	cm.act = nil
+}
 
 func (cm *Comm) addWaiter(a *Actor) {
+	if cm.done {
+		return
+	}
 	if cm.act != nil {
 		cm.act.addWaiter(a)
 		return
@@ -307,10 +331,10 @@ func (cm *Comm) Err() error {
 	if cm.canceled {
 		return ErrCanceled
 	}
-	if cm.act == nil || !cm.act.done {
+	if !cm.done {
 		return nil
 	}
-	return cm.act.failure
+	return cm.failure
 }
 
 // Wait blocks the calling actor until the communication completes and
@@ -338,7 +362,7 @@ func (cm *Comm) TryWait(c *Ctx) (any, error) {
 		cm.addWaiter(c.a)
 		c.a.block()
 	}
-	if err := cm.act.failure; err != nil {
+	if err := cm.failure; err != nil {
 		return nil, err
 	}
 	return cm.payload, nil
@@ -361,11 +385,14 @@ func (cm *Comm) WaitTimeout(c *Ctx, d float64) (any, error) {
 		c.a.waiting = "mbox " + cm.mb.name
 		defer func() { c.a.waiting = "" }()
 	}
-	timer := &activity{kind: actSleep, label: "timeout:" + c.a.name, delay: d}
+	timer := e.acquireActivity()
+	timer.kind = actSleep
+	timer.delay = d
 	timer.addWaiter(c.a)
 	e.startActivity(timer)
 	for !cm.completed() {
-		if timer.done && cm.act == nil {
+		if timer.done && !cm.matched {
+			e.releaseActivity(timer)
 			cm.Cancel()
 			return nil, ErrTimeout
 		}
@@ -373,7 +400,8 @@ func (cm *Comm) WaitTimeout(c *Ctx, d float64) (any, error) {
 		c.a.block()
 	}
 	e.cancelTimer(timer)
-	if err := cm.act.failure; err != nil {
+	e.releaseActivity(timer)
+	if err := cm.failure; err != nil {
 		return nil, err
 	}
 	return cm.payload, nil
@@ -385,7 +413,7 @@ func (cm *Comm) WaitTimeout(c *Ctx, d float64) (any, error) {
 // matched (in-flight or completed) communication is left alone and false
 // is returned.
 func (cm *Comm) Cancel() bool {
-	if cm.act != nil || cm.canceled || cm.mb == nil {
+	if cm.matched || cm.canceled || cm.mb == nil {
 		return false
 	}
 	if !cm.mb.remove(cm) {

@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
+	"viva/internal/fault"
 	"viva/internal/trace"
 )
 
@@ -125,25 +127,62 @@ func TestSetHostPowerErrors(t *testing.T) {
 }
 
 // The lazy component-based invalidation must be an optimisation only:
-// with full recomputation the simulation produces the exact same trace.
+// with full recomputation the simulation produces the exact same trace,
+// at every combination of the tracing and fault knobs. Each combination
+// is also run twice to pin run-to-run reproducibility.
 func TestLazyAndFullRecomputeEquivalent(t *testing.T) {
-	run := func(full bool) string {
+	run := func(full, cats, states, faults bool) string {
 		tr := trace.New()
 		e := New(testPlatform(), tr)
 		e.SetFullRecompute(full)
+		e.TraceCategories(cats)
+		e.TraceStates(states)
+		if faults {
+			sched := fault.MustSchedule(
+				fault.Event{Time: 0.5, Kind: fault.LatencySpike, Target: "lnk:c-4", Factor: 0.2},
+				fault.Event{Time: 1, Kind: fault.LinkDown, Target: "lnk:c-2"},
+				fault.Event{Time: 2, Kind: fault.LinkDegrade, Target: "lnk:c-3", Factor: 0.5},
+				fault.Event{Time: 3, Kind: fault.LinkUp, Target: "lnk:c-2"},
+				fault.Event{Time: 4, Kind: fault.HostDown, Target: "c-4"},
+				fault.Event{Time: 6, Kind: fault.HostUp, Target: "c-4"},
+			)
+			if err := e.InjectFaults(sched); err != nil {
+				t.Fatal(err)
+			}
+		}
 		for i := 1; i <= 4; i++ {
 			host := []string{"c-1", "c-2", "c-3", "c-4"}[i-1]
 			mb := []string{"m1", "m2", "m3", "m4"}[i-1]
+			cat := []string{"app-a", "app-b"}[i%2]
 			flops := float64(100 * i)
+			// Fault-tolerant bodies: failed work is retried once after a
+			// backoff, further failures are swallowed, so the same code
+			// drives both the healthy and the faulted matrix rows.
 			e.Spawn("w"+mb, host, func(c *Ctx) {
-				c.Execute(flops)
-				c.Send(mb, nil, 1500)
-				c.Execute(200)
+				c.SetCategory(cat)
+				for c.TryExecute(flops) != nil {
+					c.Sleep(1)
+				}
+				for {
+					cm := c.Put(mb, nil, 1500)
+					if _, err := cm.WaitTimeout(c, 5); err == nil {
+						break
+					}
+					c.Sleep(1)
+				}
+				c.TryExecute(200)
 			})
 			peer := []string{"c-2", "c-3", "c-4", "c-1"}[i-1]
 			e.Spawn("r"+mb, peer, func(c *Ctx) {
-				c.Recv(mb)
-				c.Execute(150)
+				c.SetCategory(cat)
+				for {
+					cm := c.Get(mb)
+					if _, err := cm.WaitTimeout(c, 5); err == nil {
+						break
+					}
+					c.Sleep(1)
+				}
+				c.TryExecute(150)
 			})
 		}
 		if err := e.Run(); err != nil {
@@ -155,8 +194,21 @@ func TestLazyAndFullRecomputeEquivalent(t *testing.T) {
 		}
 		return sb.String()
 	}
-	if run(false) != run(true) {
-		t.Error("lazy and full recomputation produced different traces")
+	for _, cats := range []bool{false, true} {
+		for _, states := range []bool{false, true} {
+			for _, faults := range []bool{false, true} {
+				name := fmt.Sprintf("cats=%v/states=%v/faults=%v", cats, states, faults)
+				t.Run(name, func(t *testing.T) {
+					lazy := run(false, cats, states, faults)
+					if full := run(true, cats, states, faults); lazy != full {
+						t.Error("lazy and full recomputation produced different traces")
+					}
+					if again := run(false, cats, states, faults); lazy != again {
+						t.Error("same knobs produced different traces across runs")
+					}
+				})
+			}
+		}
 	}
 }
 

@@ -1,8 +1,10 @@
 package sim
 
 import (
-	"container/heap"
+	"cmp"
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 
 	"viva/internal/fault"
@@ -27,10 +29,28 @@ var (
 		"Actors spawned onto hosts.")
 	obsFaultsApplied = obs.Default.Counter("viva_sim_faults_applied_total",
 		"Fault-schedule events applied to resources.")
+	obsQueueDepth = obs.Default.Gauge("viva_sim_event_queue_depth",
+		"Live entries in the engine's indexed event queue.")
+	obsActivityPoolFree = obs.Default.Gauge("viva_sim_activity_pool_free",
+		"Recycled activity objects parked on the engine's free list.")
 )
+
+// routeInfo caches a resolved platform route: the link resources crossed
+// and the summed base latency. Routes are static, so each (src, dst) pair
+// is resolved at most once per engine.
+type routeInfo struct {
+	links   []*resource
+	latency float64
+}
 
 // Engine owns simulated time, the resource pool, the actors and the event
 // queue. Create one with New, spawn actors, then call Run.
+//
+// The hot loop — recompute dirty components, pop the next event, fire it,
+// drain woken actors — is engineered to allocate nothing in steady state:
+// component scans use epoch stamps and persistent scratch buffers instead
+// of per-call maps, the event queue is an indexed heap updated in place,
+// and activities plus mailbox bookkeeping are recycled through free lists.
 type Engine struct {
 	plat *platform.Platform
 	tr   *trace.Trace
@@ -38,16 +58,49 @@ type Engine struct {
 	now    float64
 	nextID int64
 
-	actors   []*Actor
+	actors []*Actor
+
+	// runnable is a ring: wake appends, drainRunnable consumes through
+	// runHead and resets both when drained, so the backing array is reused
+	// instead of being re-allocated (and pinned) by front-reslicing.
 	runnable []*Actor
+	runHead  int
 
 	hosts map[string]*resource // host name -> compute resource
 	links map[string]*resource // link name -> network resource
+	res   []*resource          // every resource, name-ordered (order fields index it)
 
 	mailboxes map[string]*mailbox
+	routes    map[HostPair]routeInfo
 
-	dirty map[*resource]struct{}
-	queue eventHeap
+	// dirtyList collects resources touched since the last recompute;
+	// resource.inDirty dedupes. Replaces a per-recompute map rebuild.
+	dirtyList []*resource
+
+	// queue is an indexed binary min-heap ordered by (time, activity id).
+	// Each live activity appears at most once (activity.heapIdx), so
+	// reschedules update in place instead of stacking stale entries.
+	queue []eventEntry
+
+	// Recompute scan state: scanEpoch stamps visited resources/flows
+	// (activity.scanned / resource.scanned), the scan* slices are the
+	// persistent BFS scratch.
+	scanEpoch uint64
+	scanStack []*resource
+	scanRes   []*resource
+	scanFlows []*activity
+
+	// Free lists. Completed activities and consumed mailbox halves are
+	// recycled; see releaseActivity for the ownership rules.
+	actPool []*activity
+	psPool  []*pendingSend
+	prPool  []*pendingRecv
+
+	// traceResource scratch, reused across calls.
+	catScratch map[string]float64
+	catKeys    []string
+
+	faultScratch []*activity // takeDown's snapshot of the victim flows
 
 	categories  map[string]bool // categories seen, for per-category tracing
 	traceCats   bool
@@ -86,7 +139,7 @@ func New(plat *platform.Platform, tr *trace.Trace) *Engine {
 		hosts:      make(map[string]*resource),
 		links:      make(map[string]*resource),
 		mailboxes:  make(map[string]*mailbox),
-		dirty:      make(map[*resource]struct{}),
+		routes:     make(map[HostPair]routeInfo),
 		categories: make(map[string]bool),
 		commBytes:  make(map[HostPair]float64),
 	}
@@ -94,29 +147,39 @@ func New(plat *platform.Platform, tr *trace.Trace) *Engine {
 		plat.DeclareInto(tr)
 	}
 	for _, h := range plat.Hosts() {
-		e.hosts[h.Name] = &resource{
+		r := &resource{
 			name:        h.Name,
 			capacity:    h.Power,
 			nominal:     h.Power,
 			degrade:     1,
 			isHost:      true,
-			flows:       make(map[*activity]struct{}),
+			flowsSorted: true,
 			traceUsage:  tr != nil,
 			usageMetric: trace.MetricUsage,
 			lastByCat:   make(map[string]float64),
 		}
+		e.hosts[h.Name] = r
+		e.res = append(e.res, r)
 	}
 	for _, l := range plat.Links() {
-		e.links[l.Name] = &resource{
+		r := &resource{
 			name:        l.Name,
 			capacity:    l.Bandwidth,
 			nominal:     l.Bandwidth,
 			degrade:     1,
-			flows:       make(map[*activity]struct{}),
+			flowsSorted: true,
 			traceUsage:  tr != nil,
 			usageMetric: trace.MetricTraffic,
 			lastByCat:   make(map[string]float64),
 		}
+		e.links[l.Name] = r
+		e.res = append(e.res, r)
+	}
+	// Rank resources by name once: the recompute and the solver order by
+	// this integer instead of re-comparing strings on every hot-path sort.
+	slices.SortFunc(e.res, func(a, b *resource) int { return cmp.Compare(a.name, b.name) })
+	for i, r := range e.res {
+		r.order = int32(i)
 	}
 	return e
 }
@@ -158,7 +221,7 @@ func (e *Engine) SetHostPower(host string, power float64) error {
 		return nil
 	}
 	r.capacity = power
-	e.dirty[r] = struct{}{}
+	e.markDirty(r)
 	if e.tr != nil {
 		mustSet(e.tr.Set(e.now, host, trace.MetricPower, power))
 	}
@@ -176,6 +239,41 @@ func (e *Engine) fail(err error) {
 	if e.err == nil {
 		e.err = err
 	}
+}
+
+// markDirty queues a resource for the next recompute (idempotent).
+func (e *Engine) markDirty(r *resource) {
+	if !r.inDirty {
+		r.inDirty = true
+		e.dirtyList = append(e.dirtyList, r)
+	}
+}
+
+// acquireActivity takes a recycled activity from the free list, or
+// allocates one. The returned activity has zeroed fields and reusable
+// resources/waiters backing arrays.
+func (e *Engine) acquireActivity() *activity {
+	if n := len(e.actPool); n > 0 {
+		act := e.actPool[n-1]
+		e.actPool[n-1] = nil
+		e.actPool = e.actPool[:n-1]
+		obsActivityPoolFree.Set(float64(n - 1))
+		return act
+	}
+	return &activity{heapIdx: -1}
+}
+
+// releaseActivity recycles an activity. Ownership rules: communication
+// activities are released by complete() — their Comm handles carry the
+// final state, so nothing references the activity afterwards. Execution,
+// sleep and timer activities are released by the Ctx call that created
+// them, after its wait loop observed done (waiters still poll act.done,
+// so the engine must not recycle them earlier).
+func (e *Engine) releaseActivity(act *activity) {
+	res, waiters := act.resources[:0], act.waiters[:0]
+	*act = activity{heapIdx: -1, resources: res, waiters: waiters}
+	e.actPool = append(e.actPool, act)
+	obsActivityPoolFree.Set(float64(len(e.actPool)))
 }
 
 // Spawn registers an actor on a host. The actor starts running when Run is
@@ -290,11 +388,14 @@ func (e *Engine) Run() error {
 }
 
 // drainRunnable runs every runnable actor until it blocks or finishes.
-// Actors woken or spawned while draining are processed too.
+// Actors woken or spawned while draining are processed too. The queue is
+// consumed through a cursor and reset when drained, so the backing array
+// survives the whole run instead of being abandoned by front-reslicing.
 func (e *Engine) drainRunnable() error {
-	for len(e.runnable) > 0 {
-		a := e.runnable[0]
-		e.runnable = e.runnable[1:]
+	for e.runHead < len(e.runnable) {
+		a := e.runnable[e.runHead]
+		e.runnable[e.runHead] = nil
+		e.runHead++
 		a.queued = false
 		if a.state == actorDone {
 			continue
@@ -306,6 +407,8 @@ func (e *Engine) drainRunnable() error {
 			return fmt.Errorf("sim: actor %q failed: %w", a.name, a.err)
 		}
 	}
+	e.runnable = e.runnable[:0]
+	e.runHead = 0
 	return nil
 }
 
@@ -340,8 +443,8 @@ func (e *Engine) fire(act *activity) {
 		// Enter the flow phase.
 		act.attached = true
 		for _, r := range act.resources {
-			r.flows[act] = struct{}{}
-			e.dirty[r] = struct{}{}
+			r.addFlow(act)
+			e.markDirty(r)
 		}
 		return
 	}
@@ -359,11 +462,7 @@ type HostPair struct {
 // destination) host pair so far — the raw data of a communication matrix.
 // The returned map is a copy.
 func (e *Engine) CommBytes() map[HostPair]float64 {
-	out := make(map[HostPair]float64, len(e.commBytes))
-	for k, v := range e.commBytes {
-		out[k] = v
-	}
-	return out
+	return maps.Clone(e.commBytes)
 }
 
 func (e *Engine) complete(act *activity) {
@@ -372,7 +471,9 @@ func (e *Engine) complete(act *activity) {
 	}
 	act.done = true
 	obsActivitiesDone.Inc()
-	if act.kind == actComm && act.totalBytes > 0 {
+	e.heapRemove(act)
+	isComm := act.kind == actComm
+	if isComm && act.totalBytes > 0 {
 		delivered := act.totalBytes
 		if act.failure != nil {
 			delivered -= act.remaining // only what crossed before the fault
@@ -383,15 +484,26 @@ func (e *Engine) complete(act *activity) {
 	}
 	if act.attached {
 		for _, r := range act.resources {
-			delete(r.flows, act)
-			e.dirty[r] = struct{}{}
+			r.removeFlow(act)
+			e.markDirty(r)
 		}
 		act.attached = false
 	}
 	for _, w := range act.waiters {
 		e.wake(w)
 	}
-	act.waiters = nil
+	act.waiters = act.waiters[:0]
+	if c := act.comms[0]; c != nil {
+		c.finish(act)
+	}
+	if c := act.comms[1]; c != nil {
+		c.finish(act)
+	}
+	if isComm {
+		// Both handles now carry the outcome; nothing references the
+		// activity any more, so it goes back to the pool.
+		e.releaseActivity(act)
+	}
 }
 
 // startActivity registers a new activity and schedules its first event.
@@ -399,7 +511,7 @@ func (e *Engine) startActivity(act *activity) {
 	act.id = e.nextID
 	e.nextID++
 	act.lastUpdate = e.now
-	if act.category != "" {
+	if act.category != "" && !e.categories[act.category] {
 		e.categories[act.category] = true
 	}
 	if r := e.failedResource(act); r != nil {
@@ -411,7 +523,7 @@ func (e *Engine) startActivity(act *activity) {
 	}
 	if act.delay > 0 {
 		// Delay phase first; the flow attaches when it elapses.
-		e.pushEvent(act)
+		e.scheduleEvent(act)
 		return
 	}
 	if act.kind == actSleep || act.remaining <= 0 || len(act.resources) == 0 {
@@ -422,77 +534,182 @@ func (e *Engine) startActivity(act *activity) {
 	}
 	act.attached = true
 	for _, r := range act.resources {
-		r.flows[act] = struct{}{}
-		e.dirty[r] = struct{}{}
+		r.addFlow(act)
+		e.markDirty(r)
 	}
 }
 
-func (e *Engine) pushEvent(act *activity) {
+// --- Indexed event queue ---
+//
+// A binary min-heap over (time, activity id) where every live activity
+// holds its own slot index. Reschedules after a rate change update the
+// entry in place (sift up or down), so the queue never accumulates stale
+// entries and pushes never go through an interface (the container/heap
+// boxing was one allocation per event in the old engine).
+
+// scheduleEvent inserts, updates or withdraws the queue entry of an
+// activity so it matches eventTime().
+func (e *Engine) scheduleEvent(act *activity) {
 	t, ok := act.eventTime()
 	if !ok {
+		// No pending event (zero-rate flow): withdraw any stale entry so
+		// it cannot fire at an outdated time.
+		e.heapRemove(act)
 		return
 	}
-	act.seq++
-	heap.Push(&e.queue, eventEntry{t: t, seq: act.seq, act: act})
+	if i := int(act.heapIdx); i >= 0 {
+		if e.queue[i].t == t {
+			return
+		}
+		e.queue[i].t = t
+		e.heapFix(i)
+		return
+	}
+	e.queue = append(e.queue, eventEntry{t: t, act: act})
+	i := len(e.queue) - 1
+	act.heapIdx = int32(i)
+	e.heapUp(i)
 }
 
 func (e *Engine) popEvent() *activity {
-	for e.queue.Len() > 0 {
-		entry := heap.Pop(&e.queue).(eventEntry)
-		if entry.act.done || entry.act.seq != entry.seq {
-			continue // stale
-		}
-		return entry.act
+	if len(e.queue) == 0 {
+		return nil
 	}
-	return nil
+	act := e.queue[0].act
+	e.heapRemoveAt(0)
+	obsQueueDepth.Set(float64(len(e.queue)))
+	return act
+}
+
+// peekEventTime returns the time of the earliest pending activity event
+// without consuming it.
+func (e *Engine) peekEventTime() (float64, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].t, true
+}
+
+func (e *Engine) heapRemove(act *activity) {
+	if act.heapIdx >= 0 {
+		e.heapRemoveAt(int(act.heapIdx))
+	}
+}
+
+func (e *Engine) heapRemoveAt(i int) {
+	q := e.queue
+	last := len(q) - 1
+	q[i].act.heapIdx = -1
+	if i != last {
+		q[i] = q[last]
+		q[i].act.heapIdx = int32(i)
+	}
+	q[last] = eventEntry{}
+	e.queue = q[:last]
+	if i != last {
+		e.heapFix(i)
+	}
+}
+
+func (e *Engine) heapLessAt(i, j int) bool {
+	a, b := &e.queue[i], &e.queue[j]
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.act.id < b.act.id
+}
+
+func (e *Engine) heapSwap(i, j int) {
+	q := e.queue
+	q[i], q[j] = q[j], q[i]
+	q[i].act.heapIdx = int32(i)
+	q[j].act.heapIdx = int32(j)
+}
+
+func (e *Engine) heapUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !e.heapLessAt(i, p) {
+			break
+		}
+		e.heapSwap(i, p)
+		i = p
+	}
+}
+
+func (e *Engine) heapDown(i int) bool {
+	moved := false
+	n := len(e.queue)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && e.heapLessAt(r, l) {
+			m = r
+		}
+		if !e.heapLessAt(m, i) {
+			break
+		}
+		e.heapSwap(i, m)
+		i = m
+		moved = true
+	}
+	return moved
+}
+
+func (e *Engine) heapFix(i int) {
+	if !e.heapDown(i) {
+		e.heapUp(i)
+	}
 }
 
 // recomputeDirty re-solves max-min sharing inside every connected component
 // touched by recent activity changes, settles and re-times the affected
 // flows, and traces resource usage changes.
+//
+// The component scan stamps resources and flows with the current scan
+// epoch instead of building visited-maps, and reuses the engine's BFS
+// scratch buffers, so a steady-state recompute allocates nothing.
 func (e *Engine) recomputeDirty() {
-	if len(e.dirty) == 0 {
+	if len(e.dirtyList) == 0 {
 		return
 	}
 	if e.fullRecompute {
-		for _, r := range e.hosts {
-			e.dirty[r] = struct{}{}
-		}
-		for _, r := range e.links {
-			e.dirty[r] = struct{}{}
+		for _, r := range e.res {
+			e.markDirty(r)
 		}
 	}
-	dirty := make([]*resource, 0, len(e.dirty))
-	for r := range e.dirty {
-		dirty = append(dirty, r)
+	dirty := e.dirtyList
+	slices.SortFunc(dirty, func(a, b *resource) int { return int(a.order) - int(b.order) })
+	for _, r := range dirty {
+		r.inDirty = false
 	}
-	sort.Slice(dirty, func(i, j int) bool { return dirty[i].name < dirty[j].name })
-	e.dirty = make(map[*resource]struct{})
-
-	visited := make(map[*resource]bool)
+	e.scanEpoch++
+	ep := e.scanEpoch
+	resources, flows, stack := e.scanRes[:0], e.scanFlows[:0], e.scanStack[:0]
 	for _, root := range dirty {
-		if visited[root] {
+		if root.scanned == ep {
 			continue
 		}
+		root.scanned = ep
 		// BFS over the component of resources connected through flows.
-		var resources []*resource
-		var flows []*activity
-		flowSeen := make(map[*activity]bool)
-		stack := []*resource{root}
-		visited[root] = true
+		resources, flows, stack = resources[:0], flows[:0], stack[:0]
+		stack = append(stack, root)
 		for len(stack) > 0 {
 			r := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			resources = append(resources, r)
 			for _, f := range r.sortedFlows() {
-				if flowSeen[f] {
+				if f.scanned == ep {
 					continue
 				}
-				flowSeen[f] = true
+				f.scanned = ep
 				flows = append(flows, f)
 				for _, fr := range f.resources {
-					if !visited[fr] {
-						visited[fr] = true
+					if fr.scanned != ep {
+						fr.scanned = ep
 						stack = append(stack, fr)
 					}
 				}
@@ -507,12 +724,14 @@ func (e *Engine) recomputeDirty() {
 		}
 		solveMaxMin(resources, flows)
 		for _, f := range flows {
-			e.pushEvent(f)
+			e.scheduleEvent(f)
 		}
 		for _, r := range resources {
 			e.traceResource(r)
 		}
 	}
+	e.scanRes, e.scanFlows, e.scanStack = resources[:0], flows[:0], stack[:0]
+	e.dirtyList = dirty[:0]
 }
 
 // traceResource records the current total usage of a resource (and the
@@ -524,10 +743,14 @@ func (e *Engine) traceResource(r *resource) {
 	total := 0.0
 	var byCat map[string]float64
 	if e.traceCats {
-		byCat = make(map[string]float64)
+		if e.catScratch == nil {
+			e.catScratch = make(map[string]float64)
+		}
+		clear(e.catScratch)
+		byCat = e.catScratch
 	}
 	// Sum in flow-id order: float addition isn't associative, so summing
-	// in map order would make the traced totals run-to-run unstable.
+	// in arbitrary order would make the traced totals run-to-run unstable.
 	for _, f := range r.sortedFlows() {
 		if !f.attached || f.done {
 			continue
@@ -543,18 +766,16 @@ func (e *Engine) traceResource(r *resource) {
 	}
 	if byCat != nil {
 		// Write categories that changed, including ones dropping to zero.
-		cats := make([]string, 0, len(r.lastByCat)+len(byCat))
-		seen := make(map[string]bool)
+		cats := e.catKeys[:0]
 		for c := range byCat {
 			cats = append(cats, c)
-			seen[c] = true
 		}
 		for c := range r.lastByCat {
-			if !seen[c] {
+			if _, live := byCat[c]; !live {
 				cats = append(cats, c)
 			}
 		}
-		sort.Strings(cats)
+		slices.Sort(cats)
 		for _, c := range cats {
 			if c == "" {
 				continue
@@ -569,6 +790,7 @@ func (e *Engine) traceResource(r *resource) {
 				}
 			}
 		}
+		e.catKeys = cats[:0]
 	}
 }
 
@@ -580,10 +802,5 @@ func mustSet(err error) {
 
 // Categories returns the sorted activity categories observed so far.
 func (e *Engine) Categories() []string {
-	out := make([]string, 0, len(e.categories))
-	for c := range e.categories {
-		out = append(out, c)
-	}
-	sort.Strings(out)
-	return out
+	return slices.Sorted(maps.Keys(e.categories))
 }

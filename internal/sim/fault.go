@@ -1,9 +1,10 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 
 	"viva/internal/fault"
@@ -77,12 +78,7 @@ func (e *Engine) InjectFaults(sched *fault.Schedule) error {
 }
 
 func sortedNames(m map[string]*resource) []string {
-	out := make([]string, 0, len(m))
-	for name := range m {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
+	return slices.Sorted(maps.Keys(m))
 }
 
 // HostAvailable reports whether the host is currently up. Unknown hosts
@@ -90,20 +86,6 @@ func sortedNames(m map[string]*resource) []string {
 func (e *Engine) HostAvailable(host string) bool {
 	r, ok := e.hosts[host]
 	return ok && !r.down
-}
-
-// peekEventTime returns the time of the earliest live activity event
-// without consuming it (stale heap entries are discarded on the way).
-func (e *Engine) peekEventTime() (float64, bool) {
-	for e.queue.Len() > 0 {
-		entry := e.queue[0]
-		if entry.act.done || entry.act.seq != entry.seq {
-			heap.Pop(&e.queue)
-			continue
-		}
-		return entry.t, true
-	}
-	return 0, false
 }
 
 // applyFault executes one schedule event at the current simulated time.
@@ -124,7 +106,7 @@ func (e *Engine) applyFault(fe fault.Event) {
 			return // takes effect at the recovery event
 		}
 		r.capacity = r.nominal * r.degrade
-		e.dirty[r] = struct{}{}
+		e.markDirty(r)
 		e.traceHealth(r, trace.MetricBandwidth)
 	case fault.LatencySpike:
 		if e.extraLatency == nil {
@@ -140,17 +122,21 @@ func (e *Engine) applyFault(fe fault.Event) {
 
 // takeDown crashes a resource: capacity drops to zero, every attached
 // activity is interrupted with a ResourceFailure, and new activities are
-// rejected until the matching bringUp.
+// rejected until the matching bringUp. The victims are snapshotted first:
+// failActivity swap-removes each flow from r.flows, which must not happen
+// under the iteration.
 func (e *Engine) takeDown(r *resource, state, capMetric string) {
 	if r.down {
 		return
 	}
 	r.down = true
 	r.capacity = 0
-	for _, f := range r.sortedFlows() {
+	victims := append(e.faultScratch[:0], r.sortedFlows()...)
+	for _, f := range victims {
 		e.failActivity(f, r)
 	}
-	e.dirty[r] = struct{}{}
+	e.faultScratch = victims[:0]
+	e.markDirty(r)
 	if e.tr != nil {
 		mustSet(e.tr.SetState(e.now, r.name, state))
 		mustSet(e.tr.Set(e.now, r.name, trace.MetricAvailability, 0))
@@ -166,7 +152,7 @@ func (e *Engine) bringUp(r *resource, capMetric string) {
 	}
 	r.down = false
 	r.capacity = r.nominal * r.degrade
-	e.dirty[r] = struct{}{}
+	e.markDirty(r)
 	e.traceHealth(r, capMetric)
 }
 
@@ -207,13 +193,14 @@ func (e *Engine) failedResource(act *activity) *resource {
 	return nil
 }
 
-// cancelTimer retires a pending timeout timer whose race was lost: the
-// activity is marked done so its heap entry goes stale, and its waiters
-// are dropped so nobody is spuriously woken.
+// cancelTimer retires a pending timeout timer whose race was lost: its
+// queue entry is withdrawn and its waiters dropped so nobody is
+// spuriously woken. The caller owns the timer and releases it afterwards.
 func (e *Engine) cancelTimer(act *activity) {
 	if act.done {
 		return
 	}
 	act.done = true
-	act.waiters = nil
+	e.heapRemove(act)
+	act.waiters = act.waiters[:0]
 }

@@ -1,6 +1,9 @@
 package sim
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // solveMaxMin assigns max-min fair rates to the given flows over the given
 // resources (all flows are attached and every resource of every flow is in
@@ -9,37 +12,42 @@ import "sort"
 // The classic water-filling algorithm: repeatedly find the resource whose
 // equal split among its still-unfixed flows is smallest, fix those flows at
 // that share, remove their consumption everywhere, and iterate. Resources
-// and flows are processed in deterministic order.
+// and flows are processed in deterministic order: resources by their
+// name-rank (resource.order), flows by id — identical tie-breaking to the
+// original sort-by-name/sort-by-id, without string comparisons.
+//
+// The working state lives on the resources and flows themselves (remCap,
+// nUnfixed, fixed), valid only inside this call; no maps are built.
 func solveMaxMin(resources []*resource, flows []*activity) {
 	if len(flows) == 0 {
 		return
 	}
-	sort.Slice(resources, func(i, j int) bool { return resources[i].name < resources[j].name })
-	sort.Slice(flows, func(i, j int) bool { return flows[i].id < flows[j].id })
+	slices.SortFunc(resources, func(a, b *resource) int { return int(a.order) - int(b.order) })
+	slices.SortFunc(flows, func(a, b *activity) int { return cmp.Compare(a.id, b.id) })
 
-	remCap := make(map[*resource]float64, len(resources))
-	nUnfixed := make(map[*resource]int, len(resources))
 	for _, r := range resources {
-		remCap[r] = r.capacity
+		r.remCap = r.capacity
 		n := 0
-		for f := range r.flows {
+		for _, f := range r.flows {
 			if f.attached && !f.done {
 				n++
 			}
 		}
-		nUnfixed[r] = n
+		r.nUnfixed = n
 	}
-	fixed := make(map[*activity]bool, len(flows))
+	for _, f := range flows {
+		f.fixed = false
+	}
 
 	for fixedCount := 0; fixedCount < len(flows); {
 		// Find the bottleneck resource: minimal fair share.
 		var bottleneck *resource
 		best := 0.0
 		for _, r := range resources {
-			if nUnfixed[r] == 0 {
+			if r.nUnfixed == 0 {
 				continue
 			}
-			share := remCap[r] / float64(nUnfixed[r])
+			share := r.remCap / float64(r.nUnfixed)
 			if bottleneck == nil || share < best {
 				bottleneck = r
 				best = share
@@ -50,8 +58,9 @@ func solveMaxMin(resources []*resource, flows []*activity) {
 			// attached flows (every flow uses at least one resource), but be
 			// safe and give them effectively unconstrained rate.
 			for _, f := range flows {
-				if !fixed[f] {
+				if !f.fixed {
 					f.rate = 1e30
+					f.fixed = true
 					fixedCount++
 				}
 			}
@@ -62,18 +71,18 @@ func solveMaxMin(resources []*resource, flows []*activity) {
 		}
 		// Fix every unfixed flow crossing the bottleneck at the fair share.
 		for _, f := range bottleneck.sortedFlows() {
-			if fixed[f] || !f.attached || f.done {
+			if f.fixed || !f.attached || f.done {
 				continue
 			}
 			f.rate = best
-			fixed[f] = true
+			f.fixed = true
 			fixedCount++
 			for _, r := range f.resources {
-				remCap[r] -= best
-				if remCap[r] < 0 {
-					remCap[r] = 0
+				r.remCap -= best
+				if r.remCap < 0 {
+					r.remCap = 0
 				}
-				nUnfixed[r]--
+				r.nUnfixed--
 			}
 		}
 	}

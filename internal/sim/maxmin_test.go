@@ -6,16 +6,22 @@ import (
 	"testing/quick"
 )
 
+// resOrder hands out deterministic order ranks for test resources (the
+// engine assigns them from the name-sorted resource list; here creation
+// order is already name order).
+var resOrder int32
+
 // makeRes builds a resource for solver tests.
 func makeRes(name string, cap float64) *resource {
-	return &resource{name: name, capacity: cap, flows: make(map[*activity]struct{})}
+	resOrder++
+	return &resource{name: name, order: resOrder, capacity: cap, flowsSorted: true}
 }
 
 // makeFlow attaches a flow to the given resources.
 func makeFlow(id int64, rs ...*resource) *activity {
-	f := &activity{id: id, attached: true, remaining: 1, resources: rs}
+	f := &activity{id: id, attached: true, remaining: 1, resources: rs, heapIdx: -1}
 	for _, r := range rs {
-		r.flows[f] = struct{}{}
+		r.addFlow(f)
 	}
 	return f
 }
@@ -125,7 +131,7 @@ func TestMaxMinProperties(t *testing.T) {
 		// 1. Feasibility.
 		for _, r := range resources {
 			sum := 0.0
-			for f := range r.flows {
+			for _, f := range r.flows {
 				sum += f.rate
 			}
 			if sum > r.capacity*(1+eps)+eps {
@@ -139,7 +145,7 @@ func TestMaxMinProperties(t *testing.T) {
 			for _, r := range f.resources {
 				sum := 0.0
 				maxRate := 0.0
-				for g := range r.flows {
+				for _, g := range r.flows {
 					sum += g.rate
 					if g.rate > maxRate {
 						maxRate = g.rate

@@ -1,12 +1,12 @@
 #!/bin/sh
-# bench.sh — run the layout, aggregation, fault, obs and ingest benchmark
-# suites and record the results as BENCH_layout.json,
-# BENCH_aggregation.json, BENCH_fault.json, BENCH_obs.json and
-# BENCH_ingest.json (name, ns/op, allocs/op, bytes/op), the perf
-# trajectories future PRs compare against. Each run also appends
-# one line per suite to BENCH_history.jsonl, so the trajectory stays
-# queryable across PRs even though the BENCH_*.json files are overwritten
-# wholesale.
+# bench.sh — run the layout, aggregation, fault, obs, ingest and sim
+# benchmark suites and record the results as BENCH_layout.json,
+# BENCH_aggregation.json, BENCH_fault.json, BENCH_obs.json,
+# BENCH_ingest.json and BENCH_sim.json (name, ns/op, allocs/op,
+# bytes/op), the perf trajectories future PRs compare against. Each run
+# also appends one line per suite to BENCH_history.jsonl, so the
+# trajectory stays queryable across PRs even though the BENCH_*.json
+# files are overwritten wholesale.
 #
 # Usage:
 #   scripts/bench.sh [benchtime] [pattern]
@@ -27,6 +27,10 @@ AGG_PATTERN="${2:-BenchmarkSliceScrub|BenchmarkVizgraphBuild|BenchmarkFig2Tempor
 FAULT_PATTERN="${2:-BenchmarkEngineWithFaults|BenchmarkFig6NASDTSequential}"
 OBS_PATTERN="${2:-BenchmarkObs}"
 INGEST_PATTERN="${2:-BenchmarkPajeRead|BenchmarkNativeRead|BenchmarkTokenize}"
+# The sim suite tracks the engine hot loop: the Fig6 NAS-DT run (the
+# allocs/op trajectory the hot-path overhaul is pinned against) and the
+# 1k/10k/100k-host scaling family reporting events/sec.
+SIM_PATTERN="${2:-BenchmarkFig6NASDTSequential|BenchmarkEngineScaling}"
 
 # to_json RAW OUT — convert `go test -bench` output lines like
 #   BenchmarkFoo/n=1024/p=4-8   123   456789 ns/op   10 B/op   2 allocs/op
@@ -38,16 +42,19 @@ to_json() {
 BEGIN { print "{"; printf "  \"benchmarks\": [\n"; first = 1 }
 /^Benchmark/ && /ns\/op/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = "null"; allocs = "null"
+    ns = ""; bytes = "null"; allocs = "null"; evs = "null"
     for (i = 2; i <= NF; i++) {
-        if ($i == "ns/op")     ns = $(i-1)
-        if ($i == "B/op")      bytes = $(i-1)
-        if ($i == "allocs/op") allocs = $(i-1)
+        if ($i == "ns/op")      ns = $(i-1)
+        if ($i == "B/op")       bytes = $(i-1)
+        if ($i == "allocs/op")  allocs = $(i-1)
+        if ($i == "events/sec") evs = $(i-1)
     }
     if (ns == "") next
     if (!first) printf ",\n"
     first = 0
-    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", name, ns, bytes, allocs
+    if (evs != "null") printf ", \"events_per_sec\": %s", evs
+    printf "}"
 }
 END { printf "\n  ]\n}\n" }
 ' "$1" > "$2"
@@ -58,16 +65,19 @@ END { printf "\n  ]\n}\n" }
 BEGIN { printf "{\"time\": \"%s\", \"suite\": \"%s\", \"benchtime\": \"%s\", \"benchmarks\": [", time, suite, benchtime; first = 1 }
 /^Benchmark/ && /ns\/op/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = "null"; allocs = "null"
+    ns = ""; bytes = "null"; allocs = "null"; evs = "null"
     for (i = 2; i <= NF; i++) {
-        if ($i == "ns/op")     ns = $(i-1)
-        if ($i == "B/op")      bytes = $(i-1)
-        if ($i == "allocs/op") allocs = $(i-1)
+        if ($i == "ns/op")      ns = $(i-1)
+        if ($i == "B/op")       bytes = $(i-1)
+        if ($i == "allocs/op")  allocs = $(i-1)
+        if ($i == "events/sec") evs = $(i-1)
     }
     if (ns == "") next
     if (!first) printf ", "
     first = 0
-    printf "{\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs
+    printf "{\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", name, ns, bytes, allocs
+    if (evs != "null") printf ", \"events_per_sec\": %s", evs
+    printf "}"
 }
 END { print "]}" }
 ' "$1" >> BENCH_history.jsonl
@@ -95,3 +105,7 @@ to_json "$RAW" BENCH_obs.json
 echo "running ingest suite (-benchtime=$BENCHTIME, -bench='$INGEST_PATTERN') ..." >&2
 go test -run '^$' -bench "$INGEST_PATTERN" -benchmem -benchtime "$BENCHTIME" ./internal/paje ./internal/trace ./internal/ingest | tee "$RAW" >&2
 to_json "$RAW" BENCH_ingest.json
+
+echo "running sim suite (-benchtime=$BENCHTIME, -bench='$SIM_PATTERN') ..." >&2
+go test -run '^$' -bench "$SIM_PATTERN" -benchmem -benchtime "$BENCHTIME" -timeout 30m . | tee "$RAW" >&2
+to_json "$RAW" BENCH_sim.json
