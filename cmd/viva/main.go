@@ -8,10 +8,16 @@
 //	viva -trace trace.viva [-level n] [-slice a:b] [-o view.svg] [-info]
 //	     [-aggregate group,group,...] [-naive] [-steps n]
 //	     [-gantt gantt.svg] [-treemap treemap.svg]
+//	viva compact [-chunk n] [-parallel n] <trace> <out.vvc>
 //
 // -gantt and -treemap additionally render the classical baseline views
 // (behavioural timeline; hierarchically aggregated treemap) from the same
 // trace and slice.
+//
+// The compact subcommand rewrites a trace (native, gzipped or Paje) into
+// the columnar .vvc store format: per-variable chunked columns with
+// precomputed prefix sums, so windowed queries read only boundary chunks.
+// Both -trace here and vivaserve -store accept .vvc files directly.
 package main
 
 import (
@@ -28,12 +34,17 @@ import (
 	"viva/internal/layout"
 	"viva/internal/obs"
 	"viva/internal/render"
+	"viva/internal/store"
 	"viva/internal/trace"
 	"viva/internal/traceio"
 	"viva/internal/treemap"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compact" {
+		runCompact(os.Args[2:])
+		return
+	}
 	tracePath := flag.String("trace", "", "input trace file (required)")
 	level := flag.Int("level", -1, "aggregate to this hierarchy depth (-1: leaves)")
 	slice := flag.String("slice", "", "time slice as start:end (default: whole window)")
@@ -177,6 +188,43 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("treemap ->", *treemapOut)
+	}
+}
+
+// runCompact implements `viva compact <trace> <out.vvc>`: it streams the
+// input through the ingest scanner into a columnar store writer without
+// materializing the trace (falling back to a heap pass only for inputs
+// the streaming path cannot handle, e.g. out-of-order or Paje traces).
+func runCompact(args []string) {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	chunk := fs.Int("chunk", store.DefaultChunkPoints, "points per column chunk")
+	parallel := fs.Int("parallel", 0, "worker goroutines for fallback ingestion (0: GOMAXPROCS)")
+	obsDump := fs.Bool("obs", false, "print an observability summary to stderr on exit")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: viva compact [-chunk n] [-parallel n] <trace> <out.vvc>")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	src, dst := fs.Arg(0), fs.Arg(1)
+	err := store.CompactFile(src, dst,
+		ingest.Options{Parallelism: *parallel},
+		store.WriterOptions{ChunkPoints: *chunk})
+	if err != nil {
+		fatal(err)
+	}
+	if si, e1 := os.Stat(src); e1 == nil {
+		if di, e2 := os.Stat(dst); e2 == nil && si.Size() > 0 {
+			fmt.Printf("compacted %s (%d bytes) -> %s (%d bytes, %.1f%%)\n",
+				src, si.Size(), dst, di.Size(), 100*float64(di.Size())/float64(si.Size()))
+		}
+	}
+	if *obsDump {
+		fmt.Fprintln(os.Stderr, "viva: observability summary:")
+		_ = obs.Default.WriteSummary(os.Stderr)
 	}
 }
 

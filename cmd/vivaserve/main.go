@@ -6,6 +6,13 @@
 //
 //	vivaserve -trace trace.viva [-addr :8844] [-pprof] [-track-allocs]
 //	          [-selftrace self.paje] [-obs]
+//	vivaserve -store trace.vvc [-store-cache bytes] [...]
+//
+// With -store the server reads a compacted columnar store (see `viva
+// compact`) instead of materializing the trace: windowed queries are
+// answered from precomputed per-chunk prefix sums and only boundary
+// chunks are decoded, through a byte-bounded LRU cache, so resident
+// heap stays O(cache size) regardless of trace size.
 //
 // Then open http://localhost:8844 in a browser. The server observes
 // itself: GET /metrics serves Prometheus text, GET /api/obs/frames the
@@ -27,11 +34,14 @@ import (
 	"viva/internal/ingest"
 	"viva/internal/obs"
 	"viva/internal/server"
+	"viva/internal/store"
 	"viva/internal/traceio"
 )
 
 func main() {
-	tracePath := flag.String("trace", "", "input trace file (required)")
+	tracePath := flag.String("trace", "", "input trace file (required unless -store)")
+	storePath := flag.String("store", "", "serve from a compacted columnar store (.vvc) instead of -trace")
+	storeCache := flag.Int64("store-cache", store.DefaultCacheBytes, "chunk cache budget in bytes for -store")
 	addr := flag.String("addr", ":8844", "listen address")
 	level := flag.Int("level", -1, "initial aggregation depth (-1: leaves)")
 	edges := flag.String("edges", "", "connection configuration file for traces without topology edges")
@@ -42,7 +52,7 @@ func main() {
 	obsDump := flag.Bool("obs", false, "print an observability summary to stderr on exit")
 	flag.Parse()
 
-	if *tracePath == "" {
+	if (*tracePath == "") == (*storePath == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -62,15 +72,32 @@ func main() {
 			}
 		}()
 	}
-	tr := traceio.MustLoadWith(*tracePath, ingest.Options{Parallelism: *parallel})
-	if *edges != "" {
-		if _, err := traceio.LoadEdges(*edges, tr); err != nil {
+	var v *core.View
+	served := *tracePath
+	if *storePath != "" {
+		if *edges != "" {
+			fatal(fmt.Errorf("-edges needs a heap trace; bake edges in before `viva compact` or use -trace"))
+		}
+		st, err := store.OpenWith(*storePath, store.OpenOptions{CacheBytes: *storeCache})
+		if err != nil {
 			fatal(err)
 		}
-	}
-	v, err := core.NewView(tr)
-	if err != nil {
-		fatal(err)
+		defer st.Close()
+		served = *storePath
+		if v, err = core.NewViewOf(st); err != nil {
+			fatal(err)
+		}
+	} else {
+		tr := traceio.MustLoadWith(*tracePath, ingest.Options{Parallelism: *parallel})
+		if *edges != "" {
+			if _, err := traceio.LoadEdges(*edges, tr); err != nil {
+				fatal(err)
+			}
+		}
+		var err error
+		if v, err = core.NewView(tr); err != nil {
+			fatal(err)
+		}
 	}
 	if *level >= 0 {
 		if err := v.SetLevel(*level); err != nil {
@@ -78,7 +105,7 @@ func main() {
 		}
 	}
 	v.SetParallelism(*parallel)
-	fmt.Printf("serving %s on http://localhost%s\n", *tracePath, *addr)
+	fmt.Printf("serving %s on http://localhost%s\n", served, *addr)
 	// SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests are
 	// drained before the process exits.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

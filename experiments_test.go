@@ -110,10 +110,17 @@ func TestSimScale(t *testing.T) {
 	runExperiment(t, "simscale")
 }
 
+func TestStoreScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive experiment")
+	}
+	runExperiment(t, "storescale")
+}
+
 func TestExperimentRegistry(t *testing.T) {
 	all := experiments.All()
-	if len(all) != 13 {
-		t.Fatalf("expected 13 experiments, got %d", len(all))
+	if len(all) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(all))
 	}
 	if len(experiments.IDs()) != len(all) {
 		t.Error("IDs() inconsistent with All()")

@@ -1,0 +1,34 @@
+package aggregation
+
+import "viva/internal/trace"
+
+// Source is what the aggregation engine asks of a trace: the resource
+// catalog and topology, plus one Series per (resource, metric) pair. Both
+// the in-heap *trace.Trace and the out-of-core *store.Store satisfy it
+// structurally, so every analysis layer above (vizgraph, core, server)
+// works unchanged whether the data lives in heap slices or in an on-disk
+// columnar file behind a bounded chunk cache.
+//
+// Implementations must be safe for concurrent reads; the aggregator and
+// the parallel vizgraph build query from several goroutines.
+type Source interface {
+	// Validate checks structural invariants of the hierarchy.
+	Validate() error
+	// Resources returns every resource in declaration order; the slice
+	// and structs are the caller's (fresh copies).
+	Resources() []*trace.Resource
+	// Edges returns the topology edges in declaration order.
+	Edges() []trace.Edge
+	// HasMetric reports whether the (resource, metric) pair carries data.
+	HasMetric(resource, metric string) bool
+	// Series returns the (resource, metric) timeline as a read-only
+	// Series; missing pairs yield an identically-zero series.
+	Series(resource, metric string) trace.Series
+	// Metrics returns the sorted set of metric names in the source.
+	Metrics() []string
+	// Window returns the observation window [start, end].
+	Window() (start, end float64)
+}
+
+// *trace.Trace is the canonical in-heap Source.
+var _ Source = (*trace.Trace)(nil)

@@ -39,7 +39,7 @@ func (s TimeSlice) Valid() bool { return s.End > s.Start }
 // inverted slices yield (0, 0) — unlike Timeline.Mean, a slice is a
 // selection the analyst makes, and an invalid selection aggregates to
 // nothing.
-func TimeAggregate(tl *trace.Timeline, s TimeSlice) (integral, mean float64) {
+func TimeAggregate(tl trace.Series, s TimeSlice) (integral, mean float64) {
 	integral = tl.Integrate(s.Start, s.End)
 	if s.Valid() {
 		mean = integral / s.Width()
@@ -73,7 +73,7 @@ type memberKey struct {
 // variable map.
 type memberList struct {
 	names []string
-	tls   []*trace.Timeline
+	tls   []trace.Series
 }
 
 // Aggregator evaluates F_{Γ,Δ} over a trace: spatial groups from the
@@ -98,7 +98,7 @@ type memberList struct {
 // newly declared resources need a new Aggregator (the hierarchy itself
 // is built once).
 type Aggregator struct {
-	tr   *trace.Trace
+	src  Source
 	tree *Tree
 
 	mu      sync.RWMutex
@@ -118,14 +118,15 @@ type statsKey struct {
 // worst case is a few MB before a wholesale flush.
 const maxStatsEntries = 1 << 16
 
-// NewAggregator builds an aggregator for a trace.
-func NewAggregator(tr *trace.Trace) (*Aggregator, error) {
-	tree, err := BuildTree(tr)
+// NewAggregator builds an aggregator for a source — an in-heap
+// *trace.Trace or an out-of-core *store.Store.
+func NewAggregator(src Source) (*Aggregator, error) {
+	tree, err := BuildTree(src)
 	if err != nil {
 		return nil, err
 	}
 	return &Aggregator{
-		tr:      tr,
+		src:     src,
 		tree:    tree,
 		members: make(map[memberKey]*memberList),
 		counts:  make(map[[2]string]int),
@@ -136,8 +137,17 @@ func NewAggregator(tr *trace.Trace) (*Aggregator, error) {
 // Tree returns the hierarchy the aggregator works on.
 func (ag *Aggregator) Tree() *Tree { return ag.tree }
 
-// Trace returns the underlying trace.
-func (ag *Aggregator) Trace() *trace.Trace { return ag.tr }
+// Source returns the underlying data source.
+func (ag *Aggregator) Source() Source { return ag.src }
+
+// Trace returns the underlying trace when the aggregator is heap-backed,
+// or nil when it works off another Source (an on-disk store). Callers
+// that need mutation or full-trace access should hold the *trace.Trace
+// themselves; analysis paths should use Source.
+func (ag *Aggregator) Trace() *trace.Trace {
+	tr, _ := ag.src.(*trace.Trace)
+	return tr
+}
 
 // Invalidate drops every memoized member list and cached result. Call it
 // after mutating the trace in any way: new values on an existing
@@ -175,11 +185,11 @@ func (ag *Aggregator) resolveMembers(group, typ, metric string) (*memberList, er
 		if typ != "" && ag.tree.Node(l).Type != typ {
 			continue
 		}
-		if !ag.tr.HasMetric(l, metric) {
+		if !ag.src.HasMetric(l, metric) {
 			continue
 		}
 		ml.names = append(ml.names, l)
-		ml.tls = append(ml.tls, ag.tr.Timeline(l, metric))
+		ml.tls = append(ml.tls, ag.src.Series(l, metric))
 	}
 	ag.mu.Lock()
 	// A racing goroutine may have resolved the same key; keep one copy so

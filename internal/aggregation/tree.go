@@ -46,8 +46,9 @@ func (n *TreeNode) IsEntity() bool {
 	return n.Type != trace.TypeGroup || n.IsLeaf()
 }
 
-// BuildTree derives the hierarchy from the trace's resource declarations.
-func BuildTree(tr *trace.Trace) (*Tree, error) {
+// BuildTree derives the hierarchy from the source's resource
+// declarations.
+func BuildTree(tr Source) (*Tree, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
@@ -79,7 +80,7 @@ func BuildTree(tr *trace.Trace) (*Tree, error) {
 }
 
 // MustBuildTree is BuildTree panicking on error.
-func MustBuildTree(tr *trace.Trace) *Tree {
+func MustBuildTree(tr Source) *Tree {
 	t, err := BuildTree(tr)
 	if err != nil {
 		panic(err)

@@ -1,6 +1,7 @@
 package aggregation
 
 import (
+	"errors"
 	"testing"
 
 	"viva/internal/platform"
@@ -191,11 +192,16 @@ func TestEntitiesWithProcessChildren(t *testing.T) {
 	}
 }
 
+// invalidSource is a Source whose structural validation fails — the
+// exported Trace API can no longer produce one (accessors hand out
+// copies), so BuildTree's propagation is exercised through the interface.
+type invalidSource struct{ *trace.Trace }
+
+func (invalidSource) Validate() error { return errors.New("hierarchy cycle") }
+
 func TestBuildTreeRejectsInvalid(t *testing.T) {
 	tr := sampleTrace(t)
-	// Poke a cycle in via Validate's failure path.
-	tr.Resource("grid").Parent = "h1"
-	if _, err := BuildTree(tr); err == nil {
+	if _, err := BuildTree(invalidSource{tr}); err == nil {
 		t.Error("invalid hierarchy accepted")
 	}
 }

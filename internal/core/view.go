@@ -43,7 +43,7 @@ var (
 // trace. It is not safe for concurrent use; wrap it (as internal/server
 // does) when sharing.
 type View struct {
-	tr      *trace.Trace
+	src     aggregation.Source
 	ag      *aggregation.Aggregator
 	cut     *aggregation.Cut
 	mapping vizgraph.Mapping
@@ -78,16 +78,22 @@ func (v *View) touch() {
 // NewView opens a view on a trace: leaf-level cut, default mapping, the
 // whole observation window as time slice, Barnes-Hut layout.
 func NewView(tr *trace.Trace) (*View, error) {
-	ag, err := aggregation.NewAggregator(tr)
+	return NewViewOf(tr)
+}
+
+// NewViewOf opens a view on any aggregation source — an in-heap trace or
+// an out-of-core store — with the same defaults as NewView.
+func NewViewOf(src aggregation.Source) (*View, error) {
+	ag, err := aggregation.NewAggregator(src)
 	if err != nil {
 		return nil, err
 	}
-	start, end := tr.Window()
+	start, end := src.Window()
 	if end <= start {
 		end = start + 1
 	}
 	v := &View{
-		tr:      tr,
+		src:     src,
 		ag:      ag,
 		cut:     aggregation.NewLeafCut(ag.Tree()),
 		mapping: vizgraph.DefaultMapping(),
@@ -102,8 +108,15 @@ func NewView(tr *trace.Trace) (*View, error) {
 	return v, nil
 }
 
-// Trace returns the underlying trace.
-func (v *View) Trace() *trace.Trace { return v.tr }
+// Source returns the underlying data source.
+func (v *View) Source() aggregation.Source { return v.src }
+
+// Trace returns the underlying trace when the view is heap-backed, or nil
+// when it serves an out-of-core source; prefer Source for read paths.
+func (v *View) Trace() *trace.Trace {
+	tr, _ := v.src.(*trace.Trace)
+	return tr
+}
 
 // Aggregator exposes the aggregation engine for custom queries.
 func (v *View) Aggregator() *aggregation.Aggregator { return v.ag }

@@ -166,6 +166,7 @@ func All() []Experiment {
 		{"ablation", "Design-choice ablations: lazy invalidation, Barnes-Hut theta", Ablation},
 		{"ingest", "Pipelined trace ingestion: throughput and determinism", Ingest},
 		{"simscale", "Engine scaling: events/sec at 1k/10k/100k hosts", SimScale},
+		{"storescale", "Out-of-core columnar store: bounded-cache scrubbing", StoreScale},
 	}
 }
 

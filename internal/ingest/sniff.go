@@ -1,0 +1,35 @@
+package ingest
+
+import "bytes"
+
+// Content sniffing shared by the loaders (internal/traceio and
+// internal/store both need it; keeping it here avoids an import cycle
+// between them).
+
+// gzipMagic is the two-byte header every gzip stream starts with.
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// IsGzip reports whether head starts a gzip stream.
+func IsGzip(head []byte) bool {
+	return len(head) >= 2 && bytes.Equal(head[:2], gzipMagic)
+}
+
+// IsPaje reports whether the first non-blank, non-comment line of the
+// peeked head starts a Paje header ('%'). It works on raw bytes so
+// sniffing allocates nothing.
+func IsPaje(head []byte) bool {
+	for len(head) > 0 {
+		var line []byte
+		if nl := bytes.IndexByte(head, '\n'); nl >= 0 {
+			line, head = head[:nl], head[nl+1:]
+		} else {
+			line, head = head, nil
+		}
+		t := bytes.TrimSpace(line)
+		if len(t) == 0 || t[0] == '#' {
+			continue
+		}
+		return t[0] == '%'
+	}
+	return false
+}

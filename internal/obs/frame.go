@@ -65,6 +65,7 @@ func StageName(id StageID) string {
 // totals also land in the viva_ingest_* counters.
 var (
 	StageIngest    = RegisterStage("ingest")
+	StageCompact   = RegisterStage("compact")
 	StageAggregate = RegisterStage("aggregate")
 	StageBuild     = RegisterStage("build")
 	StageLayout    = RegisterStage("layout")

@@ -268,7 +268,7 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	moving := s.view.StepLayout(steps)
 	out := graphJSON{Params: s.view.Layout().Params(), Moving: moving}
 	out.Slice = [2]float64{s.view.TimeSlice().Start, s.view.TimeSlice().End}
-	ws, we := s.view.Trace().Window()
+	ws, we := s.view.Source().Window()
 	out.Window = [2]float64{ws, we}
 	tree := s.view.Aggregator().Tree()
 	for _, n := range g.Nodes {
@@ -322,7 +322,7 @@ type metaJSON struct {
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	tr := s.view.Trace()
+	tr := s.view.Source()
 	tree := s.view.Aggregator().Tree()
 	ws, we := tr.Window()
 	meta := metaJSON{Window: [2]float64{ws, we}, MaxDepth: tree.MaxDepth(), Metrics: tr.Metrics()}

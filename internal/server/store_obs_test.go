@@ -1,0 +1,111 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"viva/internal/core"
+	"viva/internal/store"
+	"viva/internal/trace"
+)
+
+// TestMetricsStoreFamilies serves a store-backed view and checks that
+// /metrics exposes the chunk-cache counters, and that scrubbing time
+// slices actually moves them: misses on first touch, hits on re-query.
+func TestMetricsStoreFamilies(t *testing.T) {
+	tr := trace.New()
+	tr.MustDeclareResource("root", trace.TypeGroup, "")
+	tr.MustDeclareResource("h1", trace.TypeHost, "root")
+	tr.MustDeclareResource("h2", trace.TypeHost, "root")
+	tr.MustDeclareResource("l1", trace.TypeLink, "root")
+	tr.MustDeclareEdge("h1", "l1")
+	tr.MustDeclareEdge("h2", "l1")
+	for i := 0; i < 256; i++ {
+		ts := float64(i) / 16
+		for _, r := range []string{"h1", "h2"} {
+			if err := tr.Set(ts, r, trace.MetricPower, 100); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Set(ts, r, trace.MetricUsage, float64(i%10)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tr.Set(ts, "l1", trace.MetricBandwidth, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.SetEnd(17)
+
+	path := filepath.Join(t.TempDir(), "t.vvc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteTrace(f, tr, store.WriterOptions{ChunkPoints: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.OpenWith(path, store.OpenOptions{CacheBytes: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+
+	v, err := core.NewViewOf(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(v).Handler())
+	t.Cleanup(srv.Close)
+
+	misses0 := ingestCounterValue(t, nil, "viva_store_chunk_cache_misses_total")
+	// Scrub a few slices: boundary chunks are decoded (misses), repeat
+	// queries in later slices land on cached chunks (hits).
+	for i := 0; i < 4; i++ {
+		a := float64(i) * 4
+		if resp := postJSON(t, srv.URL+"/api/slice", map[string]float64{"start": a, "end": a + 4}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("slice status = %d", resp.StatusCode)
+		}
+		if _, err := http.Get(srv.URL + "/api/graph"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, family := range []string{
+		"viva_store_chunk_cache_hits_total",
+		"viva_store_chunk_cache_misses_total",
+		"viva_store_chunk_cache_evictions_total",
+		"viva_store_chunk_cache_bytes",
+		"viva_store_read_errors_total",
+	} {
+		if !strings.Contains(text, "# TYPE "+family+" ") {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+	if got := ingestCounterValue(t, body, "viva_store_chunk_cache_misses_total"); got <= misses0 {
+		t.Errorf("chunk-cache misses did not move: %d -> %d", misses0, got)
+	}
+	if got := ingestCounterValue(t, body, "viva_store_read_errors_total"); got != 0 {
+		t.Errorf("viva_store_read_errors_total = %d on a healthy store", got)
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

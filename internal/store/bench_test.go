@@ -1,0 +1,166 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"viva/internal/ingest"
+	"viva/internal/trace"
+)
+
+// The query benchmarks run against a store whose raw column data is
+// ~60x the cold cache budget (16 hosts x 20k points x 24 bytes/point
+// = 7.7 MB vs 128 KiB), so the resident-heap gauge demonstrates the
+// out-of-core property: heap stays O(cache), not O(trace).
+const (
+	benchHosts      = 16
+	benchPoints     = 20000
+	benchCacheBytes = 128 << 10
+)
+
+func benchHostName(h int) string { return fmt.Sprintf("h%d", h) }
+
+// benchStoreFile writes the benchmark store and returns its path plus
+// the raw (decoded) size of its column data in bytes.
+func benchStoreFile(b *testing.B) (string, int64) {
+	b.Helper()
+	tr := trace.New()
+	tr.MustDeclareResource("g", trace.TypeGroup, "")
+	for h := 0; h < benchHosts; h++ {
+		tr.MustDeclareResource(benchHostName(h), trace.TypeHost, "g")
+	}
+	now := 0.0
+	for i := 0; i < benchPoints; i++ {
+		now += 0.001
+		for h := 0; h < benchHosts; h++ {
+			if err := tr.Set(now, benchHostName(h), trace.MetricUsage, float64((i*7+h)%100)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	tr.SetEnd(now + 1)
+
+	path := filepath.Join(b.TempDir(), "bench.vvc")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := WriteTrace(f, tr, WriterOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return path, int64(benchHosts * benchPoints * 24)
+}
+
+// BenchmarkStoreCompact measures `viva compact` throughput (MB/s) on the
+// same 512-host/100k-event synthetic native trace the ingest suite uses.
+func BenchmarkStoreCompact(b *testing.B) {
+	var src strings.Builder
+	src.WriteString("# viva trace v1\nresource g0 group -\n")
+	for h := 0; h < 512; h++ {
+		fmt.Fprintf(&src, "resource h%d host g0\n", h)
+		fmt.Fprintf(&src, "set 0 h%d power 100\n", h)
+	}
+	now := 0.0
+	for e := 0; e < 100000; e++ {
+		now += 0.001
+		if e%2 == 0 {
+			fmt.Fprintf(&src, "set %g h%d usage %d\n", now, e%512, 25+(e%3)*25)
+		} else {
+			fmt.Fprintf(&src, "add %g h%d usage 5\n", now, e%512)
+		}
+	}
+	fmt.Fprintf(&src, "end %g\n", now+1)
+
+	dir := b.TempDir()
+	in := filepath.Join(dir, "in.trace")
+	if err := os.WriteFile(in, []byte(src.String()), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.vvc")
+	b.SetBytes(int64(src.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := CompactFile(in, out, ingest.Options{}, WriterOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreQueryCold scrubs windows across the whole trace with a
+// cache ~60x smaller than the column data, so nearly every boundary
+// chunk is a miss: the worst-case read+inflate+decode path. The
+// heap-bytes metric is live heap after the run (post-GC) minus live
+// heap before Open: catalog + chunk cache, bounded by the budget.
+func BenchmarkStoreQueryCold(b *testing.B) {
+	path, dataBytes := benchStoreFile(b)
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	st, err := OpenWith(path, OpenOptions{CacheBytes: benchCacheBytes})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	_, end := st.Window()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := float64(i%97) / 97 * end * 0.9
+		w := a + end/64
+		for h := 0; h < benchHosts; h++ {
+			s := st.Series(benchHostName(h), trace.MetricUsage)
+			_ = s.Integrate(a, w)
+			_ = s.Max(a, w)
+		}
+	}
+	b.StopTimer()
+	if err := st.Err(); err != nil {
+		b.Fatal(err)
+	}
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	if m1.HeapAlloc > m0.HeapAlloc {
+		b.ReportMetric(float64(m1.HeapAlloc-m0.HeapAlloc), "heap-bytes")
+	}
+	b.ReportMetric(float64(dataBytes)/benchCacheBytes, "data/cache")
+}
+
+// BenchmarkStoreQueryWarm repeats one window with a cache big enough to
+// hold its boundary chunks: steady-state scrubbing, no reads.
+func BenchmarkStoreQueryWarm(b *testing.B) {
+	path, _ := benchStoreFile(b)
+	st, err := OpenWith(path, OpenOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	_, end := st.Window()
+	a, w := end/3, end/3+end/64
+	for h := 0; h < benchHosts; h++ { // prime the cache
+		s := st.Series(benchHostName(h), trace.MetricUsage)
+		_ = s.Integrate(a, w)
+		_ = s.Max(a, w)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for h := 0; h < benchHosts; h++ {
+			s := st.Series(benchHostName(h), trace.MetricUsage)
+			_ = s.Integrate(a, w)
+			_ = s.Max(a, w)
+		}
+	}
+	b.StopTimer()
+	if err := st.Err(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+package store
+
+import (
+	"bytes"
+	"compress/flate"
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"viva/internal/obs"
+)
+
+// Chunk-cache observability: the hit ratio tells whether the cache is
+// sized for the access pattern (scrubbing revisits boundary chunks
+// constantly); evictions against a low hit rate mean thrashing.
+var (
+	obsCacheHits = obs.Default.Counter("viva_store_chunk_cache_hits_total",
+		"Chunk-cache lookups answered without touching the file.")
+	obsCacheMisses = obs.Default.Counter("viva_store_chunk_cache_misses_total",
+		"Chunk-cache lookups that read and decoded a chunk from disk.")
+	obsCacheEvictions = obs.Default.Counter("viva_store_chunk_cache_evictions_total",
+		"Chunks evicted from the bounded cache to stay under its byte budget.")
+	obsCacheBytes = obs.Default.Gauge("viva_store_chunk_cache_bytes",
+		"Decoded bytes currently resident in the (most recently used) store's chunk cache.")
+)
+
+// DefaultCacheBytes bounds the decoded chunks a store keeps resident:
+// 4 MiB ≈ 170 chunks of DefaultChunkPoints — plenty for the boundary
+// chunks of interactive scrubbing, a rounding error next to a large
+// trace.
+const DefaultCacheBytes = 4 << 20
+
+// chunkData is one decoded chunk: parallel point arrays plus the
+// column-absolute prefix sums. Immutable once decoded; shared by every
+// reader that hits the cache.
+type chunkData struct {
+	times  []float64
+	values []float64
+	prefix []float64
+}
+
+type cacheKey struct{ col, chunk int }
+
+type cacheEntry struct {
+	key   cacheKey
+	data  *chunkData
+	bytes int64
+}
+
+// chunkCache is a byte-bounded LRU over decoded chunks, one per open
+// store. Lookups are mutex-protected; the read+decode of a miss runs
+// outside the lock (file ReadAt is pread, concurrent-safe), so parallel
+// readers miss independently and the first insert wins.
+type chunkCache struct {
+	readAt  io.ReaderAt
+	maxB    int64
+	hits    atomic.Int64 // per-store mirrors of the global counters
+	misses  atomic.Int64
+	mu      sync.Mutex
+	size    int64
+	ll      *list.List // front = most recently used
+	entries map[cacheKey]*list.Element
+}
+
+func newChunkCache(r io.ReaderAt, maxBytes int64) *chunkCache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	return &chunkCache{
+		readAt:  r,
+		maxB:    maxBytes,
+		ll:      list.New(),
+		entries: make(map[cacheKey]*list.Element),
+	}
+}
+
+// get returns the decoded chunk, from cache or disk.
+func (c *chunkCache) get(col, chunk int, m *chunkMeta) (*chunkData, error) {
+	key := cacheKey{col, chunk}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		obsCacheHits.Inc()
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry).data, nil
+	}
+	c.mu.Unlock()
+	obsCacheMisses.Inc()
+	c.misses.Add(1)
+
+	data, err := readChunk(c.readAt, m)
+	if err != nil {
+		return nil, err
+	}
+	sz := int64(m.ulen)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// A racing reader inserted the same chunk; share its copy.
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry).data, nil
+	}
+	if sz > c.maxB {
+		// Oversized chunk: serve it without caching rather than flushing
+		// the whole cache for one query.
+		return data, nil
+	}
+	for c.size+sz > c.maxB {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.entries, ev.key)
+		c.size -= ev.bytes
+		obsCacheEvictions.Inc()
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, data: data, bytes: sz})
+	c.size += sz
+	obsCacheBytes.Set(float64(c.size))
+	return data, nil
+}
+
+// readChunk preads and decodes one chunk blob.
+func readChunk(r io.ReaderAt, m *chunkMeta) (*chunkData, error) {
+	stored := make([]byte, m.clen)
+	if _, err := r.ReadAt(stored, int64(m.off)); err != nil {
+		return nil, fmt.Errorf("store: reading chunk at %d: %w", m.off, err)
+	}
+	raw := stored
+	if m.enc == encFlate {
+		fr := flate.NewReader(bytes.NewReader(stored))
+		raw = make([]byte, m.ulen)
+		if _, err := io.ReadFull(fr, raw); err != nil {
+			return nil, fmt.Errorf("store: decompressing chunk at %d: %w", m.off, err)
+		}
+		// A corrupt stream may inflate past ulen; reject instead of
+		// silently truncating.
+		if n, _ := fr.Read(make([]byte, 1)); n != 0 {
+			return nil, fmt.Errorf("store: chunk at %d inflates past its declared size", m.off)
+		}
+	}
+	if len(raw) != int(m.ulen) {
+		return nil, fmt.Errorf("store: chunk at %d has %d bytes, want %d", m.off, len(raw), m.ulen)
+	}
+	n := int(m.count)
+	all := make([]float64, 3*n)
+	for i := range all {
+		all[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return &chunkData{times: all[:n], values: all[n : 2*n], prefix: all[2*n : 3*n]}, nil
+}

@@ -1,0 +1,78 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"viva/internal/trace"
+)
+
+// FuzzOpen feeds arbitrary bytes through the whole read path: Open must
+// either succeed or return an error — never panic — and a successfully
+// opened file must survive queries and full materialization. Seeds
+// include a valid file and targeted corruptions of it (truncations,
+// flipped lengths, bad magic).
+func FuzzOpen(f *testing.F) {
+	tr := trace.New()
+	tr.MustDeclareResource("g", trace.TypeGroup, "")
+	tr.MustDeclareResource("h", trace.TypeHost, "g")
+	tr.MustDeclareResource("l", trace.TypeLink, "g")
+	tr.MustDeclareEdge("h", "l")
+	rng := rand.New(rand.NewSource(1))
+	now := 0.0
+	for i := 0; i < 200; i++ {
+		now += rng.Float64()
+		if err := tr.Set(now, "h", trace.MetricUsage, rng.NormFloat64()); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := tr.SetState(1, "h", "compute"); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr, WriterOptions{ChunkPoints: 16}); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-trailerSize+3])
+	f.Add([]byte(Magic))
+	f.Add([]byte("VVC1xxxxxxxxxxxxxxxxxxxxxxxxxxxxVVC1"))
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)-trailerSize] ^= 0x40 // footer length
+	f.Add(corrupt)
+	corrupt = append([]byte(nil), valid...)
+	corrupt[len(Magic)+2] ^= 0xff // chunk blob byte
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "f.vvc")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		st, err := Open(path)
+		if err != nil {
+			return // rejected: fine, as long as we did not panic
+		}
+		defer st.Close()
+		// A file that opened must answer queries without panicking, even
+		// if its blobs are garbage (queries degrade to 0 + Store.Err).
+		for _, r := range st.Resources() {
+			for _, m := range st.MetricsOf(r.Name) {
+				se := st.Series(r.Name, m)
+				se.At(1)
+				se.Integrate(0, 2)
+				se.Mean(0, 2)
+				se.Max(0, 2)
+				se.Min(0, 2)
+				se.Len()
+			}
+		}
+		_, _ = st.ReadAll()
+	})
+}

@@ -1,0 +1,116 @@
+package store
+
+import (
+	"encoding/json"
+	"hash/fnv"
+	"testing"
+
+	"viva/internal/core"
+	"viva/internal/masterworker"
+	"viva/internal/platform"
+	"viva/internal/sim"
+	"viva/internal/trace"
+)
+
+// simTrace runs a small master-worker simulation on a two-cluster
+// platform: a realistic example trace with hierarchy, edges, per-app
+// categories and fault-free metrics.
+func simTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	p := platform.New("grid")
+	p.AddSite("site1", platform.SiteConfig{BackboneBandwidth: 1 * platform.GB, UplinkBandwidth: 1 * platform.GB})
+	p.AddCluster("site1", "c1", platform.ClusterConfig{
+		Hosts: 8, HostPower: 1 * platform.GFlops, HostLinkBandwidth: 125 * platform.MB,
+		BackboneBandwidth: 1 * platform.GB, UplinkBandwidth: 1 * platform.GB,
+	})
+	p.AddCluster("site1", "c2", platform.ClusterConfig{
+		Hosts: 4, HostPower: 2 * platform.GFlops, HostLinkBandwidth: 125 * platform.MB,
+		BackboneBandwidth: 1 * platform.GB, UplinkBandwidth: 1 * platform.GB,
+	})
+	tr := trace.New()
+	e := sim.New(p, tr)
+	e.TraceCategories(true)
+	var hosts []string
+	for _, h := range p.Hosts() {
+		hosts = append(hosts, h.Name)
+	}
+	app := &masterworker.App{
+		Name: "app", MasterHost: hosts[0], Workers: hosts, TaskCount: 200,
+		TaskFlops: 50 * platform.MFlops, TaskBytes: 100 * platform.KB,
+		ResultBytes: 10 * platform.KB, Strategy: masterworker.BandwidthCentric,
+	}
+	if _, err := masterworker.Deploy(e, app); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// graphHash fingerprints everything the visualization would draw:
+// nodes, edges and all their visual attributes.
+func graphHash(t *testing.T, v *core.View) uint64 {
+	t.Helper()
+	g, err := v.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(struct {
+		Nodes, Edges any
+	}{g.Nodes, g.Edges})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	_, _ = h.Write(b)
+	return h.Sum64()
+}
+
+// TestVizgraphHashIdentical is the end-to-end acceptance check: the
+// visual graph built from the on-disk store must hash identically to
+// the one built from the in-heap trace, across hierarchy levels and
+// scrubbed time slices — the store is invisible to the visualization.
+func TestVizgraphHashIdentical(t *testing.T) {
+	tr := simTrace(t)
+	st := writeTempStore(t, tr, WriterOptions{ChunkPoints: 64}, OpenOptions{CacheBytes: 1 << 14})
+
+	vHeap, err := core.NewView(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vDisk, err := core.NewViewOf(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vDisk.Trace() != nil {
+		t.Fatal("store-backed view claims to hold a heap trace")
+	}
+
+	_, end := tr.Window()
+	for _, level := range []int{2, 1, 0} {
+		if err := vHeap.SetLevel(level); err != nil {
+			t.Fatal(err)
+		}
+		if err := vDisk.SetLevel(level); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			a := float64(i) / 8 * end
+			b := a + end/8
+			if err := vHeap.SetTimeSlice(a, b); err != nil {
+				t.Fatal(err)
+			}
+			if err := vDisk.SetTimeSlice(a, b); err != nil {
+				t.Fatal(err)
+			}
+			hh, dh := graphHash(t, vHeap), graphHash(t, vDisk)
+			if hh != dh {
+				t.Fatalf("level %d slice [%g,%g]: graph hash %016x != %016x", level, a, b, dh, hh)
+			}
+		}
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

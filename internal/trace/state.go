@@ -23,6 +23,26 @@ type statePoint struct {
 	v string
 }
 
+// StatePoint is one state-change event: the resource enters state Value at
+// time T. It is the exported form StatePoints hands out, so serializers
+// (the on-disk store, format writers) can round-trip the behavioural half
+// of a trace without reaching into internals.
+type StatePoint struct {
+	T     float64
+	Value string
+}
+
+// StatePoints returns the resource's state-change events in time order.
+// The slice is a fresh copy.
+func (tr *Trace) StatePoints(resource string) []StatePoint {
+	pts := tr.states[resource]
+	out := make([]StatePoint, len(pts))
+	for i, p := range pts {
+		out[i] = StatePoint{T: p.t, Value: p.v}
+	}
+	return out
+}
+
 // SetState records that the resource is in the given state from time t on.
 // An empty value means idle. The resource must be declared.
 func (tr *Trace) SetState(t float64, resource, value string) error {

@@ -74,19 +74,27 @@ func NewTimeline(points ...Point) *Timeline {
 
 // Set records that the value is v from time t on. Out-of-order sets are
 // accepted (they insert in the middle), but the common fast path is
-// monotonically non-decreasing time. Any mutation invalidates the
-// aggregation index; the next windowed query rebuilds it.
+// monotonically non-decreasing time. Monotone mutations — appending past
+// the last point or overwriting it — extend a live aggregation index in
+// place (O(log n)); anything else invalidates it and the next windowed
+// query rebuilds.
 func (tl *Timeline) Set(t, v float64) {
-	tl.idx.Store(nil)
 	n := len(tl.points)
 	if n == 0 || t > tl.points[n-1].T {
 		tl.points = append(tl.points, Point{t, v})
+		if ix := tl.idx.Load(); ix != nil {
+			tl.idx.Store(ix.appendPoint(tl.points))
+		}
 		return
 	}
 	if t == tl.points[n-1].T {
 		tl.points[n-1].V = v
+		if ix := tl.idx.Load(); ix != nil {
+			ix.updateLast(tl.points)
+		}
 		return
 	}
+	tl.idx.Store(nil)
 	// Out-of-order insert (rare): binary search for position.
 	i := sort.Search(n, func(i int) bool { return tl.points[i].T >= t })
 	if i < n && tl.points[i].T == t {

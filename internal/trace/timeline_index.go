@@ -12,43 +12,109 @@ import (
 // instead of the O(n) scans the interactive time-slice scrubbing loop
 // cannot afford.
 //
-// An index is immutable once built; Timeline builds it lazily on the
-// first indexed query and drops it on every mutation (Set/Add/Compact).
+// The index is built lazily on the first indexed query. Monotone
+// mutations — appending at t >= LastTime(), the shape of every Add on
+// advancing simulation time — extend it in place: the prefix gains one
+// entry and the segment tree updates one leaf path, O(log n), with an
+// amortized-O(1) doubling rebuild when the tree's leaf capacity runs out.
+// This is what lets a live trace keep serving indexed windowed queries
+// while it grows (ROADMAP item 1). Any other mutation (out-of-order
+// insert, Compact) still drops the index wholesale.
+//
 // Because the stored pointer is atomic, concurrent *readers* of an
 // unmutated timeline are safe: they may race to build the index, but
 // every build produces identical contents, so whichever store wins is
-// correct. Mutation remains single-writer, like the rest of Trace.
+// correct. Mutation remains single-writer and must not run concurrently
+// with reads, like the rest of Trace — the in-place append relies on it.
 type timelineIndex struct {
 	// prefix[i] = ∫ from points[0].T to points[i].T of the step function;
 	// prefix[0] = 0.
 	prefix []float64
-	// seg is an iterative segment tree of n leaves over the point values:
-	// seg[n+i] holds points[i].V, seg[j] = combine(seg[2j], seg[2j+1]).
-	seg []minmax
-	n   int
+	// seg is an iterative segment tree over the point values with leafCap
+	// leaf slots: seg[leafCap+i] holds points[i].V for i < n, neutral
+	// values pad the unused leaves, seg[j] = combine(seg[2j], seg[2j+1]).
+	seg     []minmax
+	n       int
+	leafCap int
 }
 
 type minmax struct{ min, max float64 }
 
+// neutral is the identity of the minmax combine.
+var neutral = minmax{math.Inf(1), math.Inf(-1)}
+
 func buildTimelineIndex(points []Point) *timelineIndex {
+	return buildTimelineIndexCap(points, len(points))
+}
+
+// buildTimelineIndexCap builds the index with at least the given leaf
+// capacity, so appends have headroom before the next doubling rebuild.
+func buildTimelineIndexCap(points []Point, leafCap int) *timelineIndex {
 	n := len(points)
-	ix := &timelineIndex{n: n}
-	if n == 0 {
+	if leafCap < n {
+		leafCap = n
+	}
+	ix := &timelineIndex{n: n, leafCap: leafCap}
+	if leafCap == 0 {
 		return ix
 	}
-	ix.prefix = make([]float64, n)
+	ix.prefix = make([]float64, n, leafCap)
 	for i := 1; i < n; i++ {
 		ix.prefix[i] = ix.prefix[i-1] + points[i-1].V*(points[i].T-points[i-1].T)
 	}
-	ix.seg = make([]minmax, 2*n)
-	for i, p := range points {
-		ix.seg[n+i] = minmax{p.V, p.V}
+	ix.seg = make([]minmax, 2*leafCap)
+	for i := range ix.seg {
+		ix.seg[i] = neutral
 	}
-	for i := n - 1; i >= 1; i-- {
+	for i, p := range points {
+		ix.seg[leafCap+i] = minmax{p.V, p.V}
+	}
+	for i := leafCap - 1; i >= 1; i-- {
 		l, r := ix.seg[2*i], ix.seg[2*i+1]
 		ix.seg[i] = minmax{math.Min(l.min, r.min), math.Max(l.max, r.max)}
 	}
 	return ix
+}
+
+// appendPoint extends the index with points[len(points)-1], which the
+// caller just appended at a strictly later time than every previous
+// point. Returns the index to keep (a doubled rebuild when capacity ran
+// out, the receiver otherwise).
+func (ix *timelineIndex) appendPoint(points []Point) *timelineIndex {
+	k := len(points) - 1
+	if k >= ix.leafCap {
+		cap2 := 2 * ix.leafCap
+		if cap2 < 4 {
+			cap2 = 4
+		}
+		return buildTimelineIndexCap(points, cap2)
+	}
+	if k == 0 {
+		ix.prefix = append(ix.prefix, 0)
+	} else {
+		ix.prefix = append(ix.prefix,
+			ix.prefix[k-1]+points[k-1].V*(points[k].T-points[k-1].T))
+	}
+	ix.n = k + 1
+	ix.setLeaf(k, points[k].V)
+	return ix
+}
+
+// updateLast re-evaluates the last point's value after an equal-time
+// overwrite. The prefix is untouched: prefix[k] integrates only up to
+// points[k].T, which did not move.
+func (ix *timelineIndex) updateLast(points []Point) {
+	ix.setLeaf(len(points)-1, points[len(points)-1].V)
+}
+
+// setLeaf writes one segment-tree leaf and recombines its ancestors.
+func (ix *timelineIndex) setLeaf(i int, v float64) {
+	j := ix.leafCap + i
+	ix.seg[j] = minmax{v, v}
+	for j >>= 1; j >= 1; j >>= 1 {
+		l, r := ix.seg[2*j], ix.seg[2*j+1]
+		ix.seg[j] = minmax{math.Min(l.min, r.min), math.Max(l.max, r.max)}
+	}
 }
 
 // integrateTo returns ∫ from −∞ to t (the timeline is 0 before its first
@@ -64,8 +130,8 @@ func (ix *timelineIndex) integrateTo(points []Point, t float64) float64 {
 // extrema returns the min and max point value over the index range [l, r).
 // The range must be non-empty.
 func (ix *timelineIndex) extrema(l, r int) minmax {
-	out := minmax{math.Inf(1), math.Inf(-1)}
-	for l, r = l+ix.n, r+ix.n; l < r; l, r = l>>1, r>>1 {
+	out := neutral
+	for l, r = l+ix.leafCap, r+ix.leafCap; l < r; l, r = l>>1, r>>1 {
 		if l&1 == 1 {
 			if ix.seg[l].min < out.min {
 				out.min = ix.seg[l].min

@@ -116,25 +116,38 @@ func (tr *Trace) MustDeclareResource(name, typ, parent string) {
 	}
 }
 
-// Resource returns the named resource, or nil.
-func (tr *Trace) Resource(name string) *Resource { return tr.resources[name] }
+// Resource returns a copy of the named resource, or nil. The copy is the
+// caller's: mutating it cannot corrupt the hierarchy behind the
+// aggregation tree (redeclare through DeclareResource instead).
+func (tr *Trace) Resource(name string) *Resource {
+	r, ok := tr.resources[name]
+	if !ok {
+		return nil
+	}
+	c := *r
+	return &c
+}
 
-// Resources returns all resources in declaration order.
+// Resources returns all resources in declaration order. The slice and the
+// Resource structs are fresh copies; mutating them does not touch the
+// trace.
 func (tr *Trace) Resources() []*Resource {
 	out := make([]*Resource, 0, len(tr.order))
 	for _, name := range tr.order {
-		out = append(out, tr.resources[name])
+		c := *tr.resources[name]
+		out = append(out, &c)
 	}
 	return out
 }
 
 // ResourcesOfType returns the resources of the given type, in declaration
-// order.
+// order. Like Resources, the result is a fresh copy.
 func (tr *Trace) ResourcesOfType(typ string) []*Resource {
 	var out []*Resource
 	for _, name := range tr.order {
 		if r := tr.resources[name]; r.Type == typ {
-			out = append(out, r)
+			c := *r
+			out = append(out, &c)
 		}
 	}
 	return out

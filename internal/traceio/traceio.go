@@ -17,6 +17,7 @@ import (
 	"viva/internal/ingest"
 	"viva/internal/obs"
 	"viva/internal/paje"
+	"viva/internal/store"
 	"viva/internal/trace"
 )
 
@@ -26,11 +27,23 @@ func Load(path string) (*trace.Trace, error) {
 	return LoadWith(path, ingest.Options{})
 }
 
-// LoadWith is Load with explicit ingestion options.
+// LoadWith is Load with explicit ingestion options. Columnar .vvc files
+// (see internal/store) are recognised by magic and materialized in full;
+// use store.Open directly to query one out-of-core instead.
 func LoadWith(path string, opt ingest.Options) (*trace.Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
+	}
+	var head [4]byte
+	if n, _ := f.ReadAt(head[:], 0); n == 4 && store.IsColumnar(head[:n]) {
+		f.Close()
+		st, err := store.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer st.Close()
+		return st.ReadAll()
 	}
 	defer f.Close()
 	return ReadWith(f, opt)
@@ -43,9 +56,6 @@ func Read(r io.Reader) (*trace.Trace, error) {
 	return ReadWith(r, ingest.Options{})
 }
 
-// gzipMagic is the two-byte header every gzip stream starts with.
-var gzipMagic = []byte{0x1f, 0x8b}
-
 // ReadWith is Read with explicit ingestion options. The whole load is
 // recorded as an obs "ingest" span (visible through a self-trace sink; the
 // viva_ingest_* counters accumulate bytes, lines and events regardless).
@@ -54,7 +64,7 @@ func ReadWith(r io.Reader, opt ingest.Options) (*trace.Trace, error) {
 	defer sp.End()
 
 	br := bufio.NewReaderSize(r, 64*1024)
-	if head, err := br.Peek(2); err == nil && bytes.Equal(head, gzipMagic) {
+	if head, err := br.Peek(2); err == nil && ingest.IsGzip(head) {
 		gz, err := gzip.NewReader(br)
 		if err != nil {
 			return nil, err
@@ -66,30 +76,35 @@ func ReadWith(r io.Reader, opt ingest.Options) (*trace.Trace, error) {
 	if err != nil && err != io.EOF {
 		return nil, err
 	}
-	if isPaje(head) {
+	if store.IsColumnar(head) {
+		return readColumnar(br)
+	}
+	if ingest.IsPaje(head) {
 		return paje.ReadWith(br, opt)
 	}
 	return trace.ReadWith(br, opt)
 }
 
-// isPaje reports whether the first non-blank, non-comment line starts a
-// Paje header. It works on the raw peeked bytes so sniffing allocates
-// nothing.
-func isPaje(head []byte) bool {
-	for len(head) > 0 {
-		var line []byte
-		if nl := bytes.IndexByte(head, '\n'); nl >= 0 {
-			line, head = head[:nl], head[nl+1:]
-		} else {
-			line, head = head, nil
-		}
-		t := bytes.TrimSpace(line)
-		if len(t) == 0 || t[0] == '#' {
-			continue
-		}
-		return t[0] == '%'
+// readColumnar materializes a full in-heap trace from a .vvc columnar
+// stream. The random-access store needs a file, so the stream is spooled
+// to a temporary one; callers that want the out-of-core read path should
+// use store.Open directly instead of the transparent loaders.
+func readColumnar(r io.Reader) (*trace.Trace, error) {
+	tmp, err := os.CreateTemp("", "viva-vvc-*.tmp")
+	if err != nil {
+		return nil, err
 	}
-	return false
+	defer os.Remove(tmp.Name())
+	defer tmp.Close()
+	if _, err := io.Copy(tmp, r); err != nil {
+		return nil, err
+	}
+	st, err := store.Open(tmp.Name())
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	return st.ReadAll()
 }
 
 // LoadEdges reads a connection-configuration file — one "a b" pair per

@@ -487,7 +487,7 @@ func (g *Graph) projectEdges(ag *aggregation.Aggregator, cut *aggregation.Cut) {
 	}
 	type key struct{ a, b string }
 	counts := make(map[key]int)
-	for _, e := range ag.Trace().Edges() {
+	for _, e := range ag.Source().Edges() {
 		na, nb := tree.Node(e.A), tree.Node(e.B)
 		if na == nil || nb == nil {
 			continue

@@ -1,9 +1,10 @@
 #!/bin/sh
-# bench.sh — run the layout, aggregation, fault, obs, ingest and sim
-# benchmark suites and record the results as BENCH_layout.json,
+# bench.sh — run the layout, aggregation, fault, obs, ingest, sim and
+# store benchmark suites and record the results as BENCH_layout.json,
 # BENCH_aggregation.json, BENCH_fault.json, BENCH_obs.json,
-# BENCH_ingest.json and BENCH_sim.json (name, ns/op, allocs/op,
-# bytes/op), the perf trajectories future PRs compare against. Each run
+# BENCH_ingest.json, BENCH_sim.json and BENCH_store.json (name, ns/op,
+# allocs/op, bytes/op), the perf trajectories future PRs compare
+# against. Each run
 # also appends one line per suite to BENCH_history.jsonl, so the
 # trajectory stays queryable across PRs even though the BENCH_*.json
 # files are overwritten wholesale.
@@ -31,6 +32,11 @@ INGEST_PATTERN="${2:-BenchmarkPajeRead|BenchmarkNativeRead|BenchmarkTokenize}"
 # allocs/op trajectory the hot-path overhaul is pinned against) and the
 # 1k/10k/100k-host scaling family reporting events/sec.
 SIM_PATTERN="${2:-BenchmarkFig6NASDTSequential|BenchmarkEngineScaling}"
+# The store suite tracks the out-of-core columnar store: compaction
+# throughput (MB/s) and cold/warm windowed-query latency, with the
+# cold benchmark also reporting a resident-heap gauge (heap-bytes)
+# against a trace ~60x larger than its chunk cache.
+STORE_PATTERN="${2:-BenchmarkStoreCompact|BenchmarkStoreQuery}"
 
 # to_json RAW OUT — convert `go test -bench` output lines like
 #   BenchmarkFoo/n=1024/p=4-8   123   456789 ns/op   10 B/op   2 allocs/op
@@ -42,18 +48,20 @@ to_json() {
 BEGIN { print "{"; printf "  \"benchmarks\": [\n"; first = 1 }
 /^Benchmark/ && /ns\/op/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = "null"; allocs = "null"; evs = "null"
+    ns = ""; bytes = "null"; allocs = "null"; evs = "null"; heap = "null"
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op")      ns = $(i-1)
         if ($i == "B/op")       bytes = $(i-1)
         if ($i == "allocs/op")  allocs = $(i-1)
         if ($i == "events/sec") evs = $(i-1)
+        if ($i == "heap-bytes") heap = $(i-1)
     }
     if (ns == "") next
     if (!first) printf ",\n"
     first = 0
     printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", name, ns, bytes, allocs
     if (evs != "null") printf ", \"events_per_sec\": %s", evs
+    if (heap != "null") printf ", \"heap_bytes\": %s", heap
     printf "}"
 }
 END { printf "\n  ]\n}\n" }
@@ -65,18 +73,20 @@ END { printf "\n  ]\n}\n" }
 BEGIN { printf "{\"time\": \"%s\", \"suite\": \"%s\", \"benchtime\": \"%s\", \"benchmarks\": [", time, suite, benchtime; first = 1 }
 /^Benchmark/ && /ns\/op/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = "null"; allocs = "null"; evs = "null"
+    ns = ""; bytes = "null"; allocs = "null"; evs = "null"; heap = "null"
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op")      ns = $(i-1)
         if ($i == "B/op")       bytes = $(i-1)
         if ($i == "allocs/op")  allocs = $(i-1)
         if ($i == "events/sec") evs = $(i-1)
+        if ($i == "heap-bytes") heap = $(i-1)
     }
     if (ns == "") next
     if (!first) printf ", "
     first = 0
     printf "{\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", name, ns, bytes, allocs
     if (evs != "null") printf ", \"events_per_sec\": %s", evs
+    if (heap != "null") printf ", \"heap_bytes\": %s", heap
     printf "}"
 }
 END { print "]}" }
@@ -109,3 +119,7 @@ to_json "$RAW" BENCH_ingest.json
 echo "running sim suite (-benchtime=$BENCHTIME, -bench='$SIM_PATTERN') ..." >&2
 go test -run '^$' -bench "$SIM_PATTERN" -benchmem -benchtime "$BENCHTIME" -timeout 30m . | tee "$RAW" >&2
 to_json "$RAW" BENCH_sim.json
+
+echo "running store suite (-benchtime=$BENCHTIME, -bench='$STORE_PATTERN') ..." >&2
+go test -run '^$' -bench "$STORE_PATTERN" -benchmem -benchtime "$BENCHTIME" ./internal/store | tee "$RAW" >&2
+to_json "$RAW" BENCH_store.json
