@@ -7,6 +7,15 @@
 //	vivaserve -trace trace.viva [-addr :8844] [-pprof] [-track-allocs]
 //	          [-selftrace self.paje] [-obs]
 //	vivaserve -store trace.vvc [-store-cache bytes] [...]
+//	vivaserve -trace trace.viva -live [-live-rate 10] [...]
+//	vivaserve -follow growing.viva [...]
+//
+// With -live the trace is replayed as a live stream instead of served
+// frozen: a publisher goroutine re-applies its events in time order and
+// GET /api/stream broadcasts per-tick delta snapshots over SSE, with
+// Last-Event-ID resume, drop-to-latest backpressure and admission
+// control. -follow does the same while tailing a native trace file that
+// another process is still writing.
 //
 // With -store the server reads a compacted columnar store (see `viva
 // compact`) instead of materializing the trace: windowed queries are
@@ -28,13 +37,16 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
 	"viva/internal/core"
 	"viva/internal/ingest"
 	"viva/internal/obs"
 	"viva/internal/server"
 	"viva/internal/store"
+	"viva/internal/stream"
 	"viva/internal/traceio"
 )
 
@@ -50,11 +62,23 @@ func main() {
 	trackAllocs := flag.Bool("track-allocs", false, "record per-stage heap-alloc deltas in the frame ring (small per-span cost)")
 	selftrace := flag.String("selftrace", "", "write the pipeline's own spans as a Paje trace to this file")
 	obsDump := flag.Bool("obs", false, "print an observability summary to stderr on exit")
+	live := flag.Bool("live", false, "replay -trace as a live stream on /api/stream instead of serving it frozen")
+	liveRate := flag.Float64("live-rate", 10, "replay speed for -live, in trace-seconds per wall-second (<= 0: unpaced)")
+	followPath := flag.String("follow", "", "tail a growing native trace file as the live stream source (instead of -trace/-store)")
+	streamTick := flag.Duration("stream-tick", 100*time.Millisecond, "base snapshot publish interval for the live stream")
+	streamMax := flag.Int("stream-max", 8192, "max concurrent /api/stream subscribers (503 + Retry-After beyond)")
 	flag.Parse()
 
-	if (*tracePath == "") == (*storePath == "") {
+	if *followPath != "" {
+		if *tracePath != "" || *storePath != "" || *live {
+			fatal(fmt.Errorf("-follow replaces -trace/-store/-live"))
+		}
+	} else if (*tracePath == "") == (*storePath == "") {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *live && *tracePath == "" {
+		fatal(fmt.Errorf("-live needs -trace (replay a finished trace live)"))
 	}
 	// The self-trace sink is attached before the trace loads, so the
 	// ingest span of the load itself is part of the meta-trace.
@@ -73,8 +97,20 @@ func main() {
 		}()
 	}
 	var v *core.View
+	var st *stream.Stream
 	served := *tracePath
-	if *storePath != "" {
+	if *followPath != "" {
+		var err error
+		st, err = stream.New(stream.NewFollow(*followPath),
+			stream.Config{Tick: *streamTick, MaxSubscribers: *streamMax})
+		if err != nil {
+			fatal(err)
+		}
+		served = *followPath + " (live follow)"
+		if v, err = core.NewView(st.Trace()); err != nil {
+			fatal(err)
+		}
+	} else if *storePath != "" {
 		if *edges != "" {
 			fatal(fmt.Errorf("-edges needs a heap trace; bake edges in before `viva compact` or use -trace"))
 		}
@@ -95,7 +131,20 @@ func main() {
 			}
 		}
 		var err error
-		if v, err = core.NewView(tr); err != nil {
+		if *live {
+			// The cold trace becomes the replay source; the view watches
+			// the stream's own live trace grow instead.
+			st, err = stream.New(stream.NewReplay(tr, *liveRate),
+				stream.Config{Tick: *streamTick, MaxSubscribers: *streamMax})
+			if err != nil {
+				fatal(err)
+			}
+			served += " (live replay)"
+			v, err = core.NewView(st.Trace())
+		} else {
+			v, err = core.NewView(tr)
+		}
+		if err != nil {
 			fatal(err)
 		}
 	}
@@ -105,13 +154,26 @@ func main() {
 		}
 	}
 	v.SetParallelism(*parallel)
-	fmt.Printf("serving %s on http://localhost%s\n", served, *addr)
+	url := *addr
+	if strings.HasPrefix(url, ":") {
+		url = "localhost" + url
+	}
+	fmt.Printf("serving %s on http://%s\n", served, url)
 	// SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests are
 	// drained before the process exits.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	srv := server.New(v)
 	srv.EnablePprof = *pprofOn
+	if st != nil {
+		srv.SetStream(st)
+		st.Bind(srv.Locker(), func(uint64, float64) { v.RefreshSource() })
+		go func() {
+			if err := st.Run(ctx); err != nil && ctx.Err() == nil {
+				fmt.Fprintln(os.Stderr, "vivaserve: stream:", err)
+			}
+		}()
+	}
 	if err := srv.Run(ctx, *addr); err != nil {
 		fatal(err)
 	}

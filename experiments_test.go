@@ -117,10 +117,17 @@ func TestStoreScale(t *testing.T) {
 	runExperiment(t, "storescale")
 }
 
+func TestStreamExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive chaos experiment")
+	}
+	runExperiment(t, "stream")
+}
+
 func TestExperimentRegistry(t *testing.T) {
 	all := experiments.All()
-	if len(all) != 14 {
-		t.Fatalf("expected 14 experiments, got %d", len(all))
+	if len(all) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(all))
 	}
 	if len(experiments.IDs()) != len(all) {
 		t.Error("IDs() inconsistent with All()")

@@ -161,6 +161,18 @@ func (v *View) ShiftTimeSlice(dt float64) {
 // BarnesHut — the default — for large ones).
 func (v *View) SetAlgorithm(a layout.Algorithm) { v.algo = a; v.touch() }
 
+// RefreshSource tells the view its underlying data changed — the live
+// streaming publisher calls it each tick after appending to the trace.
+// It flushes the aggregation caches (their memoized slice stats are
+// stale), marks the visual graph dirty and bumps the generation so
+// cached renderings expire. The caller must hold whatever lock
+// serialises view access (the server's, when shared).
+func (v *View) RefreshSource() {
+	v.ag.Invalidate()
+	v.dirty = true
+	v.touch()
+}
+
 // Graph returns the visual graph for the current cut, slice and mapping,
 // rebuilding it if anything changed and synchronising the layout bodies.
 func (v *View) Graph() (*vizgraph.Graph, error) {

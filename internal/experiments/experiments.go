@@ -167,6 +167,7 @@ func All() []Experiment {
 		{"ingest", "Pipelined trace ingestion: throughput and determinism", Ingest},
 		{"simscale", "Engine scaling: events/sec at 1k/10k/100k hosts", SimScale},
 		{"storescale", "Out-of-core columnar store: bounded-cache scrubbing", StoreScale},
+		{"stream", "Live streaming: fan-out under chaos", Stream},
 	}
 }
 

@@ -216,7 +216,7 @@ func Parse(r io.Reader) (*Schedule, error) {
 		events = append(events, ev)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("fault: line %d: %v", lineno+1, err)
 	}
 	return NewSchedule(events...)
 }

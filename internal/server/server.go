@@ -22,6 +22,7 @@ import (
 	"viva/internal/layout"
 	"viva/internal/obs"
 	"viva/internal/render"
+	"viva/internal/stream"
 	"viva/internal/vizgraph"
 )
 
@@ -30,9 +31,26 @@ type Server struct {
 	mu   sync.Mutex
 	view *core.View
 
+	// stream, when attached, adds the /api/stream SSE route over its
+	// hub and ties hub shutdown into Serve's graceful stop.
+	stream *stream.Stream
+
 	// EnablePprof mounts net/http/pprof under /debug/pprof/. Set it
 	// before Handler; off by default because profiles expose internals.
 	EnablePprof bool
+
+	// RequestTimeout bounds one non-streaming request's write (and body
+	// read) via per-request deadlines; zero means the requestTimeout
+	// default. Streaming routes are exempt — they use rolling per-write
+	// deadlines instead (StreamWriteTimeout).
+	RequestTimeout time.Duration
+
+	// StreamWriteTimeout is the per-write deadline on the SSE route
+	// (default 5s): a peer that cannot drain one frame within it is
+	// evicted. HeartbeatInterval paces the keep-alive comments that
+	// detect dead peers between snapshots (default 15s).
+	StreamWriteTimeout time.Duration
+	HeartbeatInterval  time.Duration
 
 	// Graph-payload cache: once the layout has settled, successive polls
 	// re-serve the encoded /api/graph bytes until a mutation bumps the
@@ -49,6 +67,17 @@ const settleEps = 0.05
 
 // New creates a server over a view.
 func New(view *core.View) *Server { return &Server{view: view} }
+
+// SetStream attaches a live stream: Handler gains the /api/stream SSE
+// route and Serve closes the hub (terminal shutdown frames, subscriber
+// drain) before the HTTP listener shuts down. Set it before Handler.
+func (s *Server) SetStream(st *stream.Stream) { s.stream = st }
+
+// Locker exposes the mutex serialising view access, so a stream
+// publisher can mutate the live trace between requests; pass it as the
+// stream Config.Locker together with an OnTick that calls the view's
+// RefreshSource.
+func (s *Server) Locker() sync.Locker { return &s.mu }
 
 // Handler returns the HTTP handler serving the UI and the API.
 func (s *Server) Handler() http.Handler {
@@ -70,10 +99,37 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/unpin", instrument("/api/unpin", s.handleUnpin))
 	mux.HandleFunc("GET /metrics", handleMetrics)
 	mux.HandleFunc("GET /api/obs/frames", instrument("/api/obs/frames", handleObsFrames))
+	if s.stream != nil {
+		mux.HandleFunc("GET /api/stream", s.handleStream)
+	}
 	if s.EnablePprof {
 		registerPprof(mux)
 	}
-	return recoverMiddleware(mux)
+	return recoverMiddleware(s.deadlineMiddleware(mux))
+}
+
+// streamPath is exempt from the per-request deadline: SSE responses are
+// long-lived by design and pace themselves with per-write deadlines.
+const streamPath = "/api/stream"
+
+// deadlineMiddleware replaces the old server-wide Read/WriteTimeout
+// (which would kill any long-lived stream mid-flight) with per-request
+// deadlines set through http.ResponseController, skipped for streaming
+// routes. Errors are ignored on transports without deadline support
+// (httptest recorders); the real server supports it.
+func (s *Server) deadlineMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != streamPath {
+			d := s.RequestTimeout
+			if d <= 0 {
+				d = requestTimeout
+			}
+			rc := http.NewResponseController(w)
+			_ = rc.SetReadDeadline(time.Now().Add(d))
+			_ = rc.SetWriteDeadline(time.Now().Add(d))
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // recoverMiddleware converts a handler panic into a 500 JSON response, so
@@ -124,12 +180,15 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 }
 
 // Serve is Run over an existing listener (which it takes ownership of).
+// Read/write bounding is per request (deadlineMiddleware) rather than
+// server-wide, so the SSE route can outlive any fixed timeout; on ctx
+// cancellation an attached stream hub closes first — every subscriber
+// gets a terminal shutdown frame and drains — before the HTTP shutdown
+// waits out in-flight requests.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	srv := &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: readHeaderTimeout,
-		ReadTimeout:       requestTimeout,
-		WriteTimeout:      requestTimeout,
 		IdleTimeout:       2 * time.Minute,
 	}
 	done := make(chan error, 1)
@@ -138,6 +197,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	case err := <-done:
 		return err
 	case <-ctx.Done():
+	}
+	if s.stream != nil {
+		s.stream.Hub.Close()
 	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"time"
+
+	"viva/internal/obs"
+	"viva/internal/stream"
+)
+
+// SSE-layer observability: evictions are streams the server killed for
+// not draining (write deadline tripped), as opposed to clients leaving.
+var obsStreamEvictions = obs.Default.Counter("viva_stream_evictions_total",
+	"SSE subscribers evicted by write deadlines (stalled peers).")
+
+// Stream-route timing defaults; the Server fields of the same names
+// override them (tests shorten them drastically).
+const (
+	defaultStreamWriteTimeout = 5 * time.Second
+	defaultHeartbeatInterval  = 15 * time.Second
+)
+
+func (s *Server) streamWriteTimeout() time.Duration {
+	if s.StreamWriteTimeout > 0 {
+		return s.StreamWriteTimeout
+	}
+	return defaultStreamWriteTimeout
+}
+
+func (s *Server) heartbeatInterval() time.Duration {
+	if s.HeartbeatInterval > 0 {
+		return s.HeartbeatInterval
+	}
+	return defaultHeartbeatInterval
+}
+
+// handleStream is the SSE face of the live hub: one long-lived response
+// carrying "full", "delta", "gap" and terminal "shutdown" events. Every
+// data payload is a shared immutable snapshot encoded once by the
+// publisher; this handler only frames bytes. Flow control is entirely
+// non-blocking for the publisher — a slow client's ring drops to latest
+// and the skip count arrives as a gap event; a stalled client trips the
+// per-write deadline and is evicted. Reconnecting clients send the last
+// sequence number they saw as Last-Event-ID and get either the missed
+// deltas (in-window) or a fresh full snapshot.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if s.stream == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no live stream attached"})
+		return
+	}
+	hub := s.stream.Hub
+
+	// Last-Event-ID is the standard header; the query parameter is a
+	// convenience for curl and the browser EventSource constructor URL.
+	lastID := r.Header.Get("Last-Event-ID")
+	if lastID == "" {
+		lastID = r.URL.Query().Get("last_event_id")
+	}
+	var lastSeq uint64
+	if lastID != "" {
+		if v, err := strconv.ParseUint(lastID, 10, 64); err == nil {
+			lastSeq = v
+		}
+	}
+
+	sub, err := hub.Subscribe(lastSeq)
+	if err != nil {
+		// Admission control: the hub is full (or closing). Tell the
+		// client when to come back rather than letting it pile on.
+		w.Header().Set("Retry-After", "2")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
+	}
+	defer hub.Unsubscribe(sub)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	rc := http.NewResponseController(w)
+	if err := s.streamWrite(w, rc, []byte("retry: 2000\n\n")); err != nil {
+		return
+	}
+
+	hb := time.NewTicker(s.heartbeatInterval())
+	defer hb.Stop()
+	var (
+		buf   []*stream.Snapshot
+		frame bytes.Buffer
+	)
+	for {
+		select {
+		case <-r.Context().Done():
+			// Client went away on its own; not an eviction.
+			return
+		case <-hb.C:
+			// Heartbeats keep intermediaries from idling the connection
+			// out and, with the write deadline, detect dead peers even
+			// when no snapshots flow.
+			if err := s.streamWrite(w, rc, []byte(":hb\n\n")); err != nil {
+				obsStreamEvictions.Inc()
+				return
+			}
+		case <-sub.Notify():
+			snaps, dropped, closed := sub.Take(buf)
+			buf = snaps[:0]
+			frame.Reset()
+			if dropped > 0 {
+				// The ring coalesced: tell the client how many ticks it
+				// skipped. No id line — the client's Last-Event-ID must
+				// keep naming a real snapshot.
+				frame.WriteString("event: gap\ndata: {\"dropped\":")
+				frame.WriteString(strconv.FormatUint(dropped, 10))
+				frame.WriteString("}\n\n")
+			}
+			for _, sn := range snaps {
+				if sn.Full {
+					frame.WriteString("event: full\n")
+				} else {
+					frame.WriteString("event: delta\n")
+				}
+				frame.WriteString("id: ")
+				frame.WriteString(strconv.FormatUint(sn.Seq, 10))
+				frame.WriteString("\ndata: ")
+				frame.Write(sn.Data)
+				frame.WriteString("\n\n")
+			}
+			if frame.Len() > 0 {
+				if err := s.streamWrite(w, rc, frame.Bytes()); err != nil {
+					obsStreamEvictions.Inc()
+					return
+				}
+			}
+			if closed {
+				// Graceful shutdown: a terminal frame so clients know
+				// not to auto-reconnect into the dying server.
+				_ = s.streamWrite(w, rc, []byte("event: shutdown\ndata: {}\n\n"))
+				return
+			}
+		}
+	}
+}
+
+// streamWrite writes one SSE chunk under a fresh write deadline and
+// flushes it. The rolling deadline is what replaces the server-wide
+// WriteTimeout for this route: a healthy stream renews it forever, a
+// stalled peer exceeds it once its socket buffers fill.
+func (s *Server) streamWrite(w http.ResponseWriter, rc *http.ResponseController, b []byte) error {
+	_ = rc.SetWriteDeadline(time.Now().Add(s.streamWriteTimeout()))
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	return rc.Flush()
+}

@@ -1,0 +1,347 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"viva/internal/core"
+	"viva/internal/stream"
+	"viva/internal/trace"
+)
+
+// liveServer wires a replay stream into a test server the way
+// cmd/vivaserve does, with timings shrunk for test speed.
+func liveServer(t *testing.T, cold *trace.Trace, rate float64, cfg stream.Config) (*Server, *stream.Stream, *core.View) {
+	t.Helper()
+	st, err := stream.New(stream.NewReplay(cold, rate), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := core.NewView(st.Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(v)
+	srv.SetStream(st)
+	st.Bind(srv.Locker(), func(uint64, float64) { v.RefreshSource() })
+	return srv, st, v
+}
+
+func coldTrace(t *testing.T, hosts, events int) *trace.Trace {
+	t.Helper()
+	tr := trace.New()
+	tr.MustDeclareResource("root", trace.TypeGroup, "")
+	for i := 0; i < hosts; i++ {
+		tr.MustDeclareResource(fmt.Sprintf("h%d", i), trace.TypeHost, "root")
+	}
+	for i := 0; i < events; i++ {
+		h := fmt.Sprintf("h%d", i%hosts)
+		if err := tr.Set(float64(i)/10, h, trace.MetricUsage, float64(i%100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.SetEnd(float64(events) / 10)
+	return tr
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	id   string
+	data string
+}
+
+// readEvent parses the next complete SSE event (heartbeat comments are
+// skipped).
+func readEvent(r *bufio.Reader) (sseEvent, error) {
+	var ev sseEvent
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return ev, err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if ev.name != "" || ev.data != "" {
+				return ev, nil
+			}
+		case strings.HasPrefix(line, ":"):
+			// comment / heartbeat
+		case strings.HasPrefix(line, "event: "):
+			ev.name = line[len("event: "):]
+		case strings.HasPrefix(line, "id: "):
+			ev.id = line[len("id: "):]
+		case strings.HasPrefix(line, "data: "):
+			ev.data = line[len("data: "):]
+		case strings.HasPrefix(line, "retry: "):
+			// connection advice, not an event
+		}
+	}
+}
+
+// TestStreamSSEDeliveryAndResume drives the whole HTTP path: frames
+// arrive with monotonically increasing ids and decodable delta JSON, and
+// a second connection presenting Last-Event-ID resumes without replaying
+// what it already saw.
+func TestStreamSSEDeliveryAndResume(t *testing.T) {
+	// Pace the replay over ~0.5s of wall time so frames keep flowing
+	// across many ticks (an unpaced replay fits one intake batch).
+	srv, st, _ := liveServer(t, coldTrace(t, 4, 2000), 400, stream.Config{Tick: 2 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- st.Run(ctx) }()
+
+	resp, err := http.Get(ts.URL + "/api/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+	var lastSeq uint64
+	for i := 0; i < 5; i++ {
+		ev, err := readEvent(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.name != "delta" && ev.name != "full" {
+			t.Fatalf("event %d: unexpected type %q", i, ev.name)
+		}
+		var f struct {
+			Seq    uint64          `json:"seq"`
+			Series json.RawMessage `json:"series"`
+		}
+		if err := json.Unmarshal([]byte(ev.data), &f); err != nil {
+			t.Fatalf("event %d: bad data: %v", i, err)
+		}
+		if fmt.Sprint(f.Seq) != ev.id {
+			t.Fatalf("id %q != payload seq %d", ev.id, f.Seq)
+		}
+		if f.Seq <= lastSeq {
+			t.Fatalf("ids not increasing: %d after %d", f.Seq, lastSeq)
+		}
+		lastSeq = f.Seq
+	}
+	resp.Body.Close()
+
+	if err := <-done; err != nil {
+		t.Fatalf("publisher: %v", err)
+	}
+
+	// Reconnect with Last-Event-ID far behind the final state: the
+	// resume window has moved on, so the first frame must be a full
+	// snapshot (the fallback), tagged with the latest sequence.
+	req, _ := http.NewRequest("GET", ts.URL+"/api/stream", nil)
+	req.Header.Set("Last-Event-ID", fmt.Sprint(lastSeq))
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	ev, err := readEvent(bufio.NewReader(resp2.Body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalSeq := st.Report().FinalSeq
+	if hub := st.Hub; hub.Seq() != finalSeq {
+		t.Fatalf("hub seq %d != final %d", hub.Seq(), finalSeq)
+	}
+	wantFull := lastSeq+1 < finalSeq-62 // resume window is 64 deltas
+	if wantFull && ev.name != "full" {
+		t.Fatalf("out-of-window resume served %q, want full", ev.name)
+	}
+	if ev.name == "delta" && ev.id == fmt.Sprint(lastSeq) {
+		t.Fatal("resume replayed the last seen event")
+	}
+}
+
+// TestStreamAdmissionControl: beyond the subscriber cap the route
+// answers 503 with Retry-After instead of queueing.
+func TestStreamAdmissionControl(t *testing.T) {
+	srv, _, _ := liveServer(t, coldTrace(t, 2, 100), 0,
+		stream.Config{Tick: time.Millisecond, MaxSubscribers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	r1, err := http.Get(ts.URL + "/api/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1.Body.Close()
+	r2, err := http.Get(ts.URL + "/api/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second subscriber got %d, want 503", r2.StatusCode)
+	}
+	if ra := r2.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After %q", ra)
+	}
+}
+
+// TestStreamSurvivesRequestTimeoutWhileStalledIsEvicted is the satellite
+// regression for the SSE-vs-WriteTimeout conflict: with per-request
+// deadlines replacing the old server-wide WriteTimeout, a healthy
+// long-lived stream outlives RequestTimeout many times over, while a
+// peer that stops reading trips the per-write deadline and is evicted.
+func TestStreamSurvivesRequestTimeoutWhileStalledIsEvicted(t *testing.T) {
+	srv, st, _ := liveServer(t, coldTrace(t, 4, 200), 0, stream.Config{
+		Tick: 5 * time.Millisecond, SubRing: 4,
+	})
+	// Aggressive timings: any regression to a server-wide write timeout
+	// would kill the healthy stream within 100ms.
+	srv.RequestTimeout = 100 * time.Millisecond
+	srv.StreamWriteTimeout = 200 * time.Millisecond
+	srv.HeartbeatInterval = 10 * time.Millisecond
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// The healthy client: keeps reading for well past RequestTimeout.
+	healthy, err := http.Get(base + "/api/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Body.Close()
+
+	// The stalled client: connects raw and never reads a byte, so the
+	// kernel buffers fill and the server's writes start blocking.
+	stalled, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+	fmt.Fprintf(stalled, "GET /api/stream HTTP/1.1\r\nHost: x\r\n\r\n")
+
+	deadline := time.Now().Add(10 * time.Second)
+	for st.Hub.NumSubscribers() < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := st.Hub.NumSubscribers(); n != 2 {
+		t.Fatalf("subscribers = %d, want 2", n)
+	}
+
+	// Publish padded snapshots big enough to overwhelm the stalled
+	// peer's socket buffers quickly.
+	pad := bytes.Repeat([]byte("x"), 256<<10)
+	go func() {
+		for seq := uint64(1); time.Now().Before(deadline); seq++ {
+			st.Hub.Publish(&stream.Snapshot{Seq: seq, Data: pad})
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Healthy client consumes for 4× RequestTimeout...
+	stop := time.Now().Add(400 * time.Millisecond)
+	br := bufio.NewReader(healthy.Body)
+	frames := 0
+	for time.Now().Before(stop) {
+		if _, err := readEvent(br); err != nil {
+			t.Fatalf("healthy stream died: %v (after %d frames)", err, frames)
+		}
+		frames++
+	}
+	if frames == 0 {
+		t.Fatal("healthy stream received nothing")
+	}
+
+	// ...while the stalled one is evicted by the write deadline.
+	for st.Hub.NumSubscribers() > 1 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := st.Hub.NumSubscribers(); n != 1 {
+		t.Fatalf("stalled subscriber not evicted: %d still registered", n)
+	}
+	cancel()
+	<-served
+}
+
+// TestStreamGracefulShutdown is the satellite for clean teardown:
+// cancelling Serve's context sends every subscriber a terminal shutdown
+// frame, closes its channel, and leaks no goroutines.
+func TestStreamGracefulShutdown(t *testing.T) {
+	srv, st, _ := liveServer(t, coldTrace(t, 2, 100), 0, stream.Config{Tick: 2 * time.Millisecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, ln) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/api/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	st.Hub.Publish(&stream.Snapshot{Seq: 1, Data: []byte(`{"seq":1}`)})
+
+	br := bufio.NewReader(resp.Body)
+	if _, err := readEvent(br); err != nil {
+		t.Fatal(err)
+	}
+
+	cancel()
+	// The client must observe the terminal frame before the connection
+	// closes: events until EOF, the last named one being "shutdown".
+	sawShutdown := false
+	for {
+		ev, err := readEvent(br)
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			break
+		}
+		if err != nil {
+			break
+		}
+		if ev.name == "shutdown" {
+			sawShutdown = true
+		}
+	}
+	if !sawShutdown {
+		t.Fatal("no shutdown frame before connection close")
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if n := st.Hub.NumSubscribers(); n != 0 {
+		t.Fatalf("%d subscribers still registered after shutdown", n)
+	}
+
+	// Drain: give handler goroutines a moment to unwind, then compare.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutine leak: %d before, %d after shutdown", before, after)
+	}
+}

@@ -1,0 +1,436 @@
+package stream
+
+import (
+	"context"
+	"encoding/json"
+	"sort"
+	"sync"
+	"time"
+
+	"viva/internal/aggregation"
+	"viva/internal/trace"
+)
+
+// Source produces the live trace operations the publisher applies. Run
+// emits ops until the source is exhausted (a replay finished, a followed
+// file ended) or ctx is cancelled; emit blocks when the publisher's
+// intake is full, which is the backpressure that keeps a fast source from
+// outrunning bounded memory.
+type Source interface {
+	Run(ctx context.Context, emit func(Op) error) error
+}
+
+// Primer is an optional Source refinement: sources that know their
+// resource catalog up front (a replay of a finished trace) declare it
+// into the live trace before streaming starts, so the first full snapshot
+// already carries the topology.
+type Primer interface {
+	Prime(tr *trace.Trace) error
+}
+
+// Config tunes the stream publisher. The zero value picks every default.
+type Config struct {
+	// Tick is the base publish interval (default 100ms). Load shedding
+	// doubles the effective interval up to MaxTick while publish latency
+	// crowds it, and halves back down on recovery.
+	Tick    time.Duration
+	MaxTick time.Duration // default 2s
+
+	// Window is the Eq. 1 tail-window width in trace seconds (default 5).
+	Window float64
+
+	// Depth > 0 adds per-tick group roll-ups: each series is credited to
+	// its ancestor Depth hops up the containment hierarchy (clamped at
+	// the root), and the deltas carry one aggregate per (group, metric).
+	Depth int
+
+	// Admission and fan-out sizing, passed through to the hub.
+	MaxSubscribers int // default 8192, 503 beyond it
+	SubRing        int // per-subscriber snapshot ring (default 16)
+	ResumeWindow   int // deltas kept for Last-Event-ID resume (default 64)
+
+	// FullEvery regenerates the full snapshot every n-th tick
+	// (default 16, always within the default resume window).
+	FullEvery int
+
+	// Intake bounds how many ops may queue between ticks (default 8192);
+	// a source that outruns it blocks in emit.
+	Intake int
+
+	// Locker, when set, is held while the publisher mutates the live
+	// trace and while OnTick runs — the same lock the serving side reads
+	// under. Nil means the publisher is the only toucher.
+	Locker sync.Locker
+
+	// OnTick, when set, runs under Locker after each tick's ops and
+	// aggregation have been applied — the seam the server uses to
+	// invalidate its derived caches.
+	OnTick func(seq uint64, now float64)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tick <= 0 {
+		c.Tick = 100 * time.Millisecond
+	}
+	if c.MaxTick < c.Tick {
+		c.MaxTick = 2 * time.Second
+		if c.MaxTick < c.Tick {
+			c.MaxTick = c.Tick
+		}
+	}
+	if c.Window <= 0 {
+		c.Window = 5
+	}
+	if c.FullEvery <= 0 {
+		c.FullEvery = 16
+	}
+	if c.Intake <= 0 {
+		c.Intake = 8192
+	}
+	return c
+}
+
+// Report summarises a finished (or running) publisher: tick and event
+// throughput, publish-latency percentiles, and how often load shedding
+// widened the interval.
+type Report struct {
+	Ticks    int
+	Events   int
+	Errors   int // ops the trace rejected (counted, never fatal)
+	Sheds    int
+	FinalSeq uint64
+	P50      time.Duration
+	P99      time.Duration
+	Max      time.Duration
+}
+
+// Stream owns the live trace, the single publisher goroutine, and the
+// hub its snapshots fan out through.
+type Stream struct {
+	Hub *Hub
+
+	tr  *trace.Trace
+	src Source
+	cfg Config
+	lw  *aggregation.LiveWindow
+
+	parents map[string]string // containment, for group roll-ups
+
+	mu        sync.Mutex // guards the report fields below
+	ticks     int
+	events    int
+	errs      int
+	sheds     int
+	latencies []time.Duration
+	seq       uint64
+
+	lastMean []float64 // per-series mean last emitted, for delta diffing
+}
+
+// New builds a stream over src. If src is a Primer its catalog is
+// declared into the live trace immediately, so the topology is queryable
+// before Run starts.
+func New(src Source, cfg Config) (*Stream, error) {
+	cfg = cfg.withDefaults()
+	tr := trace.New()
+	if p, ok := src.(Primer); ok {
+		if err := p.Prime(tr); err != nil {
+			return nil, err
+		}
+	}
+	s := &Stream{
+		Hub:     NewHub(cfg.MaxSubscribers, cfg.SubRing, cfg.ResumeWindow),
+		tr:      tr,
+		src:     src,
+		cfg:     cfg,
+		lw:      aggregation.NewLiveWindow(tr, cfg.Window),
+		parents: make(map[string]string),
+	}
+	for _, r := range tr.Resources() {
+		s.parents[r.Name] = r.Parent
+	}
+	return s, nil
+}
+
+// Trace returns the live trace. Readers other than the publisher must
+// hold cfg.Locker while touching it.
+func (s *Stream) Trace() *trace.Trace { return s.tr }
+
+// Bind installs the reader-coordination hooks after construction — the
+// server's lock and its per-tick cache invalidation — resolving the
+// chicken-and-egg between stream.New (which owns the live trace) and the
+// server/view built over that trace. Call before Run.
+func (s *Stream) Bind(l sync.Locker, onTick func(seq uint64, now float64)) {
+	s.cfg.Locker = l
+	s.cfg.OnTick = onTick
+}
+
+// Report returns a snapshot of the publisher's counters and latency
+// percentiles. Safe to call concurrently with Run.
+func (s *Stream) Report() Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := Report{
+		Ticks: s.ticks, Events: s.events, Errors: s.errs,
+		Sheds: s.sheds, FinalSeq: s.seq,
+	}
+	if n := len(s.latencies); n > 0 {
+		sorted := make([]time.Duration, n)
+		copy(sorted, s.latencies)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		r.P50 = sorted[n/2]
+		r.P99 = sorted[(n*99)/100]
+		r.Max = sorted[n-1]
+	}
+	return r
+}
+
+// seriesStat is one aggregated (resource, metric) window result as it
+// appears in snapshot JSON.
+type seriesStat struct {
+	Resource string  `json:"resource"`
+	Metric   string  `json:"metric"`
+	Integral float64 `json:"integral"`
+	Mean     float64 `json:"mean"`
+}
+
+// resourceInfo is the catalog entry full snapshots carry.
+type resourceInfo struct {
+	Name   string `json:"name"`
+	Type   string `json:"type"`
+	Parent string `json:"parent,omitempty"`
+}
+
+// frame is the JSON payload of one snapshot. Deltas carry only the
+// series whose window aggregate changed this tick; full frames carry the
+// catalog and every series.
+type frame struct {
+	Seq       uint64         `json:"seq"`
+	Time      float64        `json:"time"`
+	Window    [2]float64     `json:"window"`
+	Events    int            `json:"events"`
+	Full      bool           `json:"full,omitempty"`
+	Resources []resourceInfo `json:"resources,omitempty"`
+	Edges     [][2]string    `json:"edges,omitempty"`
+	Series    []seriesStat   `json:"series"`
+	Groups    []seriesStat   `json:"groups,omitempty"`
+}
+
+// Run drives the publisher until the source drains or ctx is cancelled.
+// It applies ops in per-tick batches under cfg.Locker, advances the
+// incremental window aggregation, encodes one delta snapshot per tick
+// (plus a periodic full snapshot), and publishes through the hub. It
+// never blocks on a subscriber. On a clean drain it publishes a final
+// full snapshot and returns nil with the hub still open, so late clients
+// keep receiving the terminal state; closing the hub is the owner's call
+// (the server does it on shutdown).
+func (s *Stream) Run(ctx context.Context) error {
+	ops := make(chan Op, s.cfg.Intake)
+	runErr := make(chan error, 1)
+	go func() {
+		defer close(ops)
+		runErr <- s.src.Run(ctx, func(op Op) error {
+			select {
+			case ops <- op:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+	}()
+
+	tick := s.cfg.Tick
+	obsTick.Set(tick.Seconds())
+	timer := time.NewTimer(tick)
+	defer timer.Stop()
+
+	var (
+		pending []Op
+		ewma    float64 // publish latency, seconds
+		drained bool
+	)
+	for {
+		// Stop pulling from the intake while a full batch waits: the
+		// channel buffer then exerts backpressure on the source instead
+		// of this loop growing without bound.
+		in := ops
+		if drained || len(pending) >= s.cfg.Intake {
+			in = nil
+		}
+		select {
+		case <-ctx.Done():
+			<-runErr
+			return ctx.Err()
+		case op, ok := <-in:
+			if !ok {
+				drained = true
+				continue
+			}
+			pending = append(pending, op)
+		case <-timer.C:
+			// A closed intake is only observed once its buffer is empty,
+			// so drained means this batch is the last one.
+			d := s.tick(pending, drained)
+			pending = pending[:0]
+			if drained {
+				// The final tick published a full snapshot; the hub
+				// stays open serving terminal state. Surface the
+				// source's own error if it had one.
+				return <-runErr
+			}
+			// Load shedding: widen the interval while publish latency
+			// crowds it, narrow back once pressure clears.
+			ewma = 0.8*ewma + 0.2*d.Seconds()
+			switch {
+			case ewma > tick.Seconds()/2 && tick < s.cfg.MaxTick:
+				tick *= 2
+				if tick > s.cfg.MaxTick {
+					tick = s.cfg.MaxTick
+				}
+				s.mu.Lock()
+				s.sheds++
+				s.mu.Unlock()
+				obsShed.Inc()
+				obsTick.Set(tick.Seconds())
+			case ewma < tick.Seconds()/8 && tick > s.cfg.Tick:
+				tick /= 2
+				if tick < s.cfg.Tick {
+					tick = s.cfg.Tick
+				}
+				obsTick.Set(tick.Seconds())
+			}
+			timer.Reset(tick)
+		}
+	}
+}
+
+// tick applies one batch of ops and publishes one delta snapshot (and,
+// periodically or when final, a full one). It returns the publish
+// latency the shedding loop feeds on.
+func (s *Stream) tick(batch []Op, final bool) time.Duration {
+	start := time.Now()
+
+	if s.cfg.Locker != nil {
+		s.cfg.Locker.Lock()
+	}
+	app := s.tr.NewAppender()
+	applied, errs := 0, 0
+	for _, op := range batch {
+		if err := op.apply(s.tr, app); err != nil {
+			errs++
+			continue
+		}
+		applied++
+		if op.Kind == OpDeclare {
+			s.parents[op.Resource] = op.Aux
+		}
+	}
+	obsEvents.Add(uint64(applied))
+
+	s.mu.Lock()
+	s.ticks++
+	s.events += applied
+	s.errs += errs
+	s.seq++
+	seq := s.seq
+	ticks := s.ticks
+	s.mu.Unlock()
+
+	_, now := s.tr.Window()
+	full := final || (ticks-1)%s.cfg.FullEvery == 0 // the first tick seeds a full
+	df := frame{
+		Seq:    seq,
+		Time:   now,
+		Window: [2]float64{now - s.cfg.Window, now},
+		Events: applied,
+	}
+	var ff frame
+	if full {
+		ff = df
+		ff.Full = true
+		for _, r := range s.tr.Resources() {
+			ff.Resources = append(ff.Resources, resourceInfo{r.Name, r.Type, r.Parent})
+		}
+		for _, e := range s.tr.Edges() {
+			ff.Edges = append(ff.Edges, [2]string{e.A, e.B})
+		}
+	}
+
+	type groupKey struct{ group, metric string }
+	var groups map[groupKey]*seriesStat
+	if s.cfg.Depth > 0 {
+		groups = make(map[groupKey]*seriesStat)
+	}
+	var groupOrder []groupKey
+	i := 0
+	s.lw.Advance(now, func(resource, metric string, integral, mean float64) {
+		stat := seriesStat{resource, metric, integral, mean}
+		if i == len(s.lastMean) {
+			// Newly discovered series: always in the delta.
+			s.lastMean = append(s.lastMean, mean)
+			df.Series = append(df.Series, stat)
+		} else if s.lastMean[i] != mean {
+			s.lastMean[i] = mean
+			df.Series = append(df.Series, stat)
+		}
+		if full {
+			ff.Series = append(ff.Series, stat)
+		}
+		if groups != nil {
+			k := groupKey{s.ancestorAt(resource, s.cfg.Depth), metric}
+			g := groups[k]
+			if g == nil {
+				g = &seriesStat{Resource: k.group, Metric: metric}
+				groups[k] = g
+				groupOrder = append(groupOrder, k)
+			}
+			g.Integral += integral
+			g.Mean += mean
+		}
+		i++
+	})
+	for _, k := range groupOrder {
+		df.Groups = append(df.Groups, *groups[k])
+		if full {
+			ff.Groups = append(ff.Groups, *groups[k])
+		}
+	}
+
+	if s.cfg.OnTick != nil {
+		s.cfg.OnTick(seq, now)
+	}
+	if s.cfg.Locker != nil {
+		s.cfg.Locker.Unlock()
+	}
+
+	// Encode once, outside the lock: every subscriber shares these bytes.
+	data, err := json.Marshal(df)
+	if err == nil {
+		s.Hub.Publish(&Snapshot{Seq: seq, Time: now, Data: data})
+	}
+	if full {
+		if fdata, ferr := json.Marshal(ff); ferr == nil {
+			s.Hub.SetFull(&Snapshot{Seq: seq, Time: now, Full: true, Data: fdata})
+		}
+	}
+
+	d := time.Since(start)
+	obsPublish.Observe(d.Seconds())
+	s.mu.Lock()
+	s.latencies = append(s.latencies, d)
+	s.mu.Unlock()
+	return d
+}
+
+// ancestorAt walks up the containment hierarchy. depth hops (clamping at
+// a root), returning the resource itself for depth <= 0.
+func (s *Stream) ancestorAt(name string, depth int) string {
+	for ; depth > 0; depth-- {
+		p := s.parents[name]
+		if p == "" {
+			break
+		}
+		name = p
+	}
+	return name
+}

@@ -44,7 +44,18 @@ type Timeline struct {
 	points []Point
 	// idx is the lazily built aggregation index; nil after any mutation.
 	idx atomic.Pointer[timelineIndex]
+	// epoch counts the mutations that rewrite history: out-of-order
+	// inserts or overwrites, equal-time overwrites of the last point, and
+	// Compact. Pure monotone appends do not bump it, so incremental
+	// consumers (aggregation.LiveWindow) can keep cursors across appends
+	// and fall back to a full recompute exactly when the past changed.
+	epoch uint64
 }
+
+// Epoch returns the history-rewrite counter: it advances on any mutation
+// other than a strictly-later append, and stays put across the monotone
+// appends of live ingestion.
+func (tl *Timeline) Epoch() uint64 { return tl.epoch }
 
 // index returns the aggregation index, building it if a mutation (or
 // nothing yet) invalidated it. Concurrent readers may build redundantly;
@@ -89,12 +100,14 @@ func (tl *Timeline) Set(t, v float64) {
 	}
 	if t == tl.points[n-1].T {
 		tl.points[n-1].V = v
+		tl.epoch++
 		if ix := tl.idx.Load(); ix != nil {
 			ix.updateLast(tl.points)
 		}
 		return
 	}
 	tl.idx.Store(nil)
+	tl.epoch++
 	// Out-of-order insert (rare): binary search for position.
 	i := sort.Search(n, func(i int) bool { return tl.points[i].T >= t })
 	if i < n && tl.points[i].T == t {
@@ -252,6 +265,11 @@ func (tl *Timeline) minScan(a, b float64) float64 {
 // Len returns the number of stored points.
 func (tl *Timeline) Len() int { return len(tl.points) }
 
+// PointAt returns the i-th stored point without copying the slice — the
+// accessor incremental consumers walk the growing tail with. i must be in
+// [0, Len()).
+func (tl *Timeline) PointAt(i int) Point { return tl.points[i] }
+
 // Points returns a copy of the stored points in time order.
 func (tl *Timeline) Points() []Point {
 	out := make([]Point, len(tl.points))
@@ -286,6 +304,7 @@ func (tl *Timeline) Clone() *Timeline {
 // the receiver for chaining.
 func (tl *Timeline) Compact() *Timeline {
 	tl.idx.Store(nil)
+	tl.epoch++
 	if len(tl.points) == 0 {
 		return tl
 	}

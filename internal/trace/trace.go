@@ -328,6 +328,15 @@ func (tr *Trace) Window() (start, end float64) {
 // holds.
 func (tr *Trace) NumVariables() int { return len(tr.varOrder) }
 
+// VariableAt returns the i-th (resource, metric) pair in declaration
+// order, i in [0, NumVariables()). Pairs are only ever appended, so a
+// live consumer can discover new timelines incrementally by remembering
+// how many it has seen.
+func (tr *Trace) VariableAt(i int) (resource, metric string) {
+	k := tr.varOrder[i]
+	return k.resource, k.metric
+}
+
 // Roots returns the names of resources without a parent, in declaration
 // order.
 func (tr *Trace) Roots() []string {

@@ -1,10 +1,10 @@
 #!/bin/sh
-# bench.sh — run the layout, aggregation, fault, obs, ingest, sim and
-# store benchmark suites and record the results as BENCH_layout.json,
-# BENCH_aggregation.json, BENCH_fault.json, BENCH_obs.json,
-# BENCH_ingest.json, BENCH_sim.json and BENCH_store.json (name, ns/op,
-# allocs/op, bytes/op), the perf trajectories future PRs compare
-# against. Each run
+# bench.sh — run the layout, aggregation, fault, obs, ingest, sim,
+# store and stream benchmark suites and record the results as
+# BENCH_layout.json, BENCH_aggregation.json, BENCH_fault.json,
+# BENCH_obs.json, BENCH_ingest.json, BENCH_sim.json, BENCH_store.json
+# and BENCH_stream.json (name, ns/op, allocs/op, bytes/op), the perf
+# trajectories future PRs compare against. Each run
 # also appends one line per suite to BENCH_history.jsonl, so the
 # trajectory stays queryable across PRs even though the BENCH_*.json
 # files are overwritten wholesale.
@@ -16,6 +16,11 @@
 #              benchmark, a smoke run; use e.g. 2s for stable numbers)
 #   pattern    -bench regexp overriding ALL suites' defaults (the output
 #              still lands in every file, filtered by where it ran)
+#
+# BENCH_SUITES, when set, limits the run to a space-separated subset of
+# suite names (layout aggregation fault obs ingest sim store stream), so
+# one suite can be regenerated without rewriting the others' files:
+#   BENCH_SUITES=stream scripts/bench.sh 2s
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -37,6 +42,10 @@ SIM_PATTERN="${2:-BenchmarkFig6NASDTSequential|BenchmarkEngineScaling}"
 # cold benchmark also reporting a resident-heap gauge (heap-bytes)
 # against a trace ~60x larger than its chunk cache.
 STORE_PATTERN="${2:-BenchmarkStoreCompact|BenchmarkStoreQuery}"
+# The stream suite tracks the live broadcast layer: fan-out publish
+# latency at 1k/5k/10k subscribers (p99-push-ms, events/sec) and the
+# end-to-end publisher tick (apply, window, encode).
+STREAM_PATTERN="${2:-BenchmarkStreamFanout|BenchmarkPublisherTick}"
 
 # to_json RAW OUT — convert `go test -bench` output lines like
 #   BenchmarkFoo/n=1024/p=4-8   123   456789 ns/op   10 B/op   2 allocs/op
@@ -48,13 +57,14 @@ to_json() {
 BEGIN { print "{"; printf "  \"benchmarks\": [\n"; first = 1 }
 /^Benchmark/ && /ns\/op/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = "null"; allocs = "null"; evs = "null"; heap = "null"
+    ns = ""; bytes = "null"; allocs = "null"; evs = "null"; heap = "null"; p99 = "null"
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op")      ns = $(i-1)
         if ($i == "B/op")       bytes = $(i-1)
         if ($i == "allocs/op")  allocs = $(i-1)
         if ($i == "events/sec") evs = $(i-1)
         if ($i == "heap-bytes") heap = $(i-1)
+        if ($i == "p99-push-ms") p99 = $(i-1)
     }
     if (ns == "") next
     if (!first) printf ",\n"
@@ -62,6 +72,7 @@ BEGIN { print "{"; printf "  \"benchmarks\": [\n"; first = 1 }
     printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", name, ns, bytes, allocs
     if (evs != "null") printf ", \"events_per_sec\": %s", evs
     if (heap != "null") printf ", \"heap_bytes\": %s", heap
+    if (p99 != "null") printf ", \"p99_push_ms\": %s", p99
     printf "}"
 }
 END { printf "\n  ]\n}\n" }
@@ -73,13 +84,14 @@ END { printf "\n  ]\n}\n" }
 BEGIN { printf "{\"time\": \"%s\", \"suite\": \"%s\", \"benchtime\": \"%s\", \"benchmarks\": [", time, suite, benchtime; first = 1 }
 /^Benchmark/ && /ns\/op/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = "null"; allocs = "null"; evs = "null"; heap = "null"
+    ns = ""; bytes = "null"; allocs = "null"; evs = "null"; heap = "null"; p99 = "null"
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op")      ns = $(i-1)
         if ($i == "B/op")       bytes = $(i-1)
         if ($i == "allocs/op")  allocs = $(i-1)
         if ($i == "events/sec") evs = $(i-1)
         if ($i == "heap-bytes") heap = $(i-1)
+        if ($i == "p99-push-ms") p99 = $(i-1)
     }
     if (ns == "") next
     if (!first) printf ", "
@@ -87,39 +99,63 @@ BEGIN { printf "{\"time\": \"%s\", \"suite\": \"%s\", \"benchtime\": \"%s\", \"b
     printf "{\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", name, ns, bytes, allocs
     if (evs != "null") printf ", \"events_per_sec\": %s", evs
     if (heap != "null") printf ", \"heap_bytes\": %s", heap
+    if (p99 != "null") printf ", \"p99_push_ms\": %s", p99
     printf "}"
 }
 END { print "]}" }
 ' "$1" >> BENCH_history.jsonl
 }
 
+SUITES="${BENCH_SUITES:-layout aggregation fault obs ingest sim store stream}"
+want() { case " $SUITES " in *" $1 "*) return 0 ;; *) return 1 ;; esac; }
+
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-echo "running layout suite (-benchtime=$BENCHTIME, -bench='$LAYOUT_PATTERN') ..." >&2
-go test -run '^$' -bench "$LAYOUT_PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
-to_json "$RAW" BENCH_layout.json
+if want layout; then
+    echo "running layout suite (-benchtime=$BENCHTIME, -bench='$LAYOUT_PATTERN') ..." >&2
+    go test -run '^$' -bench "$LAYOUT_PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
+    to_json "$RAW" BENCH_layout.json
+fi
 
-echo "running aggregation suite (-benchtime=$BENCHTIME, -bench='$AGG_PATTERN') ..." >&2
-go test -run '^$' -bench "$AGG_PATTERN" -benchmem -benchtime "$BENCHTIME" . ./internal/aggregation | tee "$RAW" >&2
-to_json "$RAW" BENCH_aggregation.json
+if want aggregation; then
+    echo "running aggregation suite (-benchtime=$BENCHTIME, -bench='$AGG_PATTERN') ..." >&2
+    go test -run '^$' -bench "$AGG_PATTERN" -benchmem -benchtime "$BENCHTIME" . ./internal/aggregation | tee "$RAW" >&2
+    to_json "$RAW" BENCH_aggregation.json
+fi
 
-echo "running fault suite (-benchtime=$BENCHTIME, -bench='$FAULT_PATTERN') ..." >&2
-go test -run '^$' -bench "$FAULT_PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
-to_json "$RAW" BENCH_fault.json
+if want fault; then
+    echo "running fault suite (-benchtime=$BENCHTIME, -bench='$FAULT_PATTERN') ..." >&2
+    go test -run '^$' -bench "$FAULT_PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
+    to_json "$RAW" BENCH_fault.json
+fi
 
-echo "running obs suite (-benchtime=$BENCHTIME, -bench='$OBS_PATTERN') ..." >&2
-go test -run '^$' -bench "$OBS_PATTERN" -benchmem -benchtime "$BENCHTIME" ./internal/obs | tee "$RAW" >&2
-to_json "$RAW" BENCH_obs.json
+if want obs; then
+    echo "running obs suite (-benchtime=$BENCHTIME, -bench='$OBS_PATTERN') ..." >&2
+    go test -run '^$' -bench "$OBS_PATTERN" -benchmem -benchtime "$BENCHTIME" ./internal/obs | tee "$RAW" >&2
+    to_json "$RAW" BENCH_obs.json
+fi
 
-echo "running ingest suite (-benchtime=$BENCHTIME, -bench='$INGEST_PATTERN') ..." >&2
-go test -run '^$' -bench "$INGEST_PATTERN" -benchmem -benchtime "$BENCHTIME" ./internal/paje ./internal/trace ./internal/ingest | tee "$RAW" >&2
-to_json "$RAW" BENCH_ingest.json
+if want ingest; then
+    echo "running ingest suite (-benchtime=$BENCHTIME, -bench='$INGEST_PATTERN') ..." >&2
+    go test -run '^$' -bench "$INGEST_PATTERN" -benchmem -benchtime "$BENCHTIME" ./internal/paje ./internal/trace ./internal/ingest | tee "$RAW" >&2
+    to_json "$RAW" BENCH_ingest.json
+fi
 
-echo "running sim suite (-benchtime=$BENCHTIME, -bench='$SIM_PATTERN') ..." >&2
-go test -run '^$' -bench "$SIM_PATTERN" -benchmem -benchtime "$BENCHTIME" -timeout 30m . | tee "$RAW" >&2
-to_json "$RAW" BENCH_sim.json
+if want sim; then
+    echo "running sim suite (-benchtime=$BENCHTIME, -bench='$SIM_PATTERN') ..." >&2
+    go test -run '^$' -bench "$SIM_PATTERN" -benchmem -benchtime "$BENCHTIME" -timeout 30m . | tee "$RAW" >&2
+    to_json "$RAW" BENCH_sim.json
+fi
 
-echo "running store suite (-benchtime=$BENCHTIME, -bench='$STORE_PATTERN') ..." >&2
-go test -run '^$' -bench "$STORE_PATTERN" -benchmem -benchtime "$BENCHTIME" ./internal/store | tee "$RAW" >&2
-to_json "$RAW" BENCH_store.json
+if want store; then
+    echo "running store suite (-benchtime=$BENCHTIME, -bench='$STORE_PATTERN') ..." >&2
+    go test -run '^$' -bench "$STORE_PATTERN" -benchmem -benchtime "$BENCHTIME" ./internal/store | tee "$RAW" >&2
+    to_json "$RAW" BENCH_store.json
+fi
+
+if want stream; then
+    echo "running stream suite (-benchtime=$BENCHTIME, -bench='$STREAM_PATTERN') ..." >&2
+    go test -run '^$' -bench "$STREAM_PATTERN" -benchmem -benchtime "$BENCHTIME" -timeout 30m ./internal/stream | tee "$RAW" >&2
+    to_json "$RAW" BENCH_stream.json
+fi
