@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -24,7 +25,12 @@ func main() {
 	out := flag.String("out", "out", "directory for figure SVGs (empty: skip SVGs)")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast run")
 	obsDump := flag.Bool("obs", false, "print an observability summary to stderr on exit")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	flag.Parse()
+	if _, err := obs.SetupSlog(os.Stderr, *logLevel); err != nil {
+		slog.Error("experiments: fatal", "err", err)
+		os.Exit(1)
+	}
 	if *obsDump {
 		defer func() {
 			fmt.Fprintln(os.Stderr, "experiments: observability summary:")
@@ -39,7 +45,7 @@ func main() {
 	} else {
 		e, ok := experiments.ByID(*fig)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s\n", *fig, strings.Join(experiments.IDs(), ", "))
+			slog.Error("experiments: unknown experiment", "id", *fig, "available", strings.Join(experiments.IDs(), ", "))
 			os.Exit(2)
 		}
 		toRun = []experiments.Experiment{e}
@@ -49,14 +55,14 @@ func main() {
 	for _, e := range toRun {
 		res, err := e.Run(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			slog.Error("experiments: run failed", "id", e.ID, "err", err)
 			os.Exit(1)
 		}
 		res.Print(os.Stdout)
 		failed += len(res.Failed())
 	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "%d shape check(s) failed\n", failed)
+		slog.Error("experiments: shape checks failed", "count", failed)
 		os.Exit(1)
 	}
 }

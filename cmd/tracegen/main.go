@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"viva/internal/fault"
@@ -40,7 +41,12 @@ func main() {
 	churn := flag.Float64("churn", 0, "fraction of hosts and links that fail at least once (0: no churn)")
 	churnSeed := flag.Int64("churn-seed", 1, "seed for -churn; the same seed always yields the same schedule")
 	obsDump := flag.Bool("obs", false, "print an observability summary (events, recomputes, flows settled, ...) to stderr on exit")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	flag.Parse()
+	if _, err := obs.SetupSlog(os.Stderr, *logLevel); err != nil {
+		slog.Error("tracegen: fatal", "err", err)
+		os.Exit(1)
+	}
 	if *obsDump {
 		defer func() {
 			fmt.Fprintln(os.Stderr, "tracegen: observability summary:")
@@ -51,17 +57,17 @@ func main() {
 	faults := faultFlags{file: *faultsFile, churn: *churn, seed: *churnSeed}
 	tr, err := generate(*scenario, *states, *platformXML, faults)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		slog.Error("tracegen: scenario failed", "scenario", *scenario, "err", err)
 		os.Exit(1)
 	}
 	f, err := os.Create(*out)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		slog.Error("tracegen: create output failed", "path", *out, "err", err)
 		os.Exit(1)
 	}
 	defer f.Close()
 	if err := trace.Write(f, tr); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		slog.Error("tracegen: write trace failed", "path", *out, "err", err)
 		os.Exit(1)
 	}
 	start, end := tr.Window()
@@ -174,7 +180,7 @@ func generate(scenario string, states bool, platformXML string, faults faultFlag
 			return nil, err
 		}
 		for _, f := range rep.Failed {
-			fmt.Fprintf(os.Stderr, "tracegen: rank %d failed at t=%g: %v\n", f.Rank, f.Time, f.Err)
+			slog.Warn("tracegen: rank failed", "rank", f.Rank, "t", f.Time, "err", f.Err)
 		}
 		return tr, nil
 	case "gridmw", "gridmw-fifo":

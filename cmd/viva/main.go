@@ -23,6 +23,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
@@ -61,8 +62,12 @@ func main() {
 	animDur := flag.Float64("animdur", 1, "seconds per animation frame")
 	obsDump := flag.Bool("obs", false, "print an observability summary to stderr on exit")
 	selftrace := flag.String("selftrace", "", "write this run's pipeline spans as a Paje trace to this file")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	flag.Parse()
 
+	if _, err := obs.SetupSlog(os.Stderr, *logLevel); err != nil {
+		fatal(err)
+	}
 	if *obsDump {
 		defer func() {
 			fmt.Fprintln(os.Stderr, "viva: observability summary:")
@@ -78,7 +83,7 @@ func main() {
 		defer func() {
 			obs.Frames.SetSink(nil)
 			if err := st.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "viva: selftrace:", err)
+				slog.Error("viva: selftrace close failed", "err", err)
 			}
 		}()
 	}
@@ -200,6 +205,7 @@ func runCompact(args []string) {
 	chunk := fs.Int("chunk", store.DefaultChunkPoints, "points per column chunk")
 	parallel := fs.Int("parallel", 0, "worker goroutines for fallback ingestion (0: GOMAXPROCS)")
 	obsDump := fs.Bool("obs", false, "print an observability summary to stderr on exit")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: viva compact [-chunk n] [-parallel n] <trace> <out.vvc>")
 		fs.PrintDefaults()
@@ -208,6 +214,9 @@ func runCompact(args []string) {
 	if fs.NArg() != 2 {
 		fs.Usage()
 		os.Exit(2)
+	}
+	if _, err := obs.SetupSlog(os.Stderr, *logLevel); err != nil {
+		fatal(err)
 	}
 	src, dst := fs.Arg(0), fs.Arg(1)
 	err := store.CompactFile(src, dst,
@@ -292,6 +301,6 @@ func splitList(s string) []string {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "viva:", err)
+	slog.Error("viva: fatal", "err", err)
 	os.Exit(1)
 }

@@ -35,6 +35,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -67,7 +68,13 @@ func main() {
 	followPath := flag.String("follow", "", "tail a growing native trace file as the live stream source (instead of -trace/-store)")
 	streamTick := flag.Duration("stream-tick", 100*time.Millisecond, "base snapshot publish interval for the live stream")
 	streamMax := flag.Int("stream-max", 8192, "max concurrent /api/stream subscribers (503 + Retry-After beyond)")
+	selfStream := flag.Bool("selfstream", false, "serve the pipeline's own stage spans as a live meta-trace on /api/stream/self")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	flag.Parse()
+
+	if _, err := obs.SetupSlog(os.Stderr, *logLevel); err != nil {
+		fatal(err)
+	}
 
 	if *followPath != "" {
 		if *tracePath != "" || *storePath != "" || *live {
@@ -92,7 +99,7 @@ func main() {
 		defer func() {
 			obs.Frames.SetSink(nil)
 			if err := st.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "vivaserve: selftrace:", err)
+				slog.Error("vivaserve: selftrace close failed", "err", err)
 			}
 		}()
 	}
@@ -163,6 +170,16 @@ func main() {
 	// drained before the process exits.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// SIGQUIT dumps the flight recorder to the log (and keeps running):
+	// the black-box pull for a live process that seems wedged.
+	quitCh := make(chan os.Signal, 1)
+	signal.Notify(quitCh, syscall.SIGQUIT)
+	go func() {
+		for range quitCh {
+			slog.Warn("vivaserve: SIGQUIT, dumping flight recorder")
+			_ = obs.Flight.WriteText(os.Stderr)
+		}
+	}()
 	srv := server.New(v)
 	srv.EnablePprof = *pprofOn
 	if st != nil {
@@ -170,7 +187,24 @@ func main() {
 		st.Bind(srv.Locker(), func(uint64, float64) { v.RefreshSource() })
 		go func() {
 			if err := st.Run(ctx); err != nil && ctx.Err() == nil {
-				fmt.Fprintln(os.Stderr, "vivaserve: stream:", err)
+				slog.Error("vivaserve: stream publisher failed", "err", err)
+			}
+		}()
+	}
+	if *selfStream {
+		// The span feed turns every pipeline stage span into a live trace
+		// op; a second publisher streams it on /api/stream/self.
+		feed := obs.NewSpanFeed(4096)
+		obs.Frames.SetFeed(feed)
+		selfSt, err := stream.New(stream.NewSelfSource(feed),
+			stream.Config{Tick: *streamTick, MaxSubscribers: *streamMax})
+		if err != nil {
+			fatal(err)
+		}
+		srv.SetSelfStream(selfSt)
+		go func() {
+			if err := selfSt.Run(ctx); err != nil && ctx.Err() == nil {
+				slog.Error("vivaserve: selfstream publisher failed", "err", err)
 			}
 		}()
 	}

@@ -124,10 +124,17 @@ func TestStreamExperiment(t *testing.T) {
 	runExperiment(t, "stream")
 }
 
+func TestStageLat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive experiment")
+	}
+	runExperiment(t, "stagelat")
+}
+
 func TestExperimentRegistry(t *testing.T) {
 	all := experiments.All()
-	if len(all) != 15 {
-		t.Fatalf("expected 15 experiments, got %d", len(all))
+	if len(all) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(all))
 	}
 	if len(experiments.IDs()) != len(all) {
 		t.Error("IDs() inconsistent with All()")

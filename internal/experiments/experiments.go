@@ -168,6 +168,7 @@ func All() []Experiment {
 		{"simscale", "Engine scaling: events/sec at 1k/10k/100k hosts", SimScale},
 		{"storescale", "Out-of-core columnar store: bounded-cache scrubbing", StoreScale},
 		{"stream", "Live streaming: fan-out under chaos", Stream},
+		{"stagelat", "Pipeline stage latency: source to client", StageLat},
 	}
 }
 

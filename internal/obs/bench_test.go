@@ -14,6 +14,7 @@ import (
 func BenchmarkObsOverhead(b *testing.B) {
 	r := obs.NewRegistry()
 	c := r.Counter("bench_hot_total", "hot-loop counter")
+	h := r.Histogram("bench_stage_seconds", "stage histogram", nil)
 	ring := obs.NewRing(256)
 	seq := ring.BeginFrame()
 	defer ring.EndFrame(seq)
@@ -23,6 +24,19 @@ func BenchmarkObsOverhead(b *testing.B) {
 		c.Inc()
 		sp := ring.StartSpan(obs.StageLayout)
 		sp.End()
+		clock := obs.StartStageClock(uint64(i))
+		clock.Mark(h)
+	}
+}
+
+// BenchmarkObsFlightRecord isolates one flight-recorder event: the
+// always-on black box must stay a handful of atomic stores, 0 allocs.
+func BenchmarkObsFlightRecord(b *testing.B) {
+	f := obs.NewFlightRecorder(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Record(obs.FlightShed, uint64(i), 1, 2)
 	}
 }
 

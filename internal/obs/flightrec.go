@@ -1,0 +1,223 @@
+// Flight recorder: a fixed-size lock-free ring of structured operational
+// events — the black box an operator pulls after the fact to reconstruct
+// *why* the pipeline shed, widened, dropped or evicted. Recording is
+// always on and allocation-free (a few atomic stores), so it can sit on
+// every anomaly path without a toggle; snapshotting is torn-read-safe via
+// a per-slot seqlock. The ring is dumped by GET /api/obs/flightrec, on
+// SIGQUIT, and automatically when an SLO breaches for too many
+// consecutive ticks.
+
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// MaxEventKinds bounds the kind table, mirroring MaxStages.
+const MaxEventKinds = 32
+
+var eventKindNames atomic.Pointer[[]string]
+
+// EventKind indexes a registered flight-event kind.
+type EventKind int32
+
+// RegisterEventKind interns an event-kind name, returning its id
+// (idempotent). It panics past MaxEventKinds — kinds are a small fixed
+// vocabulary, not user data.
+func RegisterEventKind(name string) EventKind {
+	for {
+		old := eventKindNames.Load()
+		if old != nil {
+			for i, n := range *old {
+				if n == name {
+					return EventKind(i)
+				}
+			}
+		}
+		var next []string
+		if old != nil {
+			next = append(next, *old...)
+		}
+		if len(next) >= MaxEventKinds {
+			panic("obs: too many event kinds: " + name)
+		}
+		next = append(next, name)
+		if eventKindNames.CompareAndSwap(old, &next) {
+			return EventKind(len(next) - 1)
+		}
+	}
+}
+
+// EventKindName returns the name a kind was registered under.
+func EventKindName(k EventKind) string {
+	names := eventKindNames.Load()
+	if names == nil || int(k) < 0 || int(k) >= len(*names) {
+		return ""
+	}
+	return (*names)[k]
+}
+
+// The pipeline's flight-event vocabulary. A and B are kind-specific
+// details (counts, bytes, ids) so every record stays two integers wide.
+var (
+	FlightShed       = RegisterEventKind("shed")             // a=new tick ns
+	FlightNarrow     = RegisterEventKind("narrow")           // a=new tick ns
+	FlightReject     = RegisterEventKind("admission_reject") // a=current subs
+	FlightDrop       = RegisterEventKind("sub_drop")         // a=dropped count, b=sub id
+	FlightGap        = RegisterEventKind("gap")              // a=dropped count, b=sub id
+	FlightEvict      = RegisterEventKind("sub_evict")        // b=sub id
+	FlightResumeFall = RegisterEventKind("resume_fallback")  // a=requested seq
+	FlightHubClose   = RegisterEventKind("hub_close")        // a=final seq
+	FlightStoreEvict = RegisterEventKind("store_evict")      // a=chunks evicted, b=bytes freed
+	FlightFault      = RegisterEventKind("fault")            // a=fault kind, b=resource index
+	FlightAnomaly    = RegisterEventKind("anomaly_dump")     // a=consecutive breaches
+)
+
+// flightSlot is one ring entry under a seqlock: ver is odd while a writer
+// owns the slot, and bumps by 2 when the write completes. Readers load
+// ver before and after copying the fields and discard the copy on any
+// mismatch. All fields are atomics so concurrent access stays within the
+// memory model (and clean under -race) even mid-claim.
+type flightSlot struct {
+	ver  atomic.Uint64
+	seq  atomic.Uint64
+	atNs atomic.Int64
+	kind atomic.Int32
+	tick atomic.Uint64
+	a    atomic.Int64
+	b    atomic.Int64
+}
+
+// FlightRecorder is the bounded event ring. Record is wait-free in
+// practice: a writer that cannot claim its slot within a few attempts
+// (only possible when the global sequence laps the whole ring during one
+// write) drops the event and counts it, never stalling the caller.
+type FlightRecorder struct {
+	slots   []flightSlot
+	seq     atomic.Uint64
+	dropped atomic.Uint64
+}
+
+// NewFlightRecorder returns a recorder keeping the last n events
+// (n < 1 means 1024).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n < 1 {
+		n = 1024
+	}
+	return &FlightRecorder{slots: make([]flightSlot, n)}
+}
+
+// Flight is the process-wide recorder every instrumented package records
+// into; /api/obs/flightrec and the SIGQUIT dump read it.
+var Flight = NewFlightRecorder(1024)
+
+// Record appends one event. tick is the pipeline sequence the event
+// belongs to (0 when none applies); a and b carry kind-specific detail.
+// Zero allocations, a handful of atomic stores.
+func (f *FlightRecorder) Record(kind EventKind, tick uint64, a, b int64) {
+	s := f.seq.Add(1)
+	slot := &f.slots[s%uint64(len(f.slots))]
+	for attempt := 0; ; attempt++ {
+		v := slot.ver.Load()
+		if v&1 == 0 && slot.ver.CompareAndSwap(v, v+1) {
+			break
+		}
+		if attempt == 8 {
+			// Another writer lapped the ring and still owns the slot;
+			// losing one event beats stalling the pipeline.
+			f.dropped.Add(1)
+			return
+		}
+	}
+	slot.seq.Store(s)
+	slot.atNs.Store(NowNs())
+	slot.kind.Store(int32(kind))
+	slot.tick.Store(tick)
+	slot.a.Store(a)
+	slot.b.Store(b)
+	slot.ver.Add(1)
+}
+
+// Seq returns the total number of events ever recorded (including any
+// later overwritten by ring wraparound).
+func (f *FlightRecorder) Seq() uint64 { return f.seq.Load() }
+
+// Dropped returns how many events lost the slot race and were discarded.
+func (f *FlightRecorder) Dropped() uint64 { return f.dropped.Load() }
+
+// Len returns the ring capacity: how many most-recent events survive.
+func (f *FlightRecorder) Len() int { return len(f.slots) }
+
+// FlightEvent is one recorded event as snapshots deliver it.
+type FlightEvent struct {
+	Seq  uint64  `json:"seq"`
+	AtMs float64 `json:"at_ms"` // since process obs epoch
+	Kind string  `json:"kind"`
+	Tick uint64  `json:"tick,omitempty"`
+	A    int64   `json:"a,omitempty"`
+	B    int64   `json:"b,omitempty"`
+}
+
+// Snapshot returns up to max recent events ordered by sequence, oldest
+// first. Slots being written concurrently are skipped, never misread.
+func (f *FlightRecorder) Snapshot(max int) []FlightEvent {
+	if max < 1 || max > len(f.slots) {
+		max = len(f.slots)
+	}
+	newest := f.seq.Load()
+	if newest == 0 {
+		return nil
+	}
+	lo := uint64(1)
+	if newest > uint64(len(f.slots)) {
+		lo = newest - uint64(len(f.slots)) + 1
+	}
+	events := make([]FlightEvent, 0, max)
+	for i := range f.slots {
+		slot := &f.slots[i]
+		v1 := slot.ver.Load()
+		if v1&1 != 0 {
+			continue // writer mid-flight
+		}
+		ev := FlightEvent{
+			Seq:  slot.seq.Load(),
+			AtMs: float64(slot.atNs.Load()) / 1e6,
+			Kind: EventKindName(EventKind(slot.kind.Load())),
+			Tick: slot.tick.Load(),
+			A:    slot.a.Load(),
+			B:    slot.b.Load(),
+		}
+		if slot.ver.Load() != v1 {
+			continue // torn: a writer claimed the slot while we copied
+		}
+		if ev.Seq < lo || ev.Seq > newest {
+			continue // empty or already overwritten by a racing writer
+		}
+		events = append(events, ev)
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+	if len(events) > max {
+		events = events[len(events)-max:]
+	}
+	return events
+}
+
+// WriteText dumps the ring human-readably, newest last — the SIGQUIT
+// format.
+func (f *FlightRecorder) WriteText(w io.Writer) error {
+	events := f.Snapshot(0)
+	if _, err := fmt.Fprintf(w, "flight recorder: %d events (%d total, %d dropped)\n",
+		len(events), f.Seq(), f.Dropped()); err != nil {
+		return err
+	}
+	for _, ev := range events {
+		if _, err := fmt.Fprintf(w, "  #%-6d %12.3fms %-18s tick=%-8d a=%d b=%d\n",
+			ev.Seq, ev.AtMs, ev.Kind, ev.Tick, ev.A, ev.B); err != nil {
+			return err
+		}
+	}
+	return nil
+}

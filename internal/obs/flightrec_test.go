@@ -1,0 +1,150 @@
+package obs_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"viva/internal/obs"
+)
+
+func TestFlightRecorderBasic(t *testing.T) {
+	f := obs.NewFlightRecorder(8)
+	if got := f.Snapshot(0); got != nil {
+		t.Fatalf("empty recorder snapshot = %v, want nil", got)
+	}
+	f.Record(obs.FlightShed, 7, 100, 0)
+	f.Record(obs.FlightGap, 8, 3, 42)
+	evs := f.Snapshot(0)
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Kind != "shed" || evs[0].Tick != 7 || evs[0].A != 100 {
+		t.Fatalf("first event = %+v", evs[0])
+	}
+	if evs[1].Kind != "gap" || evs[1].B != 42 {
+		t.Fatalf("second event = %+v", evs[1])
+	}
+	if evs[0].Seq >= evs[1].Seq {
+		t.Fatalf("events out of order: %d then %d", evs[0].Seq, evs[1].Seq)
+	}
+	var b strings.Builder
+	if err := f.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "shed") || !strings.Contains(b.String(), "gap") {
+		t.Fatalf("text dump missing events:\n%s", b.String())
+	}
+}
+
+// TestFlightRecorderWraparound pins the ring discipline exactly: after a
+// single writer records 3x the capacity, the snapshot holds precisely
+// the newest capacity-many events, consecutive and in order. The writer
+// stamps a with its own counter, so any slot mix-up shows as a != seq.
+func TestFlightRecorderWraparound(t *testing.T) {
+	const n = 64
+	f := obs.NewFlightRecorder(n)
+	const total = 3 * n
+	for i := 1; i <= total; i++ {
+		f.Record(obs.FlightDrop, uint64(i), int64(i), 0)
+	}
+	evs := f.Snapshot(0)
+	if len(evs) != n {
+		t.Fatalf("got %d events after wraparound, want %d", len(evs), n)
+	}
+	for i, ev := range evs {
+		want := uint64(total - n + 1 + i)
+		if ev.Seq != want {
+			t.Fatalf("event %d: seq %d, want %d", i, ev.Seq, want)
+		}
+		if ev.A != int64(want) || ev.Tick != want {
+			t.Fatalf("event %d: payload (a=%d tick=%d) does not match seq %d — torn or misplaced write",
+				i, ev.A, ev.Tick, ev.Seq)
+		}
+	}
+	if got := f.Seq(); got != total {
+		t.Fatalf("Seq() = %d, want %d", got, total)
+	}
+}
+
+// TestFlightRecorderStress hammers a small ring from many writers while
+// a reader snapshots in a loop, under -race in CI. Every event carries
+// a == tick; a snapshot surfacing an event where they disagree has
+// performed a torn read. Sequences must also be strictly increasing.
+func TestFlightRecorderStress(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 5000
+	)
+	f := obs.NewFlightRecorder(32) // tiny ring: constant wraparound
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				v := int64(w*perWriter + i)
+				f.Record(obs.FlightDrop, uint64(v), v, int64(w))
+			}
+		}(w)
+	}
+	readerDone := make(chan error, 1)
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			evs := f.Snapshot(0)
+			last := uint64(0)
+			for _, ev := range evs {
+				if ev.Seq <= last {
+					t.Errorf("snapshot not strictly ordered: seq %d after %d", ev.Seq, last)
+					return
+				}
+				last = ev.Seq
+				if int64(ev.Tick) != ev.A {
+					t.Errorf("torn read: seq %d has tick=%d a=%d", ev.Seq, ev.Tick, ev.A)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-readerDone
+
+	// Every Record draws a sequence number, dropped or not; drops are
+	// the (rare) slot-race losers and can only be a small subset.
+	if got := f.Seq(); got != writers*perWriter {
+		t.Fatalf("Seq() = %d, want %d", got, writers*perWriter)
+	}
+	if d := f.Dropped(); d > writers*perWriter/10 {
+		t.Fatalf("dropped %d of %d events — slot race should be rare", d, writers*perWriter)
+	}
+	// The final quiescent snapshot must be full and clean.
+	evs := f.Snapshot(0)
+	if len(evs) == 0 {
+		t.Fatal("no events after stress")
+	}
+	for _, ev := range evs {
+		if int64(ev.Tick) != ev.A {
+			t.Fatalf("quiescent torn slot: %+v", ev)
+		}
+	}
+}
+
+func TestEventKindRegistry(t *testing.T) {
+	if obs.RegisterEventKind("shed") != obs.FlightShed {
+		t.Fatal("RegisterEventKind not idempotent")
+	}
+	if obs.EventKindName(obs.FlightStoreEvict) != "store_evict" {
+		t.Fatalf("EventKindName = %q", obs.EventKindName(obs.FlightStoreEvict))
+	}
+	if obs.EventKindName(obs.EventKind(999)) != "" {
+		t.Fatal("out-of-range kind should name empty")
+	}
+}

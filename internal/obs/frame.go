@@ -72,6 +72,17 @@ var (
 	StageRender    = RegisterStage("render")
 )
 
+// The live pipeline's stages, in hop order source→client. These never
+// land in interactive frames — they reach the meta-trace via EmitSpan
+// and per-stage latency histograms via StageClock.Mark.
+var (
+	StageIntake = RegisterStage("intake")
+	StageApply  = RegisterStage("apply")
+	StageEncode = RegisterStage("encode")
+	StageFanout = RegisterStage("fanout")
+	StageWrite  = RegisterStage("write")
+)
+
 // frameSlot is one ring entry. seq tags which frame currently occupies
 // the slot, so late spans from an evicted frame cannot corrupt its
 // successor; end stays 0 while the frame is open.
@@ -94,6 +105,7 @@ type Ring struct {
 
 	trackAllocs atomic.Bool
 	sink        atomic.Pointer[SelfTrace]
+	feed        atomic.Pointer[SpanFeed]
 }
 
 // NewRing returns a ring holding the last n frames (n < 1 means 256).
@@ -189,6 +201,29 @@ func (sp Span) End() {
 	}
 	if st := r.sink.Load(); st != nil {
 		st.record(StageName(sp.stage), d)
+	}
+	if f := r.feed.Load(); f != nil {
+		f.Emit(sp.stage, d)
+	}
+}
+
+// SetFeed attaches (or, with nil, detaches) a live span feed: every span
+// ended against the ring, and every EmitSpan, is also offered to the
+// feed without blocking. The feed is how the live self-stream watches
+// the pipeline run.
+func (r *Ring) SetFeed(f *SpanFeed) { r.feed.Store(f) }
+
+// EmitSpan records an already-measured stage duration into the
+// self-trace sink and span feed only — never into frame slots. The live
+// pipeline's per-tick stages use it: ticks are not interactive frames
+// and must not pollute /api/obs/frames, but they belong in the
+// meta-trace and the live self-stream. Zero allocations.
+func (r *Ring) EmitSpan(stage StageID, durNs int64) {
+	if st := r.sink.Load(); st != nil {
+		st.record(StageName(stage), durNs)
+	}
+	if f := r.feed.Load(); f != nil {
+		f.Emit(stage, durNs)
 	}
 }
 

@@ -1,0 +1,34 @@
+// Structured logging setup shared by the command binaries: one -log-level
+// flag value in, a process-wide slog default out. Lives in obs so the
+// logging and metrics layers are configured in one place and the cmd
+// packages don't repeat the level parsing.
+
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// SetupSlog installs a text slog handler writing to w as the process
+// default logger and returns it. level is one of debug, info, warn,
+// error (case-sensitive, matching the flag help).
+func SetupSlog(w io.Writer, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "", "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", level)
+	}
+	lg := slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: lv}))
+	slog.SetDefault(lg)
+	return lg, nil
+}

@@ -92,6 +92,34 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of observations.
 func (h *Histogram) Sum() float64 { return h.sum.Value() }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation within the bucket holding it — the same estimate
+// Prometheus's histogram_quantile computes. Observations past the last
+// bound clamp to it; an empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		c := h.counts[i].Load()
+		if float64(cum)+float64(c) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			if c == 0 {
+				return bound
+			}
+			return lower + (bound-lower)*(rank-float64(cum))/float64(c)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 type kind uint8
 
 const (
@@ -277,6 +305,42 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// MetricSnapshot is one registered series' state at snapshot time — the
+// machine-readable registry view the /api/obs/debug bundle embeds.
+type MetricSnapshot struct {
+	Name   string  `json:"name"`
+	Family string  `json:"family"`
+	Help   string  `json:"help,omitempty"`
+	Kind   string  `json:"kind"`
+	Value  float64 `json:"value,omitempty"` // counter/gauge value
+	Count  uint64  `json:"count,omitempty"` // histogram observations
+	Sum    float64 `json:"sum,omitempty"`   // histogram sum
+	P50    float64 `json:"p50,omitempty"`   // histogram quantile estimates
+	P99    float64 `json:"p99,omitempty"`
+}
+
+// Snapshot returns every registered series in (family, name) order.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	ms := r.sorted()
+	out := make([]MetricSnapshot, 0, len(ms))
+	for _, m := range ms {
+		s := MetricSnapshot{Name: m.name, Family: m.family, Help: m.help, Kind: m.kind.String()}
+		switch m.kind {
+		case kindCounter:
+			s.Value = float64(m.c.Value())
+		case kindGauge:
+			s.Value = m.g.Value()
+		case kindHistogram:
+			s.Count = m.h.Count()
+			s.Sum = m.h.Sum()
+			s.P50 = m.h.Quantile(0.50)
+			s.P99 = m.h.Quantile(0.99)
+		}
+		out = append(out, s)
+	}
+	return out
 }
 
 // WriteSummary writes a human-oriented one-line-per-metric dump, the

@@ -1,0 +1,94 @@
+// SLO layer: each SLO pairs a target (the latency or staleness bound a
+// single observation must meet) with an objective (the fraction of
+// observations that must meet it) and exports target/burn-rate gauges
+// plus good/breach counters on /metrics. Observe is allocation-free so
+// it can sit directly on the publish hot path; the consecutive-breach
+// count feeds the flight recorder's anomaly auto-dump.
+
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// SLO tracks one service-level objective over a stream of observations.
+type SLO struct {
+	// Name identifies the SLO in metric labels and debug dumps.
+	Name string
+	// Target is the per-observation bound, in the observed unit
+	// (seconds for latency SLOs).
+	Target float64
+	// Objective is the fraction of observations that must meet Target
+	// (e.g. 0.99).
+	Objective float64
+
+	good   *Counter
+	breach *Counter
+	burn   *Gauge
+
+	ewmaBits atomic.Uint64 // EWMA of the breach indicator, float64 bits
+	consec   atomic.Uint64 // current run of consecutive breaches
+}
+
+// ewmaAlpha is the per-observation weight of the breach-rate EWMA; at the
+// stream's default 10 ticks/s the window is ~5 s of recent behaviour.
+const ewmaAlpha = 0.02
+
+// NewSLO registers an SLO's metric series in r and returns the tracker.
+// Idempotent in the registry sense: the series are shared if the same
+// name is registered twice, but each tracker keeps its own EWMA.
+func NewSLO(r *Registry, name string, target, objective float64) *SLO {
+	s := &SLO{
+		Name:      name,
+		Target:    target,
+		Objective: objective,
+		good:      r.Counter(`viva_slo_good_total{slo="`+name+`"}`, "Observations that met their SLO target."),
+		breach:    r.Counter(`viva_slo_breach_total{slo="`+name+`"}`, "Observations that exceeded their SLO target."),
+		burn:      r.Gauge(`viva_slo_burn_rate{slo="`+name+`"}`, "Error-budget burn rate: recent breach fraction over the budget (1-objective); >1 means burning faster than the objective allows."),
+	}
+	r.Gauge(`viva_slo_target{slo="`+name+`"}`, "Per-observation SLO target, in the observed unit.").Set(target)
+	r.Gauge(`viva_slo_objective{slo="`+name+`"}`, "Fraction of observations that must meet the target.").Set(objective)
+	return s
+}
+
+// Observe records one observation and reports whether it breached the
+// target. Zero allocations.
+func (s *SLO) Observe(v float64) (breached bool) {
+	ind := 0.0
+	if v > s.Target {
+		ind = 1
+		s.breach.Inc()
+		s.consec.Add(1)
+		breached = true
+	} else {
+		s.good.Inc()
+		s.consec.Store(0)
+	}
+	// EWMA of the breach indicator under a CAS loop; contention is nil in
+	// practice (one publisher observes), the loop is for correctness.
+	var ewma float64
+	for {
+		old := s.ewmaBits.Load()
+		ewma = math.Float64frombits(old)*(1-ewmaAlpha) + ind*ewmaAlpha
+		if s.ewmaBits.CompareAndSwap(old, math.Float64bits(ewma)) {
+			break
+		}
+	}
+	if budget := 1 - s.Objective; budget > 0 {
+		s.burn.Set(ewma / budget)
+	}
+	return breached
+}
+
+// ConsecBreaches returns the current run of consecutive breaching
+// observations — the anomaly-dump trigger.
+func (s *SLO) ConsecBreaches() uint64 { return s.consec.Load() }
+
+// BurnRate returns the current error-budget burn rate.
+func (s *SLO) BurnRate() float64 {
+	if budget := 1 - s.Objective; budget > 0 {
+		return math.Float64frombits(s.ewmaBits.Load()) / budget
+	}
+	return 0
+}

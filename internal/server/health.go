@@ -1,0 +1,85 @@
+// Liveness and readiness probes. /healthz answers 200 whenever the
+// process can serve HTTP at all — it is the orchestrator's "restart me?"
+// signal and deliberately checks nothing else. /readyz runs the named
+// readiness checks (trace loaded, store opened, stream publisher
+// running) and answers 503 with the failing check names until all pass —
+// the "send me traffic?" signal.
+
+package server
+
+import (
+	"errors"
+	"net/http"
+)
+
+// readyCheck is one named readiness probe.
+type readyCheck struct {
+	name  string
+	probe func() error
+}
+
+// AddReadyCheck registers a named probe /readyz runs on every request; a
+// non-nil error marks the server not ready and the error surfaces in the
+// response body. Call before Handler (the check list is not locked).
+func (s *Server) AddReadyCheck(name string, probe func() error) {
+	s.readyChecks = append(s.readyChecks, readyCheck{name: name, probe: probe})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// checkResult is one probe's outcome in the /readyz body.
+type checkResult struct {
+	Name  string `json:"name"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	checks := make([]checkResult, 0, len(s.readyChecks)+2)
+	ready := true
+	run := func(name string, err error) {
+		c := checkResult{Name: name, OK: err == nil}
+		if err != nil {
+			c.Error = err.Error()
+			ready = false
+		}
+		checks = append(checks, c)
+	}
+	// Built-in probes: the view (and with it the trace or store behind
+	// it) must be loaded; an attached stream publisher must have started.
+	run("view", s.checkView())
+	if s.stream != nil {
+		run("stream", checkStarted(s.stream.Started()))
+	}
+	if s.selfStream != nil {
+		run("selfstream", checkStarted(s.selfStream.Started()))
+	}
+	for _, c := range s.readyChecks {
+		run(c.name, c.probe())
+	}
+	status := http.StatusOK
+	state := "ready"
+	if !ready {
+		status = http.StatusServiceUnavailable
+		state = "not ready"
+	}
+	writeJSON(w, status, map[string]any{"status": state, "checks": checks})
+}
+
+func (s *Server) checkView() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.view == nil || s.view.Source() == nil {
+		return errors.New("no trace loaded")
+	}
+	return nil
+}
+
+func checkStarted(started bool) error {
+	if !started {
+		return errors.New("publisher not running")
+	}
+	return nil
+}

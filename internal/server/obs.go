@@ -9,6 +9,7 @@ package server
 import (
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -69,6 +70,97 @@ func handleObsFrames(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, framesJSON{Frames: obs.Frames.Snapshot(max)})
+}
+
+// flightJSON is the wire form of the flight-recorder ring.
+type flightJSON struct {
+	Events  []obs.FlightEvent `json:"events"`
+	Total   uint64            `json:"total"`   // ever recorded, incl. overwritten
+	Dropped uint64            `json:"dropped"` // lost the slot race
+}
+
+func flightSnapshot(max int) flightJSON {
+	return flightJSON{
+		Events:  obs.Flight.Snapshot(max),
+		Total:   obs.Flight.Seq(),
+		Dropped: obs.Flight.Dropped(),
+	}
+}
+
+// handleFlightRec dumps the flight-recorder ring: the black-box record
+// of sheds, rejects, gaps, evictions and faults an operator pulls to
+// reconstruct an incident after the fact.
+func handleFlightRec(w http.ResponseWriter, r *http.Request) {
+	max := 0 // whole ring
+	if q := r.URL.Query().Get("max"); q != "" {
+		if n, err := strconv.Atoi(q); err == nil && n > 0 {
+			max = n
+		}
+	}
+	writeJSON(w, http.StatusOK, flightSnapshot(max))
+}
+
+// heapJSON is the runtime.MemStats subset the debug bundle carries.
+type heapJSON struct {
+	AllocBytes   uint64 `json:"alloc_bytes"`
+	SysBytes     uint64 `json:"sys_bytes"`
+	HeapObjects  uint64 `json:"heap_objects"`
+	TotalAllocs  uint64 `json:"total_allocs"`
+	NumGC        uint32 `json:"num_gc"`
+	PauseTotalNs uint64 `json:"pause_total_ns"`
+}
+
+// debugJSON is the one-stop debug bundle: everything an operator (or a
+// bug report) needs to reconstruct the server's state in a single GET.
+type debugJSON struct {
+	Goroutines int                  `json:"goroutines"`
+	Heap       heapJSON             `json:"heap"`
+	Metrics    []obs.MetricSnapshot `json:"metrics"`
+	Frames     []obs.Frame          `json:"frames"`
+	Flight     flightJSON           `json:"flight"`
+	Stream     *streamDebugJSON     `json:"stream,omitempty"`
+}
+
+// streamDebugJSON summarises an attached live stream's publisher.
+type streamDebugJSON struct {
+	Seq         uint64  `json:"seq"`
+	Subscribers int     `json:"subscribers"`
+	Ticks       int     `json:"ticks"`
+	Events      int     `json:"events"`
+	Sheds       int     `json:"sheds"`
+	P99PushMs   float64 `json:"p99_push_ms"`
+}
+
+// handleObsDebug returns the full debug bundle.
+func (s *Server) handleObsDebug(w http.ResponseWriter, r *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	bundle := debugJSON{
+		Goroutines: runtime.NumGoroutine(),
+		Heap: heapJSON{
+			AllocBytes:   ms.HeapAlloc,
+			SysBytes:     ms.Sys,
+			HeapObjects:  ms.HeapObjects,
+			TotalAllocs:  ms.TotalAlloc,
+			NumGC:        ms.NumGC,
+			PauseTotalNs: ms.PauseTotalNs,
+		},
+		Metrics: obs.Default.Snapshot(),
+		Frames:  obs.Frames.Snapshot(64),
+		Flight:  flightSnapshot(256),
+	}
+	if s.stream != nil {
+		rep := s.stream.Report()
+		bundle.Stream = &streamDebugJSON{
+			Seq:         rep.FinalSeq,
+			Subscribers: s.stream.Hub.NumSubscribers(),
+			Ticks:       rep.Ticks,
+			Events:      rep.Events,
+			Sheds:       rep.Sheds,
+			P99PushMs:   float64(rep.P99.Nanoseconds()) / 1e6,
+		}
+	}
+	writeJSON(w, http.StatusOK, bundle)
 }
 
 // registerPprof mounts net/http/pprof on the mux. Off by default: the

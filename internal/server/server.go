@@ -10,7 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
-	"log"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -32,8 +32,14 @@ type Server struct {
 	view *core.View
 
 	// stream, when attached, adds the /api/stream SSE route over its
-	// hub and ties hub shutdown into Serve's graceful stop.
-	stream *stream.Stream
+	// hub and ties hub shutdown into Serve's graceful stop. selfStream,
+	// when attached, serves the pipeline's own stage spans as a live
+	// trace on /api/stream/self — viva watching itself run.
+	stream     *stream.Stream
+	selfStream *stream.Stream
+
+	// readyChecks are the named probes /readyz runs; see AddReadyCheck.
+	readyChecks []readyCheck
 
 	// EnablePprof mounts net/http/pprof under /debug/pprof/. Set it
 	// before Handler; off by default because profiles expose internals.
@@ -73,6 +79,11 @@ func New(view *core.View) *Server { return &Server{view: view} }
 // drain) before the HTTP listener shuts down. Set it before Handler.
 func (s *Server) SetStream(st *stream.Stream) { s.stream = st }
 
+// SetSelfStream attaches the live meta-trace stream (the pipeline's own
+// stage spans, see stream.NewSelfSource) on /api/stream/self. Set it
+// before Handler; its hub closes with the primary one on shutdown.
+func (s *Server) SetSelfStream(st *stream.Stream) { s.selfStream = st }
+
 // Locker exposes the mutex serialising view access, so a stream
 // publisher can mutate the live trace between requests; pass it as the
 // stream Config.Locker together with an OnTick that calls the view's
@@ -99,8 +110,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/unpin", instrument("/api/unpin", s.handleUnpin))
 	mux.HandleFunc("GET /metrics", handleMetrics)
 	mux.HandleFunc("GET /api/obs/frames", instrument("/api/obs/frames", handleObsFrames))
+	mux.HandleFunc("GET /api/obs/flightrec", instrument("/api/obs/flightrec", handleFlightRec))
+	mux.HandleFunc("GET /api/obs/debug", instrument("/api/obs/debug", s.handleObsDebug))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	if s.stream != nil {
-		mux.HandleFunc("GET /api/stream", s.handleStream)
+		mux.HandleFunc("GET "+streamPath, s.handleStream)
+	}
+	if s.selfStream != nil {
+		mux.HandleFunc("GET "+selfStreamPath, s.handleSelfStream)
 	}
 	if s.EnablePprof {
 		registerPprof(mux)
@@ -108,9 +126,13 @@ func (s *Server) Handler() http.Handler {
 	return recoverMiddleware(s.deadlineMiddleware(mux))
 }
 
-// streamPath is exempt from the per-request deadline: SSE responses are
-// long-lived by design and pace themselves with per-write deadlines.
-const streamPath = "/api/stream"
+// The streaming paths are exempt from the per-request deadline: SSE
+// responses are long-lived by design and pace themselves with per-write
+// deadlines.
+const (
+	streamPath     = "/api/stream"
+	selfStreamPath = "/api/stream/self"
+)
 
 // deadlineMiddleware replaces the old server-wide Read/WriteTimeout
 // (which would kill any long-lived stream mid-flight) with per-request
@@ -119,7 +141,7 @@ const streamPath = "/api/stream"
 // (httptest recorders); the real server supports it.
 func (s *Server) deadlineMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != streamPath {
+		if r.URL.Path != streamPath && r.URL.Path != selfStreamPath {
 			d := s.RequestTimeout
 			if d <= 0 {
 				d = requestTimeout
@@ -201,6 +223,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	if s.stream != nil {
 		s.stream.Hub.Close()
 	}
+	if s.selfStream != nil {
+		s.selfStream.Hub.Close()
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
@@ -223,8 +248,9 @@ func (s *Server) logCacheSummary() {
 	if total > 0 {
 		ratio = float64(hits) / float64(total)
 	}
-	log.Printf("server: graph cache on shutdown: %d hits (%d via ETag 304), %d misses, %.1f%% hit rate",
-		hits, notMod, misses, 100*ratio)
+	slog.Info("server: graph cache on shutdown",
+		"hits", hits, "etag_304", notMod, "misses", misses,
+		"hit_rate", fmt.Sprintf("%.1f%%", 100*ratio))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
@@ -14,6 +15,18 @@ import (
 // not draining (write deadline tripped), as opposed to clients leaving.
 var obsStreamEvictions = obs.Default.Counter("viva_stream_evictions_total",
 	"SSE subscribers evicted by write deadlines (stalled peers).")
+
+// The last two hops of the live path, observed here because only the
+// HTTP layer sees the client socket: the write stage (framing + socket
+// write + flush of one SSE chunk) and the per-subscriber delivery lag
+// (snapshot publish stamp → the moment its bytes reached the client
+// write, the end-to-end "how stale was what this client just got").
+var (
+	obsStageWrite = obs.Default.Histogram(`viva_stream_stage_seconds{stage="write"}`,
+		"Live-pipeline per-stage latency, one series per hop source-to-client.", nil)
+	obsDeliveryLag = obs.Default.Histogram("viva_stream_delivery_lag_seconds",
+		"Per-subscriber snapshot age at client write time (publish stamp to flushed write).", nil)
+)
 
 // Stream-route timing defaults; the Server fields of the same names
 // override them (tests shorten them drastically).
@@ -36,7 +49,18 @@ func (s *Server) heartbeatInterval() time.Duration {
 	return defaultHeartbeatInterval
 }
 
-// handleStream is the SSE face of the live hub: one long-lived response
+// handleStream serves the primary live stream; handleSelfStream the
+// meta-trace of the pipeline's own stage spans. Same SSE machinery,
+// different hub.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	s.serveStream(w, r, s.stream)
+}
+
+func (s *Server) handleSelfStream(w http.ResponseWriter, r *http.Request) {
+	s.serveStream(w, r, s.selfStream)
+}
+
+// serveStream is the SSE face of a live hub: one long-lived response
 // carrying "full", "delta", "gap" and terminal "shutdown" events. Every
 // data payload is a shared immutable snapshot encoded once by the
 // publisher; this handler only frames bytes. Flow control is entirely
@@ -45,12 +69,12 @@ func (s *Server) heartbeatInterval() time.Duration {
 // per-write deadline and is evicted. Reconnecting clients send the last
 // sequence number they saw as Last-Event-ID and get either the missed
 // deltas (in-window) or a fresh full snapshot.
-func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	if s.stream == nil {
+func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, st *stream.Stream) {
+	if st == nil {
 		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no live stream attached"})
 		return
 	}
-	hub := s.stream.Hub
+	hub := st.Hub
 
 	// Last-Event-ID is the standard header; the query parameter is a
 	// convenience for curl and the browser EventSource constructor URL.
@@ -69,6 +93,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// Admission control: the hub is full (or closing). Tell the
 		// client when to come back rather than letting it pile on.
+		slog.Debug("server: stream subscription refused",
+			"path", r.URL.Path, "seq", hub.Seq(), "err", err)
 		w.Header().Set("Retry-After", "2")
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
 		return
@@ -102,7 +128,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			// out and, with the write deadline, detect dead peers even
 			// when no snapshots flow.
 			if err := s.streamWrite(w, rc, []byte(":hb\n\n")); err != nil {
-				obsStreamEvictions.Inc()
+				s.evict(sub, hub.Seq(), r.URL.Path, err)
 				return
 			}
 		case <-sub.Notify():
@@ -113,6 +139,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 				// The ring coalesced: tell the client how many ticks it
 				// skipped. No id line — the client's Last-Event-ID must
 				// keep naming a real snapshot.
+				obs.Flight.Record(obs.FlightGap, hub.Seq(), int64(dropped), sub.ID())
 				frame.WriteString("event: gap\ndata: {\"dropped\":")
 				frame.WriteString(strconv.FormatUint(dropped, 10))
 				frame.WriteString("}\n\n")
@@ -130,9 +157,21 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 				frame.WriteString("\n\n")
 			}
 			if frame.Len() > 0 {
+				startNs := obs.NowNs()
 				if err := s.streamWrite(w, rc, frame.Bytes()); err != nil {
-					obsStreamEvictions.Inc()
+					s.evict(sub, hub.Seq(), r.URL.Path, err)
 					return
+				}
+				wroteNs := obs.NowNs()
+				obsStageWrite.Observe(float64(wroteNs-startNs) / 1e9)
+				obs.Frames.EmitSpan(obs.StageWrite, wroteNs-startNs)
+				// Delivery lag closes the source→client chain: each
+				// snapshot's publish stamp against the moment its bytes
+				// were flushed toward this subscriber.
+				for _, sn := range snaps {
+					if sn.PubNs > 0 {
+						obsDeliveryLag.Observe(float64(wroteNs-sn.PubNs) / 1e9)
+					}
 				}
 			}
 			if closed {
@@ -143,6 +182,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+}
+
+// evict accounts for one stalled-peer eviction: the counter, a flight
+// event, and a log line carrying the tick seq so logs join the traces.
+func (s *Server) evict(sub *stream.Subscriber, seq uint64, path string, err error) {
+	obsStreamEvictions.Inc()
+	obs.Flight.Record(obs.FlightEvict, seq, 0, sub.ID())
+	slog.Info("server: stream subscriber evicted",
+		"path", path, "seq", seq, "sub", sub.ID(), "err", err)
 }
 
 // streamWrite writes one SSE chunk under a fresh write deadline and

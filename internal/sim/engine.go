@@ -337,6 +337,12 @@ func (e *Engine) Run() error {
 				e.Events++
 				obsEvents.Inc()
 				obsFaultsApplied.Inc()
+				// Fault injections are exactly the kind of rare,
+				// behaviour-changing moment the black box exists for: a
+				// shed or latency anomaly minutes later should be
+				// attributable to this record. a = fault kind, b =
+				// simulated time in milliseconds.
+				obs.Flight.Record(obs.FlightFault, uint64(e.Events), int64(fe.Kind), int64(fe.Time*1e3))
 				e.applyFault(fe)
 				if err := e.drainRunnable(); err != nil {
 					return err

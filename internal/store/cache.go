@@ -111,6 +111,7 @@ func (c *chunkCache) get(col, chunk int, m *chunkMeta) (*chunkData, error) {
 		// the whole cache for one query.
 		return data, nil
 	}
+	evicted, freed := int64(0), int64(0)
 	for c.size+sz > c.maxB {
 		back := c.ll.Back()
 		if back == nil {
@@ -121,6 +122,14 @@ func (c *chunkCache) get(col, chunk int, m *chunkMeta) (*chunkData, error) {
 		delete(c.entries, ev.key)
 		c.size -= ev.bytes
 		obsCacheEvictions.Inc()
+		evicted++
+		freed += ev.bytes
+	}
+	if evicted > 0 {
+		// One flight event per insert-that-evicted, not per chunk: an
+		// eviction storm then reads as a run of events with rising counts
+		// instead of flooding the ring.
+		obs.Flight.Record(obs.FlightStoreEvict, 0, evicted, freed)
 	}
 	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, data: data, bytes: sz})
 	c.size += sz

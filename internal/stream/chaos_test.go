@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"viva/internal/obs"
 	"viva/internal/trace"
 )
 
@@ -88,6 +89,7 @@ func TestStreamChaos(t *testing.T) {
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
+	flightBase := obs.Flight.Seq()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
@@ -199,6 +201,28 @@ func TestStreamChaos(t *testing.T) {
 			t.Fatalf("client %d (%s) ended at seq %d, final is %d",
 				c.id, c.behavior, c.prev, rep.FinalSeq)
 		}
+	}
+
+	// The flight recorder is the run's black box: with stallers dropping
+	// frames by design, sub_drop events must land in the ring, and every
+	// shed the report counts must leave a shed event behind. The ring may
+	// have wrapped, so count by kind over what survived plus what the
+	// global sequence says happened since the baseline.
+	flightKinds := make(map[string]int)
+	for _, ev := range obs.Flight.Snapshot(0) {
+		if ev.Seq > flightBase {
+			flightKinds[ev.Kind]++
+		}
+	}
+	recorded := obs.Flight.Seq() - flightBase
+	if recorded == 0 {
+		t.Fatal("chaos run recorded no flight events")
+	}
+	if flightKinds["sub_drop"] == 0 && recorded <= uint64(obs.Flight.Len()) {
+		t.Fatalf("stalled clients dropped frames but no sub_drop events in flight ring: %v", flightKinds)
+	}
+	if rep.Sheds > 0 && flightKinds["shed"] == 0 && recorded <= uint64(obs.Flight.Len()) {
+		t.Fatalf("report counts %d sheds but flight ring has none: %v", rep.Sheds, flightKinds)
 	}
 
 	// Byte identity: the streamed trace is exactly the cold trace.

@@ -3,11 +3,15 @@ package stream
 import (
 	"context"
 	"encoding/json"
+	"log/slog"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"viva/internal/aggregation"
+	"viva/internal/obs"
 	"viva/internal/trace"
 )
 
@@ -125,6 +129,10 @@ type Stream struct {
 	seq       uint64
 
 	lastMean []float64 // per-series mean last emitted, for delta diffing
+
+	lastPubNs  int64        // previous publish stamp (publisher-only)
+	lastDumpNs atomic.Int64 // anomaly-dump rate limit
+	started    atomic.Bool  // Run has begun (readiness probe)
 }
 
 // New builds a stream over src. If src is a Primer its catalog is
@@ -163,6 +171,17 @@ func (s *Stream) Trace() *trace.Trace { return s.tr }
 func (s *Stream) Bind(l sync.Locker, onTick func(seq uint64, now float64)) {
 	s.cfg.Locker = l
 	s.cfg.OnTick = onTick
+}
+
+// Started reports whether Run has begun. A drained publisher still
+// counts as started: its hub keeps serving terminal state.
+func (s *Stream) Started() bool { return s.started.Load() }
+
+// Seq returns the last tick sequence number the publisher assigned.
+func (s *Stream) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
 }
 
 // Report returns a snapshot of the publisher's counters and latency
@@ -225,6 +244,7 @@ type frame struct {
 // keep receiving the terminal state; closing the hub is the owner's call
 // (the server does it on shutdown).
 func (s *Stream) Run(ctx context.Context) error {
+	s.started.Store(true)
 	ops := make(chan Op, s.cfg.Intake)
 	runErr := make(chan error, 1)
 	go func() {
@@ -245,9 +265,10 @@ func (s *Stream) Run(ctx context.Context) error {
 	defer timer.Stop()
 
 	var (
-		pending []Op
-		ewma    float64 // publish latency, seconds
-		drained bool
+		pending   []Op
+		firstOpNs int64   // intake stamp of the oldest pending op
+		ewma      float64 // publish latency, seconds
+		drained   bool
 	)
 	for {
 		// Stop pulling from the intake while a full batch waits: the
@@ -266,12 +287,16 @@ func (s *Stream) Run(ctx context.Context) error {
 				drained = true
 				continue
 			}
+			if len(pending) == 0 {
+				firstOpNs = obs.NowNs()
+			}
 			pending = append(pending, op)
 		case <-timer.C:
 			// A closed intake is only observed once its buffer is empty,
 			// so drained means this batch is the last one.
-			d := s.tick(pending, drained)
+			d := s.tick(pending, drained, firstOpNs)
 			pending = pending[:0]
+			firstOpNs = 0
 			if drained {
 				// The final tick published a full snapshot; the hub
 				// stays open serving terminal state. Surface the
@@ -292,12 +317,16 @@ func (s *Stream) Run(ctx context.Context) error {
 				s.mu.Unlock()
 				obsShed.Inc()
 				obsTick.Set(tick.Seconds())
+				obs.Flight.Record(obs.FlightShed, s.Seq(), int64(tick), 0)
+				slog.Debug("stream: shed, tick widened", "seq", s.Seq(), "tick", tick)
 			case ewma < tick.Seconds()/8 && tick > s.cfg.Tick:
 				tick /= 2
 				if tick < s.cfg.Tick {
 					tick = s.cfg.Tick
 				}
 				obsTick.Set(tick.Seconds())
+				obs.Flight.Record(obs.FlightNarrow, s.Seq(), int64(tick), 0)
+				slog.Debug("stream: recovered, tick narrowed", "seq", s.Seq(), "tick", tick)
 			}
 			timer.Reset(tick)
 		}
@@ -306,9 +335,20 @@ func (s *Stream) Run(ctx context.Context) error {
 
 // tick applies one batch of ops and publishes one delta snapshot (and,
 // periodically or when final, a full one). It returns the publish
-// latency the shedding loop feeds on.
-func (s *Stream) tick(batch []Op, final bool) time.Duration {
+// latency the shedding loop feeds on. firstOpNs, when nonzero, is the
+// intake stamp of the batch's oldest op — the source→tick hop.
+//
+// Each stage boundary is marked on a StageClock (per-stage histograms)
+// and emitted as a span (self-trace sink + live span feed), so one tick
+// decomposes the same way an interactive frame does.
+func (s *Stream) tick(batch []Op, final bool, firstOpNs int64) time.Duration {
 	start := time.Now()
+	clock := obs.StartStageClock(0)
+	if len(batch) > 0 && firstOpNs > 0 {
+		d := obs.NowNs() - firstOpNs
+		obsStageIntake.Observe(float64(d) / 1e9)
+		obs.Frames.EmitSpan(obs.StageIntake, d)
+	}
 
 	if s.cfg.Locker != nil {
 		s.cfg.Locker.Lock()
@@ -326,6 +366,7 @@ func (s *Stream) tick(batch []Op, final bool) time.Duration {
 		}
 	}
 	obsEvents.Add(uint64(applied))
+	obs.Frames.EmitSpan(obs.StageApply, clock.Mark(obsStageApply))
 
 	s.mu.Lock()
 	s.ticks++
@@ -335,6 +376,7 @@ func (s *Stream) tick(batch []Op, final bool) time.Duration {
 	seq := s.seq
 	ticks := s.ticks
 	s.mu.Unlock()
+	clock.Seq = seq
 
 	_, now := s.tr.Window()
 	full := final || (ticks-1)%s.cfg.FullEvery == 0 // the first tick seeds a full
@@ -402,24 +444,72 @@ func (s *Stream) tick(batch []Op, final bool) time.Duration {
 	if s.cfg.Locker != nil {
 		s.cfg.Locker.Unlock()
 	}
+	obs.Frames.EmitSpan(obs.StageAggregate, clock.Mark(obsStageAggregate))
 
 	// Encode once, outside the lock: every subscriber shares these bytes.
 	data, err := json.Marshal(df)
-	if err == nil {
-		s.Hub.Publish(&Snapshot{Seq: seq, Time: now, Data: data})
-	}
+	var fdata []byte
 	if full {
-		if fdata, ferr := json.Marshal(ff); ferr == nil {
-			s.Hub.SetFull(&Snapshot{Seq: seq, Time: now, Full: true, Data: fdata})
-		}
+		fdata, _ = json.Marshal(ff)
 	}
+	obs.Frames.EmitSpan(obs.StageEncode, clock.Mark(obsStageEncode))
+
+	pubNs := obs.NowNs()
+	if err == nil {
+		s.Hub.Publish(&Snapshot{Seq: seq, Time: now, Data: data, PubNs: pubNs})
+	}
+	if full && fdata != nil {
+		s.Hub.SetFull(&Snapshot{Seq: seq, Time: now, Full: true, Data: fdata, PubNs: pubNs})
+	}
+	obs.Frames.EmitSpan(obs.StageFanout, clock.Mark(obsStageFanout))
+
+	// Staleness: the gap between consecutive publishes is the age the
+	// freshest client-visible data had just before this tick replaced it.
+	if s.lastPubNs != 0 {
+		gap := float64(pubNs-s.lastPubNs) / 1e9
+		obsStaleness.Observe(gap)
+		sloStale.Observe(gap)
+	}
+	s.lastPubNs = pubNs
 
 	d := time.Since(start)
 	obsPublish.Observe(d.Seconds())
+	if sloPush.Observe(d.Seconds()) {
+		s.maybeAnomalyDump(seq)
+	}
 	s.mu.Lock()
 	s.latencies = append(s.latencies, d)
 	s.mu.Unlock()
 	return d
+}
+
+// anomalyTicks is how many consecutive over-SLO publishes trip the
+// automatic flight-recorder dump; anomalyDumpGap rate-limits the dumps.
+const (
+	anomalyTicks   = 8
+	anomalyDumpGap = 30 * time.Second
+)
+
+// maybeAnomalyDump fires once per sustained breach run: when the push
+// SLO has been over target for anomalyTicks consecutive ticks, a flight
+// event marks the anomaly and the ring is dumped to the log, rate
+// limited so a long incident produces one dump per gap, not one per
+// tick.
+func (s *Stream) maybeAnomalyDump(seq uint64) {
+	if sloPush.ConsecBreaches() != anomalyTicks {
+		return
+	}
+	obs.Flight.Record(obs.FlightAnomaly, seq, int64(anomalyTicks), 0)
+	last := s.lastDumpNs.Load()
+	now := obs.NowNs()
+	if now-last < int64(anomalyDumpGap) || !s.lastDumpNs.CompareAndSwap(last, now) {
+		return
+	}
+	slog.Warn("stream: push SLO breached, dumping flight recorder",
+		"seq", seq, "consecutive_ticks", anomalyTicks, "burn_rate", sloPush.BurnRate())
+	var b strings.Builder
+	_ = obs.Flight.WriteText(&b)
+	slog.Warn("stream: flight recorder dump", "seq", seq, "dump", b.String())
 }
 
 // ancestorAt walks up the containment hierarchy. depth hops (clamping at

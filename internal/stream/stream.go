@@ -59,6 +59,31 @@ var (
 		"Publisher tick latency: apply + aggregate + encode + fan-out.", nil)
 	obsTick = obs.Default.Gauge("viva_stream_tick_seconds",
 		"Current publisher tick interval (grows under load shedding).")
+	obsStaleness = obs.Default.Histogram("viva_stream_staleness_seconds",
+		"Gap between consecutive published snapshots (client-visible data age).", nil)
+)
+
+// Per-stage latency decomposition of the live path, one series per hop.
+// intake: first queued op → tick start; apply/aggregate/encode/fanout:
+// within the tick; the write stage and per-subscriber delivery lag are
+// observed by the HTTP layer (internal/server).
+const stageHelp = "Live-pipeline per-stage latency, one series per hop source-to-client."
+
+var (
+	obsStageIntake    = obs.Default.Histogram(`viva_stream_stage_seconds{stage="intake"}`, stageHelp, nil)
+	obsStageApply     = obs.Default.Histogram(`viva_stream_stage_seconds{stage="apply"}`, stageHelp, nil)
+	obsStageAggregate = obs.Default.Histogram(`viva_stream_stage_seconds{stage="aggregate"}`, stageHelp, nil)
+	obsStageEncode    = obs.Default.Histogram(`viva_stream_stage_seconds{stage="encode"}`, stageHelp, nil)
+	obsStageFanout    = obs.Default.Histogram(`viva_stream_stage_seconds{stage="fanout"}`, stageHelp, nil)
+)
+
+// Service-level objectives over the live path, exported as
+// viva_slo_* series and driving the flight recorder's anomaly dump.
+var (
+	// sloPush bounds one tick's publish latency.
+	sloPush = obs.NewSLO(obs.Default, "stream_push", 0.25, 0.99)
+	// sloStale bounds the gap between consecutive snapshots.
+	sloStale = obs.NewSLO(obs.Default, "stream_staleness", 2.5, 0.99)
 )
 
 // Subscription errors the HTTP layer maps to status codes.
@@ -129,6 +154,10 @@ type Snapshot struct {
 	Time float64
 	Full bool
 	Data []byte
+	// PubNs is the obs.NowNs() stamp taken when the snapshot was
+	// published — the trace-event time the per-subscriber delivery-lag
+	// histogram measures client writes against.
+	PubNs int64
 }
 
 // Hub fans published snapshots out to subscribers and answers
@@ -149,6 +178,7 @@ type Hub struct {
 
 	maxSubs int
 	subRing int
+	nextID  int64 // subscriber ids, for flight-event correlation
 }
 
 // NewHub creates a hub admitting at most maxSubs subscribers, giving each
@@ -255,9 +285,12 @@ func (h *Hub) Subscribe(lastSeq uint64) (*Subscriber, error) {
 	}
 	if len(h.subs) >= h.maxSubs {
 		obsRejected.Inc()
+		obs.Flight.Record(obs.FlightReject, h.seq, int64(len(h.subs)), 0)
 		return nil, ErrFull
 	}
+	h.nextID++
 	sub := &Subscriber{
+		id:     h.nextID,
 		ring:   make([]*Snapshot, h.subRing),
 		notify: make(chan struct{}, 1),
 	}
@@ -268,6 +301,7 @@ func (h *Hub) Subscribe(lastSeq uint64) (*Subscriber, error) {
 	} else {
 		if lastSeq > 0 {
 			obsResumeFalls.Inc()
+			obs.Flight.Record(obs.FlightResumeFall, h.seq, int64(lastSeq), sub.id)
 		}
 		from = 0
 		if h.full != nil {
@@ -305,6 +339,7 @@ func (h *Hub) Close() {
 		return
 	}
 	h.closed = true
+	obs.Flight.Record(obs.FlightHubClose, h.seq, int64(len(h.subs)), 0)
 	for sub := range h.subs {
 		sub.close()
 	}
@@ -315,6 +350,7 @@ func (h *Hub) Close() {
 // serving goroutine waits on Notify and drains with Take; the publisher
 // pushes. Neither ever blocks the other beyond the ring mutex.
 type Subscriber struct {
+	id      int64
 	mu      sync.Mutex
 	ring    []*Snapshot
 	start   int
@@ -324,6 +360,10 @@ type Subscriber struct {
 
 	notify chan struct{}
 }
+
+// ID returns the subscriber's hub-assigned id, the correlation key
+// flight events carry in their b detail.
+func (s *Subscriber) ID() int64 { return s.id }
 
 // push enqueues a snapshot reference, dropping the oldest when the ring
 // is full (the drop-to-latest discipline).
@@ -337,6 +377,11 @@ func (s *Subscriber) push(snap *Snapshot) {
 		s.start = (s.start + 1) % len(s.ring)
 		s.dropped++
 		obsDropped.Inc()
+		if s.dropped == 1 {
+			// One event per drop burst (until the next Take resets the
+			// count), not one per snapshot — drops come in storms.
+			obs.Flight.Record(obs.FlightDrop, snap.Seq, 1, s.id)
+		}
 	} else {
 		s.n++
 	}
