@@ -416,6 +416,76 @@ func BenchmarkLayoutNaiveParallel(b *testing.B) {
 	}
 }
 
+// treeParent exposes buildLayout's 4-ary tree to the multilevel
+// coarsener: body n_i hangs under n_{(i-1)/4}; the root has no parent.
+// Matching-produced super-bodies ("m:" prefix) fail the parse and fall
+// back to heavy-edge matching, as intended.
+func treeParent(id string) (string, bool) {
+	var i int
+	if _, err := fmt.Sscanf(id, "n%d", &i); err != nil || i == 0 {
+		return "", false
+	}
+	return fmt.Sprintf("n%d", (i-1)/4), true
+}
+
+// flatConvergeCap bounds the flat baseline: past this many steps the run
+// is declared stuck rather than slow.
+const flatConvergeCap = 50000
+
+// BenchmarkLayoutMultilevel measures the V-cycle end to end — coarsen,
+// solve the coarsest level, interpolate, refine — from a cold seed,
+// reporting wall-clock time-to-converged (ms-to-conv) and the total force
+// steps spent across all levels. BenchmarkLayoutFlatConverge is the
+// baseline at the same eps; the ratio of their ms-to-conv is the headline
+// multilevel speedup.
+func BenchmarkLayoutMultilevel(b *testing.B) {
+	for _, n := range []int{5000, 20000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var steps int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				l := buildLayout(b, n)
+				b.StartTimer()
+				st := l.RunMultilevel(layout.BarnesHut, layout.MultilevelParams{Parent: treeParent})
+				if !st.Converged {
+					b.Fatalf("multilevel stuck at residual %g after %d steps", st.Residual, st.TotalSteps)
+				}
+				steps = st.TotalSteps
+			}
+			b.ReportMetric(b.Elapsed().Seconds()*1000/float64(b.N), "ms-to-conv")
+			b.ReportMetric(float64(steps), "steps")
+		})
+	}
+}
+
+// BenchmarkLayoutFlatConverge is the cold-start flat Barnes-Hut baseline
+// of the multilevel series, run to the multilevel default eps so the two
+// ms-to-conv columns are directly comparable. n=100000 is omitted: the
+// flat engine needs tens of minutes there, which is the point.
+func BenchmarkLayoutFlatConverge(b *testing.B) {
+	eps := layout.DefaultMultilevelParams().Eps
+	for _, n := range []int{5000, 20000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var steps int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				l := buildLayout(b, n)
+				b.StartTimer()
+				steps = l.Run(layout.BarnesHut, flatConvergeCap, eps)
+				if steps >= flatConvergeCap {
+					b.Fatalf("flat layout stuck after %d steps", steps)
+				}
+			}
+			b.ReportMetric(b.Elapsed().Seconds()*1000/float64(b.N), "ms-to-conv")
+			b.ReportMetric(float64(steps), "steps")
+		})
+	}
+}
+
 // BenchmarkAggregateDisaggregate measures the interactive cut operations
 // on the Grid'5000 hierarchy.
 func BenchmarkAggregateDisaggregate(b *testing.B) {

@@ -89,6 +89,13 @@ func TestScaleLayoutGrowth(t *testing.T) {
 	runExperiment(t, "scale")
 }
 
+func TestLayoutScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive experiment")
+	}
+	runExperiment(t, "layoutscale")
+}
+
 func TestAblation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing-sensitive experiment")
@@ -133,8 +140,8 @@ func TestStageLat(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	all := experiments.All()
-	if len(all) != 16 {
-		t.Fatalf("expected 16 experiments, got %d", len(all))
+	if len(all) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(all))
 	}
 	if len(experiments.IDs()) != len(all) {
 		t.Error("IDs() inconsistent with All()")

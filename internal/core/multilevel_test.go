@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"viva/internal/platform"
+	"viva/internal/trace"
+)
+
+// grid5000View opens a view on the declared (event-free) Grid'5000
+// platform: 2170 hosts across 9 sites, the paper's own testbed shape.
+func grid5000View(t *testing.T) *View {
+	t.Helper()
+	tr := trace.New()
+	platform.Grid5000().DeclareInto(tr)
+	v, err := NewView(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// The coarse-graph golden: on the Grid'5000 hierarchy the multilevel
+// engine must coarsen along host → cluster → site, producing the level
+// chain the platform's shape dictates.
+func TestMultilevelGrid5000CoarseChain(t *testing.T) {
+	v := grid5000View(t)
+	stats := v.StabilizeMultilevel(1.0)
+	for _, lv := range stats.Levels {
+		t.Logf("level %d (%s): %d bodies, %d springs, %d steps, residual %.3g",
+			lv.Level, lv.Method, lv.Bodies, lv.Springs, lv.Steps, lv.Residual)
+	}
+	if !stats.Converged {
+		t.Fatalf("multilevel did not converge: residual %g", stats.Residual)
+	}
+	if v.LastRelayout().Mode != "multilevel" {
+		t.Errorf("LastRelayout mode = %q, want multilevel", v.LastRelayout().Mode)
+	}
+	// Golden chain: the leaf view (hosts, host links, cluster/site
+	// backbones and uplinks) coarsens to the per-(cluster, type) graph,
+	// then the per-(site, type) graph, every reduction following the
+	// hierarchy — matching never needs to kick in.
+	type level struct {
+		bodies int
+		method string
+	}
+	want := []level{
+		{22, "hierarchy"}, // site level: 9 sites × link types + roots
+		{60, "hierarchy"}, // cluster level
+		{4409, "finest"},  // leaf cut: hosts + links
+	}
+	if len(stats.Levels) != len(want) {
+		t.Fatalf("level chain length = %d, want %d", len(stats.Levels), len(want))
+	}
+	for i, w := range want {
+		lv := stats.Levels[i]
+		if lv.Bodies != w.bodies || lv.Method != w.method {
+			t.Errorf("level %d: %d bodies via %s, want %d via %s",
+				lv.Level, lv.Bodies, lv.Method, w.bodies, w.method)
+		}
+	}
+}
+
+// After a multilevel cold start, an aggregate/disaggregate must be served
+// by the incremental path: only the perturbed neighborhood re-relaxes.
+func TestStabilizeIncrementalAfterAggregate(t *testing.T) {
+	v := grid5000View(t)
+	if stats := v.StabilizeMultilevel(1.0); !stats.Converged {
+		t.Fatalf("cold multilevel start did not converge: residual %g", stats.Residual)
+	}
+	if err := v.Aggregate("grenoble"); err != nil {
+		t.Fatal(err)
+	}
+	steps := v.Stabilize(2000, 1.0)
+	info := v.LastRelayout()
+	t.Logf("after aggregate: mode=%s steps=%d active=%d residual=%.3g", info.Mode, steps, info.Active, info.Residual)
+	if info.Mode != "incremental" {
+		t.Fatalf("LastRelayout mode = %q, want incremental", info.Mode)
+	}
+	if info.Active <= 0 || info.Active >= v.Layout().Len()/4+1 {
+		t.Errorf("active set %d out of expected range (0, %d]", info.Active, v.Layout().Len()/4)
+	}
+	if info.Residual >= 1.0 {
+		t.Errorf("incremental residual %g did not reach the bound", info.Residual)
+	}
+}

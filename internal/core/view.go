@@ -37,6 +37,10 @@ var (
 		"Visual-graph rebuilds triggered by view mutations.")
 	obsGeneration = obs.Default.Gauge("viva_core_view_generation",
 		"Input-mutation generation of the (most recently touched) view.")
+	obsRelayoutIncremental = obs.Default.Counter("viva_core_relayout_incremental_total",
+		"Stabilize calls served by an incremental (active-set) refinement.")
+	obsRelayoutCold = obs.Default.Counter("viva_core_relayout_cold_total",
+		"Stabilize calls that ran the global solver.")
 )
 
 // View is an interactive topology-based visualization session over one
@@ -51,8 +55,8 @@ type View struct {
 	lay     *layout.Layout
 	algo    layout.Algorithm
 
-	graph *vizgraph.Graph
-	dirty bool
+	graph  *vizgraph.Graph
+	dirty  bool
 	par    int    // worker bound shared by layout steps and graph builds
 	gen    uint64 // input-mutation counter, see Generation
 	bcache vizgraph.BuildCache
@@ -60,6 +64,42 @@ type View struct {
 	// lastSprings is the spring set of the last sync, so unchanged
 	// topologies (every slice scrub) skip the layout's adjacency rebuild.
 	lastSprings []layout.Spring
+
+	// Incremental re-layout state: converged records whether the layout
+	// has ever settled below the caller's eps; perturbed accumulates the
+	// node IDs that graph changes or drags have disturbed since. When a
+	// converged layout has only a small perturbed set, Stabilize refines
+	// just that neighborhood instead of re-running the global solver.
+	converged    bool
+	perturbed    map[string]struct{}
+	lastRelayout RelayoutInfo
+}
+
+// RelayoutInfo describes how the last Stabilize settled the layout.
+type RelayoutInfo struct {
+	// Mode is "cold" (global solve), "incremental" (active-set
+	// refinement), "multilevel" (V-cycle), or "" before any stabilize.
+	Mode string `json:"mode"`
+	// Steps the solver took, Active the active-set size (incremental
+	// only), Residual the final max displacement.
+	Steps    int     `json:"steps"`
+	Active   int     `json:"active,omitempty"`
+	Residual float64 `json:"residual"`
+}
+
+// LastRelayout reports how the most recent Stabilize or
+// StabilizeMultilevel call did its work.
+func (v *View) LastRelayout() RelayoutInfo { return v.lastRelayout }
+
+// perturb marks node IDs whose neighbourhood must be re-relaxed before
+// the layout can be considered settled again.
+func (v *View) perturb(ids ...string) {
+	if v.perturbed == nil {
+		v.perturbed = make(map[string]struct{})
+	}
+	for _, id := range ids {
+		v.perturbed[id] = struct{}{}
+	}
 }
 
 // Generation counts the mutations of the view's inputs: time slice, cut,
@@ -159,7 +199,7 @@ func (v *View) ShiftTimeSlice(dt float64) {
 
 // SetAlgorithm selects the repulsion engine (Naive for small graphs,
 // BarnesHut — the default — for large ones).
-func (v *View) SetAlgorithm(a layout.Algorithm) { v.algo = a; v.touch() }
+func (v *View) SetAlgorithm(a layout.Algorithm) { v.algo = a; v.converged = false; v.touch() }
 
 // RefreshSource tells the view its underlying data changed — the live
 // streaming publisher calls it each tick after appending to the trace.
@@ -222,6 +262,7 @@ func (v *View) syncLayout(g *vizgraph.Graph) {
 			b.Charge = float64(n.Count) // keep aggregate charge current
 			continue
 		}
+		v.perturb(n.ID)
 		// New node. Aggregation transition: centroid of the vanishing
 		// bodies it swallows (same type, group below the new group).
 		var swallowed []*layout.Body
@@ -273,6 +314,28 @@ func (v *View) syncLayout(g *vizgraph.Graph) {
 	// rebuild in the layout.
 	if springsEqual(springs, v.lastSprings) {
 		return
+	}
+	// Surviving endpoints of added, removed or re-weighted springs feel a
+	// force change: mark them perturbed so the incremental path relaxes
+	// them too (the removed side of a vanished spring no longer exists and
+	// needs no mark).
+	old := make(map[[2]string]float64, len(v.lastSprings))
+	for _, s := range v.lastSprings {
+		old[[2]string{s.A, s.B}] += s.Strength
+	}
+	cur := make(map[[2]string]float64, len(springs))
+	for _, s := range springs {
+		cur[[2]string{s.A, s.B}] += s.Strength
+	}
+	for k, w := range cur {
+		if old[k] != w {
+			v.perturb(k[0], k[1])
+		}
+	}
+	for k := range old {
+		if _, ok := cur[k]; !ok {
+			v.perturb(k[0], k[1])
+		}
 	}
 	if err := v.lay.SetSprings(springs); err != nil {
 		panic(err) // nodes and edges come from the same graph
@@ -386,8 +449,13 @@ func (v *View) SetFillAggregation(typ string, mode vizgraph.FillAggregation) err
 	return err
 }
 
-// SetLayoutParams replaces the charge/spring/damping sliders.
-func (v *View) SetLayoutParams(p layout.Params) { v.lay.SetParams(p); v.touch() }
+// SetLayoutParams replaces the charge/spring/damping sliders. Force
+// parameters move the global equilibrium, so convergence is voided.
+func (v *View) SetLayoutParams(p layout.Params) {
+	v.lay.SetParams(p)
+	v.converged = false
+	v.touch()
+}
 
 // SetParallelism bounds the worker goroutines both the layout step and
 // the graph build may use (0 = GOMAXPROCS, 1 = serial). Results are
@@ -411,10 +479,83 @@ func (v *View) StepLayout(n int) float64 {
 	return d
 }
 
-// Stabilize iterates the layout until convergence (or maxSteps) and
-// returns the steps taken.
+// relayoutHops bounds the BFS neighborhood the incremental path relaxes
+// around each perturbed node: the node, its spring neighbours, and
+// theirs. Wide enough to absorb an aggregate/disaggregate ripple, small
+// enough that the active set stays a sliver of a large graph.
+const relayoutHops = 2
+
+// maxActiveFraction: an incremental refinement only pays off while the
+// active set is a minority of the graph; past a quarter the global
+// solver is both simpler and barely slower.
+const maxActiveFraction = 0.25
+
+// Stabilize settles the layout below eps (or gives up after maxSteps),
+// returning the steps taken. On a layout that has converged before and
+// since been perturbed only locally — an aggregate/disaggregate, a fault
+// ripple, a drag — it refines just the BFS neighborhood of the perturbed
+// nodes against the settled surroundings instead of re-running the global
+// solver; everywhere else it runs cold. LastRelayout reports which path
+// ran.
 func (v *View) Stabilize(maxSteps int, eps float64) int {
-	return v.lay.Run(v.algo, maxSteps, eps)
+	if v.converged && len(v.perturbed) > 0 {
+		seeds := make([]string, 0, len(v.perturbed))
+		for id := range v.perturbed {
+			seeds = append(seeds, id)
+		}
+		active := v.lay.Neighborhood(seeds, relayoutHops)
+		if float64(len(active)) <= maxActiveFraction*float64(v.lay.Len()) {
+			steps, res := v.lay.RefineLocal(v.algo, seeds, relayoutHops, maxSteps, eps)
+			if res < eps {
+				obsRelayoutIncremental.Inc()
+				v.perturbed = nil
+				v.lastRelayout = RelayoutInfo{Mode: "incremental", Steps: steps, Active: len(active), Residual: res}
+				return steps
+			}
+			// The disturbance did not settle locally within budget —
+			// escalate to the global solver below.
+		}
+	}
+	obsRelayoutCold.Inc()
+	steps := v.lay.Run(v.algo, maxSteps, eps)
+	v.converged = steps < maxSteps || maxSteps <= 0
+	v.perturbed = nil
+	v.lastRelayout = RelayoutInfo{Mode: "cold", Steps: steps}
+	return steps
+}
+
+// StabilizeMultilevel runs the multilevel V-cycle: coarsen along the
+// platform hierarchy (heavy-edge matching where it is exhausted), solve
+// the coarse graph, interpolate down and refine. It is the fast cold
+// start for large graphs — Stabilize afterwards serves interactions
+// incrementally. eps <= 0 uses the multilevel default.
+func (v *View) StabilizeMultilevel(eps float64) layout.MultilevelStats {
+	mp := layout.DefaultMultilevelParams()
+	if eps > 0 {
+		mp.Eps = eps
+	}
+	mp.Parent = v.layoutParentFunc()
+	stats := v.lay.RunMultilevel(v.algo, mp)
+	v.converged = stats.Converged
+	v.perturbed = nil
+	v.lastRelayout = RelayoutInfo{Mode: "multilevel", Steps: stats.TotalSteps, Residual: stats.Residual}
+	v.touch() // every position changed: cached renderings are stale
+	return stats
+}
+
+// layoutParentFunc adapts the aggregation tree to the layout's coarsening
+// interface: a body "group/type" coarsens to "parentGroup/type", so the
+// coarse graph at each level is exactly the aggregated view one level up.
+func (v *View) layoutParentFunc() layout.ParentFunc {
+	tree := v.ag.Tree()
+	return func(id string) (string, bool) {
+		grp, typ := splitNodeID(id)
+		n := tree.Node(grp)
+		if n == nil || n.Parent == "" {
+			return "", false
+		}
+		return vizgraph.NodeID(n.Parent, typ), true
+	}
 }
 
 // MoveNode drags a node to a position; its neighbourhood follows through
@@ -428,6 +569,7 @@ func (v *View) MoveNode(id string, x, y float64, pin bool) error {
 	} else {
 		v.lay.Move(id, layout.Point{X: x, Y: y})
 	}
+	v.perturb(id)
 	v.touch()
 	return nil
 }

@@ -163,6 +163,7 @@ func All() []Experiment {
 		{"fig8", "Grid'5000 master-workers at four aggregation levels", Fig8},
 		{"fig9", "Workload diffusion over time at the site scale", Fig9},
 		{"scale", "Layout scalability: naive O(n²) vs Barnes-Hut O(n log n)", Scale},
+		{"layoutscale", "Multilevel layout: time-to-converged vs flat Barnes-Hut", LayoutScale},
 		{"ablation", "Design-choice ablations: lazy invalidation, Barnes-Hut theta", Ablation},
 		{"ingest", "Pipelined trace ingestion: throughput and determinism", Ingest},
 		{"simscale", "Engine scaling: events/sec at 1k/10k/100k hosts", SimScale},

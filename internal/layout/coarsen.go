@@ -1,0 +1,238 @@
+package layout
+
+import "sort"
+
+// Graph coarsening for the multilevel layout (multilevel.go). A coarse
+// level replaces groups of bodies with one super-body each: the charge is
+// the sum of the members' charges (exactly the aggregation rule the
+// interactive views already use), the position is the charge-weighted
+// centroid, and springs are projected onto the super-bodies, parallel
+// bundles merging at their max strength (self-loops vanish). Two strategies are provided:
+//
+//   - coarsenHierarchy follows the platform hierarchy the visualization
+//     already carries (host → cluster → site → grid): the caller supplies a
+//     ParentFunc mapping a body ID to its parent group's ID, and bodies
+//     sharing a parent merge. This is the paper-shaped coarsening — the
+//     coarse graph at each level IS the aggregated view the analyst would
+//     see one level up, so coarse positions are directly meaningful.
+//   - coarsenMatch is the structural fallback for flat graphs (no
+//     hierarchy, or a level where the hierarchy is exhausted): greedy
+//     heavy-edge matching in body-index order, the classic multilevel
+//     graph-drawing reduction (Walshaw; Arleo et al.'s MULTI-FORCE uses
+//     the same coarsen/lay-out/interpolate shape).
+//
+// Both are deterministic: bodies are visited in index order, springs in
+// declaration order, and ties break toward the lowest index — so the
+// coarse graph (IDs, order, charges, positions) is a pure function of the
+// fine graph, independent of Parallelism.
+
+// ParentFunc maps a body ID to the ID of its coarse-level parent. ok =
+// false means the body has no parent (it is already at the hierarchy
+// root) and survives into the coarse level unchanged. Returned IDs must
+// be stable: two bodies sharing a parent must return the same string.
+type ParentFunc func(id string) (parent string, ok bool)
+
+// coarsening is one level reduction: the coarse layout plus the fine→
+// coarse ownership mapping (indexed by fine body index).
+type coarsening struct {
+	coarse *Layout
+	owner  []int32
+}
+
+// effCharge mirrors the quadtree's convention: non-positive charges act
+// as 1 so massless bodies still occupy space.
+func effCharge(c float64) float64 {
+	if c <= 0 {
+		return 1
+	}
+	return c
+}
+
+// coarsenHierarchy merges bodies sharing a parent. It fails (nil, false)
+// when the hierarchy does not shrink the graph — every body is a root, or
+// every body is alone under its parent — in which case the caller falls
+// back to heavy-edge matching.
+func coarsenHierarchy(l *Layout, parent ParentFunc) (*coarsening, bool) {
+	if parent == nil || len(l.bodies) == 0 {
+		return nil, false
+	}
+	cl := New(l.params)
+	owner := make([]int32, len(l.bodies))
+	keyIdx := make(map[string]int32, len(l.bodies))
+	for i, b := range l.bodies {
+		key, ok := parent(b.ID)
+		if !ok {
+			key = b.ID // root body: survives as itself
+		}
+		ci, seen := keyIdx[key]
+		if !seen {
+			ci = int32(cl.Len())
+			keyIdx[key] = ci
+			mustBody(cl.AddBody(key, Point{}, 0))
+		}
+		owner[i] = ci
+	}
+	if cl.Len() >= l.Len() {
+		return nil, false // nothing merged: the hierarchy is exhausted
+	}
+	accumulate(l, cl, owner)
+	return &coarsening{coarse: cl, owner: owner}, true
+}
+
+// coarsenMatch pairs each body with its heaviest-spring unmatched
+// neighbour (greedy, in body-index order; ties break toward the earliest
+// spring). Unmatched bodies survive as singletons. The coarse body takes
+// the lower-index member's ID, prefixed so matched IDs can never collide
+// with surviving fine IDs across repeated coarsenings.
+func coarsenMatch(l *Layout) (*coarsening, bool) {
+	n := len(l.bodies)
+	if n == 0 || len(l.springs) == 0 {
+		return nil, false
+	}
+	// Incident springs per body, in spring order (the same ±(index+1)
+	// encoding as the force-pass adjacency, but built locally so the
+	// layout's own scratch state is untouched).
+	adj := make([][]int32, n)
+	for si := range l.springs {
+		s := &l.springs[si]
+		a, b := l.index[s.A], l.index[s.B]
+		if a == nil || b == nil || a == b {
+			continue
+		}
+		adj[a.idx] = append(adj[a.idx], int32(si+1))
+		adj[b.idx] = append(adj[b.idx], int32(-(si + 1)))
+	}
+	mate := make([]int32, n)
+	for i := range mate {
+		mate[i] = noNode
+	}
+	matched := 0
+	for i := 0; i < n; i++ {
+		if mate[i] != noNode {
+			continue
+		}
+		best, bestW := noNode, 0.0
+		for _, e := range adj[i] {
+			si := e
+			if si < 0 {
+				si = -si
+			}
+			s := &l.springs[si-1]
+			var p *Body
+			if e > 0 {
+				p = l.index[s.B]
+			} else {
+				p = l.index[s.A]
+			}
+			if p == nil || mate[p.idx] != noNode || p.idx == i {
+				continue
+			}
+			w := s.Strength
+			if w <= 0 {
+				w = 1
+			}
+			if w > bestW {
+				best, bestW = int32(p.idx), w
+			}
+		}
+		if best != noNode {
+			mate[i] = best
+			mate[best] = int32(i)
+			matched++
+		}
+	}
+	if matched == 0 {
+		return nil, false // edge set touches nothing mergeable
+	}
+	cl := New(l.params)
+	owner := make([]int32, n)
+	for i := 0; i < n; i++ {
+		if m := mate[i]; m != noNode && int(m) < i {
+			owner[i] = owner[m] // second member of an already-emitted pair
+			continue
+		}
+		owner[i] = int32(cl.Len())
+		mustBody(cl.AddBody("m:"+l.bodies[i].ID, Point{}, 0))
+	}
+	accumulate(l, cl, owner)
+	return &coarsening{coarse: cl, owner: owner}, true
+}
+
+// accumulate fills the coarse bodies' charges and centroid positions and
+// projects the fine springs, merging parallel bundles by max strength.
+// Fine bodies are folded in ascending index order and springs in
+// declaration order, so every float accumulation has a fixed order.
+func accumulate(l *Layout, cl *Layout, owner []int32) {
+	type acc struct {
+		charge float64
+		pos    Point
+	}
+	accs := make([]acc, cl.Len())
+	for i, b := range l.bodies {
+		a := &accs[owner[i]]
+		c := effCharge(b.Charge)
+		a.pos = a.pos.Add(b.Pos.Scale(c))
+		a.charge += c
+	}
+	for ci, a := range accs {
+		cb := cl.bodies[ci]
+		cb.Charge = a.charge
+		if a.charge > 0 {
+			cb.Pos = a.pos.Scale(1 / a.charge)
+		}
+	}
+	type pair struct{ a, b int32 }
+	merged := make(map[pair]float64)
+	for si := range l.springs {
+		s := &l.springs[si]
+		fa, fb := l.index[s.A], l.index[s.B]
+		if fa == nil || fb == nil {
+			continue
+		}
+		ca, cb := owner[fa.idx], owner[fb.idx]
+		if ca == cb {
+			continue // internal to one super-body
+		}
+		if ca > cb {
+			ca, cb = cb, ca
+		}
+		w := s.Strength
+		if w <= 0 {
+			w = 1
+		}
+		// Merge bundles by max, not sum: a super-spring bundling hundreds
+		// of fine springs would otherwise be hundreds of times stiffer
+		// than anything the integrator's TimeStep was tuned for, and the
+		// coarse level oscillates at the velocity cap instead of settling.
+		if w > merged[pair{ca, cb}] {
+			merged[pair{ca, cb}] = w
+		}
+	}
+	pairs := make([]pair, 0, len(merged))
+	for p := range merged {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	springs := make([]Spring, 0, len(pairs))
+	for _, p := range pairs {
+		springs = append(springs, Spring{
+			A:        cl.bodies[p.a].ID,
+			B:        cl.bodies[p.b].ID,
+			Strength: merged[p],
+		})
+	}
+	if err := cl.SetSprings(springs); err != nil {
+		panic(err) // endpoints come from cl's own bodies
+	}
+}
+
+func mustBody(b *Body, err error) {
+	if err != nil {
+		panic(err)
+	}
+}

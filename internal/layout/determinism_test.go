@@ -34,6 +34,12 @@ func TestStepDeterministicAcrossParallelism(t *testing.T) {
 		// run fast while still exercising the sharded all-pairs path.
 		{"naive/600", Naive, 600, 25},
 	}
+	// The small-n serial fallback would route naive/600 onto the serial
+	// path at every Parallelism, making the case vacuous — force the
+	// sharded all-pairs code to actually run.
+	defer func(min int) { naiveParallelMin = min }(naiveParallelMin)
+	naiveParallelMin = 0
+
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			serial := run(tc.algo, tc.n, tc.steps, 1)

@@ -135,6 +135,12 @@ type Layout struct {
 	stacks   [][]int32 // one traversal stack per worker
 	adj      [][]int32 // body idx -> springs touching it, ±(spring index+1)
 	adjDirty bool
+	// stiff[i] sums the strengths of body i's incident springs (rebuilt
+	// with the adjacency). The integrator uses it to clamp the local time
+	// step of hub bodies whose aggregate spring stiffness would make the
+	// explicit update oscillate forever at the velocity cap (a backbone
+	// link with hundreds of attached host links, e.g.) — see integrate.
+	stiff []float64
 }
 
 // New creates an empty layout.
@@ -317,6 +323,9 @@ const (
 // returns the maximum displacement, the convergence measure.
 func (l *Layout) Step(algo Algorithm) float64 {
 	span := obs.StartSpan(obs.StageLayout)
+	if l.adjDirty || len(l.adj) != len(l.bodies) {
+		l.buildAdjacency() // integrate needs fresh per-body stiffness
+	}
 	for _, b := range l.bodies {
 		b.force = Point{}
 	}
@@ -352,12 +361,16 @@ const parallelGrain = 128
 
 // workerCount returns the number of goroutines the force passes use:
 // min(Parallelism or GOMAXPROCS, n/parallelGrain), at least 1.
-func (l *Layout) workerCount() int {
+func (l *Layout) workerCount() int { return l.workersFor(len(l.bodies)) }
+
+// workersFor sizes the fan-out for a pass over n units of work (all
+// bodies for the global step, the active set for a local refinement).
+func (l *Layout) workersFor(n int) int {
 	p := l.params.Parallelism
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
 	}
-	if max := len(l.bodies) / parallelGrain; p > max {
+	if max := n / parallelGrain; p > max {
 		p = max
 	}
 	if p < 1 {
@@ -392,6 +405,15 @@ func (l *Layout) forBodies(fn func(worker, lo, hi int)) {
 	wg.Wait()
 }
 
+// naiveParallelMin is the body count below which the naive engine always
+// takes the serial path regardless of Parallelism. The parallel variant
+// evaluates every pair from both sides — twice the arithmetic — so it
+// needs enough workers over enough bodies to amortize; below this point
+// it is strictly slower (BENCH_layout.json had n=1000/p=4 at 1.7× the
+// p=1 cost). A var, not a const, so tests can force the parallel path on
+// small graphs. Harmless for determinism: both paths are bitwise equal.
+var naiveParallelMin = 2048
+
 // repelNaive computes the exact all-pairs repulsion. The serial path uses
 // the classic i<j symmetric loop (each pair once); the parallel path has
 // every body accumulate over all partners, with the pair force always
@@ -400,7 +422,7 @@ func (l *Layout) forBodies(fn func(worker, lo, hi int)) {
 // Parallelism setting produces identical floating-point results.
 func (l *Layout) repelNaive() {
 	c := l.params.Charge
-	if l.workerCount() == 1 {
+	if l.workerCount() == 1 || len(l.bodies) < naiveParallelMin {
 		for i, a := range l.bodies {
 			for _, b := range l.bodies[i+1:] {
 				f := coulomb(a, b, c)
@@ -476,6 +498,13 @@ func (l *Layout) buildAdjacency() {
 		l.adj = append(l.adj, nil)
 	}
 	l.adj = l.adj[:len(l.bodies)]
+	if cap(l.stiff) < len(l.bodies) {
+		l.stiff = make([]float64, len(l.bodies))
+	}
+	l.stiff = l.stiff[:len(l.bodies)]
+	for i := range l.stiff {
+		l.stiff[i] = 0
+	}
 	for si := range l.springs {
 		s := &l.springs[si]
 		a, b := l.index[s.A], l.index[s.B]
@@ -484,6 +513,12 @@ func (l *Layout) buildAdjacency() {
 		}
 		l.adj[a.idx] = append(l.adj[a.idx], int32(si+1))
 		l.adj[b.idx] = append(l.adj[b.idx], int32(-(si + 1)))
+		w := s.Strength
+		if w <= 0 {
+			w = 1
+		}
+		l.stiff[a.idx] += w
+		l.stiff[b.idx] += w
 	}
 	l.adjDirty = false
 }
@@ -536,21 +571,39 @@ func (l *Layout) applySprings() {
 	})
 }
 
+// bodyTimeStep clamps the integration step of one body by its aggregate
+// spring stiffness k_i = Spring · Σ incident strengths: the symplectic
+// Euler update is only stable while dt·√k < ~2, and a hub body (a
+// backbone link with hundreds of attached host links) can exceed that by
+// an order of magnitude with the default TimeStep — it then chatters at
+// the velocity cap forever and the layout never converges. Ordinary
+// bodies (dt²·k ≤ 1) keep the exact global time step, bit for bit.
+func (l *Layout) bodyTimeStep(dt float64, i int) float64 {
+	if i >= len(l.stiff) {
+		return dt
+	}
+	if k := l.params.Spring * l.stiff[i]; k*dt*dt > 1 {
+		return 1 / math.Sqrt(k)
+	}
+	return dt
+}
+
 func (l *Layout) integrate() float64 {
 	dt := l.params.TimeStep
 	damp := l.params.Damping
 	maxV := l.params.MaxVelocity
 	var maxDisp float64
-	for _, b := range l.bodies {
+	for i, b := range l.bodies {
 		if b.Pinned {
 			b.Vel = Point{}
 			continue
 		}
-		b.Vel = b.Vel.Add(b.force.Scale(dt)).Scale(damp)
+		dtb := l.bodyTimeStep(dt, i)
+		b.Vel = b.Vel.Add(b.force.Scale(dtb)).Scale(damp)
 		if v := b.Vel.Norm(); maxV > 0 && v > maxV {
 			b.Vel = b.Vel.Scale(maxV / v)
 		}
-		delta := b.Vel.Scale(dt)
+		delta := b.Vel.Scale(dtb)
 		b.Pos = b.Pos.Add(delta)
 		if d := delta.Norm(); d > maxDisp {
 			maxDisp = d

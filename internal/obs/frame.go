@@ -68,6 +68,7 @@ var (
 	StageCompact   = RegisterStage("compact")
 	StageAggregate = RegisterStage("aggregate")
 	StageBuild     = RegisterStage("build")
+	StageCoarsen   = RegisterStage("coarsen")
 	StageLayout    = RegisterStage("layout")
 	StageRender    = RegisterStage("render")
 )

@@ -325,9 +325,30 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Viewport + zoom switch the response to the level-of-detail form:
+	// full detail inside the viewport, coarse hierarchy groups beyond.
+	var vp *vizgraph.Viewport
+	zoom := 1.0
+	if q := r.URL.Query().Get("viewport"); q != "" {
+		var v vizgraph.Viewport
+		if _, err := fmt.Sscanf(q, "%f,%f,%f,%f", &v.MinX, &v.MinY, &v.MaxX, &v.MaxY); err != nil ||
+			v.MaxX < v.MinX || v.MaxY < v.MinY {
+			writeErr(w, fmt.Errorf("bad viewport %q (want minX,minY,maxX,maxY)", q))
+			return
+		}
+		vp = &v
+		if zq := r.URL.Query().Get("zoom"); zq != "" {
+			if _, err := fmt.Sscanf(zq, "%f", &zoom); err != nil || zoom <= 0 {
+				writeErr(w, fmt.Errorf("bad zoom %q", zq))
+				return
+			}
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.cache != nil && s.cacheGen == s.view.Generation() {
+	// The settled cache holds the full-graph rendering; LOD responses
+	// depend on per-request viewport and zoom, so they bypass it entirely.
+	if vp == nil && s.cache != nil && s.cacheGen == s.view.Generation() {
 		// Nothing changed since a settled rendering was cached: serve it
 		// without stepping, rebuilding or re-encoding anything.
 		obsCacheHits.Inc()
@@ -354,27 +375,21 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	moving := s.view.StepLayout(steps)
+	tree := s.view.Aggregator().Tree()
+	if vp != nil {
+		s.writeGraphLOD(w, g, tree, *vp, zoom, moving)
+		return
+	}
 	out := graphJSON{Params: s.view.Layout().Params(), Moving: moving}
 	out.Slice = [2]float64{s.view.TimeSlice().Start, s.view.TimeSlice().End}
 	ws, we := s.view.Source().Window()
 	out.Window = [2]float64{ws, we}
-	tree := s.view.Aggregator().Tree()
 	for _, n := range g.Nodes {
 		b := s.view.Layout().Body(n.ID)
 		if b == nil {
 			continue
 		}
-		tn := tree.Node(n.Group)
-		nj := nodeJSON{
-			ID: n.ID, Group: n.Group, Parent: tn.Parent, Type: n.Type,
-			Label: n.Label, Shape: n.Shape.String(), Color: n.Color,
-			Size: n.Size, Fill: n.Fill, Avail: n.Avail, Count: n.Count, Value: n.Value,
-			X: b.Pos.X, Y: b.Pos.Y, Pinned: b.Pinned, Leaf: tn.IsEntity(),
-		}
-		for _, seg := range n.Segments {
-			nj.Segments = append(nj.Segments, segmentJSON{Category: seg.Category, Fraction: seg.Fraction, Color: seg.Color})
-		}
-		out.Nodes = append(out.Nodes, nj)
+		out.Nodes = append(out.Nodes, nodeToJSON(tree, n, b))
 	}
 	for _, e := range g.Edges {
 		out.Edges = append(out.Edges, edgeJSON{From: e.From, To: e.To, Mult: e.Multiplicity})
@@ -394,6 +409,96 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 		s.cacheGen = gen
 		s.cacheTag = fmt.Sprintf("%q", fmt.Sprintf("%016x", h.Sum64()))
 		w.Header().Set("ETag", s.cacheTag)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
+// nodeToJSON renders one visual node plus its layout body to wire form.
+func nodeToJSON(tree *aggregation.Tree, n *vizgraph.Node, b *layout.Body) nodeJSON {
+	tn := tree.Node(n.Group)
+	nj := nodeJSON{
+		ID: n.ID, Group: n.Group, Parent: tn.Parent, Type: n.Type,
+		Label: n.Label, Shape: n.Shape.String(), Color: n.Color,
+		Size: n.Size, Fill: n.Fill, Avail: n.Avail, Count: n.Count, Value: n.Value,
+		X: b.Pos.X, Y: b.Pos.Y, Pinned: b.Pinned, Leaf: tn.IsEntity(),
+	}
+	for _, seg := range n.Segments {
+		nj.Segments = append(nj.Segments, segmentJSON{Category: seg.Category, Fraction: seg.Fraction, Color: seg.Color})
+	}
+	return nj
+}
+
+// lodGroupJSON is the wire form of one out-of-view coarse group.
+type lodGroupJSON struct {
+	ID      string  `json:"id"`
+	Group   string  `json:"group"`
+	Type    string  `json:"type"`
+	Members int     `json:"members"`
+	Count   int     `json:"count"`
+	Value   float64 `json:"value"`
+	Size    float64 `json:"size"`
+	Fill    float64 `json:"fill"`
+	Avail   float64 `json:"avail"`
+	X       float64 `json:"x"`
+	Y       float64 `json:"y"`
+}
+
+// lodJSON is the level-of-detail response: full-detail nodes inside the
+// viewport, coarse hierarchy groups beyond, edges remapped accordingly.
+// Its size is bounded by the viewport content plus the hierarchy width at
+// the LOD depth — independent of the total graph size.
+type lodJSON struct {
+	Nodes  []nodeJSON     `json:"nodes"`
+	Groups []lodGroupJSON `json:"groups"`
+	Edges  []edgeJSON     `json:"edges"`
+	Depth  int            `json:"depth"`
+	Slice  [2]float64     `json:"slice"`
+	Window [2]float64     `json:"window"`
+	Moving float64        `json:"moving"`
+}
+
+func (s *Server) writeGraphLOD(w http.ResponseWriter, g *vizgraph.Graph, tree *aggregation.Tree, vp vizgraph.Viewport, zoom, moving float64) {
+	lay := s.view.Layout()
+	lod := vizgraph.BuildLOD(g, tree, func(id string) (float64, float64, bool) {
+		b := lay.Body(id)
+		if b == nil {
+			return 0, 0, false
+		}
+		return b.Pos.X, b.Pos.Y, true
+	}, vp, zoom)
+	// Empty lists encode as [], not null: a zoomed-out client with nothing
+	// in view still gets arrays it can iterate.
+	out := lodJSON{
+		Depth: lod.Depth, Moving: moving,
+		Nodes:  []nodeJSON{},
+		Groups: []lodGroupJSON{},
+		Edges:  []edgeJSON{},
+	}
+	out.Slice = [2]float64{s.view.TimeSlice().Start, s.view.TimeSlice().End}
+	ws, we := s.view.Source().Window()
+	out.Window = [2]float64{ws, we}
+	for _, n := range lod.Visible {
+		if b := lay.Body(n.ID); b != nil {
+			out.Nodes = append(out.Nodes, nodeToJSON(tree, n, b))
+		}
+	}
+	for _, lg := range lod.Groups {
+		out.Groups = append(out.Groups, lodGroupJSON{
+			ID: lg.ID, Group: lg.Group, Type: lg.Type,
+			Members: lg.Members, Count: lg.Count, Value: lg.Value,
+			Size: lg.Size, Fill: lg.Fill, Avail: lg.Avail, X: lg.X, Y: lg.Y,
+		})
+	}
+	for _, e := range lod.Edges {
+		out.Edges = append(out.Edges, edgeJSON{From: e.From, To: e.To, Mult: e.Multiplicity})
+	}
+	renderSpan := obs.StartSpan(obs.StageRender)
+	body, err := json.Marshal(out)
+	renderSpan.End()
+	if err != nil {
+		writeErr(w, err)
+		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(body)

@@ -26,6 +26,10 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1x}"
+# The layout suite tracks per-step cost (naive, Barnes-Hut, sharded) and
+# the whole-layout convergence race: BenchmarkLayoutMultilevel vs
+# BenchmarkLayoutFlatConverge report ms-to-conv (wall-clock cold seed to
+# residual < eps), the multilevel speedup headline.
 LAYOUT_PATTERN="${2:-BenchmarkLayout|BenchmarkAggregateDisaggregate|BenchmarkAblationTheta}"
 AGG_PATTERN="${2:-BenchmarkSliceScrub|BenchmarkVizgraphBuild|BenchmarkFig2TemporalAggregation|BenchmarkFig3SpatialAggregation|BenchmarkFig9Animation|BenchmarkSummarise}"
 # The fault suite includes Fig6 so the healthy-path overhead of the fault
@@ -57,7 +61,7 @@ to_json() {
 BEGIN { print "{"; printf "  \"benchmarks\": [\n"; first = 1 }
 /^Benchmark/ && /ns\/op/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = "null"; allocs = "null"; evs = "null"; heap = "null"; p99 = "null"
+    ns = ""; bytes = "null"; allocs = "null"; evs = "null"; heap = "null"; p99 = "null"; conv = "null"; stp = "null"
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op")      ns = $(i-1)
         if ($i == "B/op")       bytes = $(i-1)
@@ -65,6 +69,8 @@ BEGIN { print "{"; printf "  \"benchmarks\": [\n"; first = 1 }
         if ($i == "events/sec") evs = $(i-1)
         if ($i == "heap-bytes") heap = $(i-1)
         if ($i == "p99-push-ms") p99 = $(i-1)
+        if ($i == "ms-to-conv") conv = $(i-1)
+        if ($i == "steps")      stp = $(i-1)
     }
     if (ns == "") next
     if (!first) printf ",\n"
@@ -73,6 +79,8 @@ BEGIN { print "{"; printf "  \"benchmarks\": [\n"; first = 1 }
     if (evs != "null") printf ", \"events_per_sec\": %s", evs
     if (heap != "null") printf ", \"heap_bytes\": %s", heap
     if (p99 != "null") printf ", \"p99_push_ms\": %s", p99
+    if (conv != "null") printf ", \"ms_to_converged\": %s", conv
+    if (stp != "null") printf ", \"steps_to_converged\": %s", stp
     printf "}"
 }
 END { printf "\n  ]\n}\n" }
@@ -84,7 +92,7 @@ END { printf "\n  ]\n}\n" }
 BEGIN { printf "{\"time\": \"%s\", \"suite\": \"%s\", \"benchtime\": \"%s\", \"benchmarks\": [", time, suite, benchtime; first = 1 }
 /^Benchmark/ && /ns\/op/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = "null"; allocs = "null"; evs = "null"; heap = "null"; p99 = "null"
+    ns = ""; bytes = "null"; allocs = "null"; evs = "null"; heap = "null"; p99 = "null"; conv = "null"; stp = "null"
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op")      ns = $(i-1)
         if ($i == "B/op")       bytes = $(i-1)
@@ -92,6 +100,8 @@ BEGIN { printf "{\"time\": \"%s\", \"suite\": \"%s\", \"benchtime\": \"%s\", \"b
         if ($i == "events/sec") evs = $(i-1)
         if ($i == "heap-bytes") heap = $(i-1)
         if ($i == "p99-push-ms") p99 = $(i-1)
+        if ($i == "ms-to-conv") conv = $(i-1)
+        if ($i == "steps")      stp = $(i-1)
     }
     if (ns == "") next
     if (!first) printf ", "
@@ -100,6 +110,8 @@ BEGIN { printf "{\"time\": \"%s\", \"suite\": \"%s\", \"benchtime\": \"%s\", \"b
     if (evs != "null") printf ", \"events_per_sec\": %s", evs
     if (heap != "null") printf ", \"heap_bytes\": %s", heap
     if (p99 != "null") printf ", \"p99_push_ms\": %s", p99
+    if (conv != "null") printf ", \"ms_to_converged\": %s", conv
+    if (stp != "null") printf ", \"steps_to_converged\": %s", stp
     printf "}"
 }
 END { print "]}" }
@@ -114,7 +126,10 @@ trap 'rm -f "$RAW"' EXIT
 
 if want layout; then
     echo "running layout suite (-benchtime=$BENCHTIME, -bench='$LAYOUT_PATTERN') ..." >&2
-    go test -run '^$' -bench "$LAYOUT_PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
+    # -timeout 60m: the convergence races (FlatConverge at n=20000 in
+    # particular) run whole cold layouts per iteration — that slowness is
+    # the measurement, not a hang.
+    go test -run '^$' -bench "$LAYOUT_PATTERN" -benchmem -benchtime "$BENCHTIME" -timeout 60m . | tee "$RAW" >&2
     to_json "$RAW" BENCH_layout.json
 fi
 
